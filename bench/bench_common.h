@@ -1,0 +1,73 @@
+// Shared scaffolding for the per-table/figure benchmark binaries.
+//
+// Every bench generates the needed datasets (at ENTRACE_SCALE, default
+// 0.02), runs the full analysis pipeline, prints our reproduction of the
+// experiment, and then the paper's published values for side-by-side
+// comparison (recorded in EXPERIMENTS.md).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/report.h"
+#include "synth/generator.h"
+
+namespace entrace::benchutil {
+
+inline double env_scale() {
+  const char* s = std::getenv("ENTRACE_SCALE");
+  if (s == nullptr) return 0.02;
+  const double v = std::atof(s);
+  return v > 0 ? v : 0.02;
+}
+
+struct Bundle {
+  DatasetSpec spec;
+  std::unique_ptr<DatasetAnalysis> analysis;
+};
+
+class DatasetRunner {
+ public:
+  // names: which of D0..D4 to produce.
+  explicit DatasetRunner(std::vector<std::string> names) {
+    const double scale = env_scale();
+    const AnalyzerConfig config = default_config_for_model(model_.site());
+    for (const auto& name : names) {
+      const auto start = std::chrono::steady_clock::now();
+      Bundle bundle;
+      bundle.spec = dataset_by_name(name, scale);
+      TraceSet traces = generate_dataset(bundle.spec, model_);
+      const std::uint64_t packets = traces.total_packets();
+      bundle.analysis = std::make_unique<DatasetAnalysis>(analyze_dataset(traces, config));
+      const auto elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      std::fprintf(stderr, "[bench] %s: %llu packets generated+analyzed in %.2fs (scale %.3f)\n",
+                   name.c_str(), static_cast<unsigned long long>(packets), elapsed, scale);
+      bundles_.push_back(std::move(bundle));
+    }
+    for (const auto& b : bundles_) inputs_.push_back({&b.spec, b.analysis.get()});
+  }
+
+  const std::vector<report::ReportInput>& inputs() const { return inputs_; }
+  const EnterpriseModel& model() const { return model_; }
+
+ private:
+  EnterpriseModel model_;
+  std::vector<Bundle> bundles_;
+  std::vector<report::ReportInput> inputs_;
+};
+
+inline void print_paper_reference(const char* text) {
+  std::printf("\n---- Paper reference (Pang et al., IMC 2005) ----\n%s\n", text);
+}
+
+inline std::vector<std::string> payload_datasets() { return {"D0", "D3", "D4"}; }
+inline std::vector<std::string> all_names() { return {"D0", "D1", "D2", "D3", "D4"}; }
+
+}  // namespace entrace::benchutil

@@ -1,0 +1,22 @@
+// Reproduces Figure 1: application-category breakdown of unicast bytes and
+// connections, split enterprise vs WAN, plus the multicast callouts.
+#include "bench_common.h"
+
+int main() {
+  using namespace entrace;
+  benchutil::DatasetRunner runner(benchutil::all_names());
+  std::fputs(report::figure1_app_breakdown(runner.inputs()).c_str(), stdout);
+  benchutil::print_paper_reference(
+      "Figure 1 (read off the bars):\n"
+      "- bytes: bulk + net-file + backup constitute a majority in every dataset;\n"
+      "  web is the largest mostly-WAN category; windows/streaming/interactive\n"
+      "  contribute 5-10% each in some datasets.\n"
+      "- connections: name is 45-65% of connections in every dataset, yet <1% of\n"
+      "  bytes; net-mgnt, misc and other-udp show the same pattern.\n"
+      "- web and email contribute non-negligibly to BOTH bytes and connections.\n"
+      "- most traffic is enterprise-internal; 3-4x more categories appear\n"
+      "  internally than crossing the border.\n"
+      "- multicast: streaming 5-10% of all bytes; SrvLoc (name) and SAP\n"
+      "  (net-mgnt) each 5-10% of all connections.");
+  return 0;
+}

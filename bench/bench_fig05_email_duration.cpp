@@ -1,0 +1,16 @@
+// Reproduces Figure 5: SMTP and IMAP/S connection duration distributions.
+#include "bench_common.h"
+
+int main() {
+  using namespace entrace;
+  benchutil::DatasetRunner runner(benchutil::all_names());
+  std::fputs(report::figure5_email_durations(runner.inputs()).c_str(), stdout);
+  benchutil::print_paper_reference(
+      "SMTP: internal durations ~0.2-0.4 s median vs WAN 1.5-6 s (an order of\n"
+      "magnitude, tracking RTT).  IMAP/S: internal connections last 1-2 orders\n"
+      "of magnitude LONGER than WAN ones (clients poll ~every 10 minutes;\n"
+      "durations cap near 50 min in hour-long traces).\n"
+      "Success: SMTP internal 95-98%; WAN 71-93% in D0-2 (busy MXs) vs\n"
+      "99-100% in D3-4; IMAP/S 99-100% everywhere.");
+  return 0;
+}

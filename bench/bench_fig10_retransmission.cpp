@@ -1,0 +1,39 @@
+// Reproduces Figure 10: TCP retransmission rates across traces, internal vs
+// WAN, with the keepalive-exclusion ablation of §6.
+#include "analysis/load.h"
+#include "bench_common.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace entrace;
+  benchutil::DatasetRunner runner(benchutil::all_names());
+  std::fputs(report::figure10_retransmissions(runner.inputs()).c_str(), stdout);
+
+  // Ablation: §6 excludes 1-byte keepalive retransmissions before computing
+  // rates; show how much they would inflate the internal rate.
+  TextTable ablation("Ablation: internal retx rate if keepalives were counted");
+  ablation.set_header({"dataset", "median (keepalives excluded)", "median (included)"});
+  for (const auto& in : runner.inputs()) {
+    LoadAnalysis base = LoadAnalysis::compute(in.analysis->load_raw);
+    EmpiricalCdf with_ka;
+    for (const auto& t : in.analysis->load_raw) {
+      const std::uint64_t pkts = t.ent_tcp_pkts + t.keepalive_excluded;
+      if (pkts < 1000) continue;
+      with_ka.add(static_cast<double>(t.ent_retx + t.keepalive_excluded) /
+                  static_cast<double>(pkts));
+    }
+    ablation.add_row({in.analysis->name, format_pct(base.retx_ent.median()),
+                      format_pct(with_ka.median())});
+  }
+  std::fputs(ablation.render().c_str(), stdout);
+
+  benchutil::print_paper_reference(
+      "Retransmission rate < 1% in the vast majority of traces for both\n"
+      "internal and WAN traffic; internal < WAN as expected; internal rate\n"
+      "sometimes eclipses 2%, peaking ~5% in one trace dominated by a single\n"
+      "Veritas backup connection (congestion or flaky NIC downstream of the\n"
+      "tap).  Spurious 1-byte keepalive retransmissions (NCP, SSH) are\n"
+      "excluded before computing the rates.");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) of the pipeline's hot components:
+// frame decode, flow-table processing, application parsing, pcap I/O, and
+// trace generation throughput.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "core/analyzer.h"
+#include "flow/flow_table.h"
+#include "net/decoder.h"
+#include "net/encoder.h"
+#include "pcap/reader.h"
+#include "pcap/writer.h"
+#include "proto/dns.h"
+#include "proto/http.h"
+#include "synth/generator.h"
+
+namespace entrace {
+namespace {
+
+Trace make_sample_trace() {
+  EnterpriseModel model;
+  DatasetSpec spec = dataset_d3(0.02);
+  spec.monitored_subnets = {16};
+  TraceSet set = generate_dataset(spec, model);
+  return std::move(set.traces.front());
+}
+
+const Trace& sample_trace() {
+  static const Trace trace = make_sample_trace();
+  return trace;
+}
+
+void BM_DecodePacket(benchmark::State& state) {
+  const Trace& trace = sample_trace();
+  std::size_t i = 0;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const RawPacket& pkt = trace.packets[i];
+    auto d = decode_packet(pkt);
+    benchmark::DoNotOptimize(d);
+    bytes += pkt.data.size();
+    if (++i == trace.packets.size()) i = 0;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodePacket);
+
+void BM_FlowTableProcess(benchmark::State& state) {
+  const Trace& trace = sample_trace();
+  std::vector<DecodedPacket> decoded;
+  decoded.reserve(trace.packets.size());
+  for (const auto& pkt : trace.packets) {
+    if (auto d = decode_packet(pkt)) decoded.push_back(*d);
+  }
+  for (auto _ : state) {
+    FlowTable table;
+    for (const auto& d : decoded) benchmark::DoNotOptimize(table.process(d));
+    table.flush();
+    benchmark::DoNotOptimize(table.connections().size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(decoded.size()));
+}
+BENCHMARK(BM_FlowTableProcess);
+
+void BM_FullAnalysisPipeline(benchmark::State& state) {
+  EnterpriseModel model;
+  DatasetSpec spec = dataset_d3(0.01);
+  spec.monitored_subnets = {15, 16};
+  const TraceSet set = generate_dataset(spec, model);
+  const AnalyzerConfig config = default_config_for_model(model.site());
+  for (auto _ : state) {
+    DatasetAnalysis analysis = analyze_dataset(set, config);
+    benchmark::DoNotOptimize(analysis.connections.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(set.total_packets()));
+}
+BENCHMARK(BM_FullAnalysisPipeline);
+
+void BM_GenerateTrace(benchmark::State& state) {
+  EnterpriseModel model;
+  DatasetSpec spec = dataset_d3(0.01);
+  spec.monitored_subnets = {16};
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    const TraceSet set = generate_dataset(spec, model);
+    packets += set.total_packets();
+    benchmark::DoNotOptimize(set.total_packets());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+}
+BENCHMARK(BM_GenerateTrace);
+
+void BM_PcapWriteRead(benchmark::State& state) {
+  const Trace& trace = sample_trace();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "entrace_bench.pcap").string();
+  for (auto _ : state) {
+    {
+      PcapWriter writer(path, trace.snaplen);
+      for (const auto& pkt : trace.packets) writer.write(pkt);
+    }
+    PcapReader reader(path);
+    std::size_t n = 0;
+    while (auto pkt = reader.next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.packets.size()));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_PcapWriteRead);
+
+void BM_HttpParse(benchmark::State& state) {
+  Connection conn;
+  const std::string req =
+      "GET /index.html HTTP/1.1\r\nHost: www\r\nUser-Agent: bench\r\n\r\n";
+  const std::string resp =
+      "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: 512\r\n\r\n" +
+      std::string(512, 'x');
+  const std::span<const std::uint8_t> req_b(
+      reinterpret_cast<const std::uint8_t*>(req.data()), req.size());
+  const std::span<const std::uint8_t> resp_b(
+      reinterpret_cast<const std::uint8_t*>(resp.data()), resp.size());
+  for (auto _ : state) {
+    std::vector<HttpTransaction> out;
+    HttpParser parser(out);
+    for (int i = 0; i < 50; ++i) {
+      parser.on_data(conn, Direction::kOrigToResp, 1.0, req_b);
+      parser.on_data(conn, Direction::kRespToOrig, 1.1, resp_b);
+    }
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_HttpParse);
+
+void BM_DnsEncodeDecode(benchmark::State& state) {
+  DnsMessage q;
+  q.id = 7;
+  q.qname = "host1234.lbl.example";
+  q.qtype = dnstype::kA;
+  for (auto _ : state) {
+    const auto wire = encode_dns(q);
+    auto d = decode_dns(wire);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DnsEncodeDecode);
+
+}  // namespace
+}  // namespace entrace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+// Reproduces Table 1: dataset characteristics.
+#include "bench_common.h"
+
+int main() {
+  using namespace entrace;
+  benchutil::DatasetRunner runner(benchutil::all_names());
+  std::fputs(report::table1_datasets(runner.inputs()).c_str(), stdout);
+  benchutil::print_paper_reference(
+      "             D0      D1      D2      D3      D4\n"
+      "Duration     10 min  1 hr    1 hr    1 hr    1 hr\n"
+      "Per Tap      1       2       1       1       1-2\n"
+      "# Subnets    22      22      22      18      18\n"
+      "# Packets    17.8M   64.7M   28.1M   21.6M   27.7M   (ours are scaled by ENTRACE_SCALE)\n"
+      "Snaplen      1500    68      68      1500    1500\n"
+      "Mon. Hosts   2,531   2,102   2,088   1,561   1,558\n"
+      "LBNL Hosts   4,767   5,761   5,210   5,234   5,698\n"
+      "Remote Hosts 4,342   10,478  7,138   16,404  23,267");
+  return 0;
+}

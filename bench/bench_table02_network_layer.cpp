@@ -1,0 +1,16 @@
+// Reproduces Table 2: network-layer protocol mix.
+#include "bench_common.h"
+
+int main() {
+  using namespace entrace;
+  benchutil::DatasetRunner runner(benchutil::all_names());
+  std::fputs(report::table2_network_layer(runner.inputs()).c_str(), stdout);
+  benchutil::print_paper_reference(
+      "       D0    D1    D2    D3    D4\n"
+      "IP     99%   97%   96%   98%   96%\n"
+      "!IP    1%    3%    4%    2%    4%\n"
+      "ARP    10%   6%    5%    27%   16%   (of non-IP)\n"
+      "IPX    80%   77%   65%   57%   32%   (of non-IP)\n"
+      "Other  10%   17%   29%   16%   52%   (of non-IP)");
+  return 0;
+}

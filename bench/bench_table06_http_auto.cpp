@@ -1,0 +1,23 @@
+// Reproduces Table 6 (automated HTTP clients) and the §5.1.1 success-rate /
+// conditional-GET findings.
+#include "bench_common.h"
+
+int main() {
+  using namespace entrace;
+  benchutil::DatasetRunner runner(benchutil::payload_datasets());
+  std::fputs(report::table6_http_automation(runner.inputs()).c_str(), stdout);
+  std::fputs(report::http_findings(runner.inputs()).c_str(), stdout);
+  benchutil::print_paper_reference(
+      "Table 6 (share of internal HTTP requests / data bytes):\n"
+      "          D0          D3          D4\n"
+      "scan1     20% / 0.1%  45% / 0.9%  19% / 1%\n"
+      "google1   23% / 45%   0%  / 0%    1%  / 0.1%\n"
+      "google2   14% / 51%   8%  / 69%   4%  / 48%\n"
+      "ifolder   1%  / 0.0%  0.2%/ 0.0%  10% / 9%\n"
+      "All       58% / 96%   54% / 70%   34% / 59%\n"
+      "\n"
+      "Findings: internal success 72-92% vs WAN 95-99% (failures mostly server\n"
+      "RSTs); conditional GETs 29-53% of internal requests vs 12-21% WAN, but\n"
+      "only 1-9% / 1-7% of the data bytes; >90% of requests succeed (2xx/304).");
+  return 0;
+}

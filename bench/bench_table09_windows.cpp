@@ -1,0 +1,45 @@
+// Reproduces Table 9: Windows connection success rates (host pairs), plus
+// the raw-connection-count ablation motivating the paper's host-pair
+// methodology (§5: automated retry storms mislead raw counts).
+#include "analysis/host_pair.h"
+#include "bench_common.h"
+#include "net/headers.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "proto/registry.h"
+
+int main() {
+  using namespace entrace;
+  benchutil::DatasetRunner runner(benchutil::payload_datasets());
+  std::fputs(report::table9_windows_success(runner.inputs()).c_str(), stdout);
+
+  // Ablation: raw per-connection success rates (not by host pair).
+  TextTable ablation("Ablation: raw CIFS connection success (not host pairs)");
+  ablation.set_header({"", "D0", "D3", "D4"});
+  std::vector<std::string> row = {"CIFS(445) conns ok"};
+  for (const auto& in : runner.inputs()) {
+    std::uint64_t ok = 0, total = 0;
+    for (const Connection* c : in.analysis->connections) {
+      if (static_cast<AppProtocol>(c->app_id) != AppProtocol::kCifs) continue;
+      if (!in.analysis->site.is_internal(c->key.src) ||
+          !in.analysis->site.is_internal(c->key.dst))
+        continue;
+      ++total;
+      if (c->successful()) ++ok;
+    }
+    row.push_back(total ? format_pct(static_cast<double>(ok) / static_cast<double>(total))
+                        : "-");
+  }
+  ablation.add_row(row);
+  std::fputs(ablation.render().c_str(), stdout);
+
+  benchutil::print_paper_reference(
+      "Host pairs:      Netbios/SSN    CIFS        Endpoint Mapper\n"
+      "Total            595-1464       373-732     119-497\n"
+      "Successful       82-92%         46-68%      99-100%\n"
+      "Rejected         0.2-0.8%       26-37%      0%\n"
+      "Unanswered       8-19%          5-19%       0.2-0.8%\n"
+      "NBSS handshake success: 89-99%.  CIFS failures stem from clients\n"
+      "dialing 139 and 445 in parallel against servers that only listen on 139.");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces Table 15: backup applications, aggregated across datasets.
+#include "bench_common.h"
+
+int main() {
+  using namespace entrace;
+  benchutil::DatasetRunner runner(benchutil::all_names());
+  std::fputs(report::table15_backup(runner.inputs()).c_str(), stdout);
+  benchutil::print_paper_reference(
+      "                     Connections   Bytes\n"
+      "VERITAS-BACKUP-CTRL  1271          0.1MB    (ours scaled)\n"
+      "VERITAS-BACKUP-DATA  352           6781MB\n"
+      "DANTZ                1013          10967MB\n"
+      "CONNECTED-BACKUP     105           214MB\n"
+      "Veritas data flows are strictly client->server; Dantz connections show\n"
+      "significant bidirectionality (tens of MB both ways within single\n"
+      "connections); Connected backs up to an external provider.");
+  return 0;
+}

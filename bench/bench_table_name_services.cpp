@@ -1,0 +1,17 @@
+// Reproduces the §5.1.3 name-service findings (DNS + Netbios/NS).
+#include "bench_common.h"
+
+int main() {
+  using namespace entrace;
+  benchutil::DatasetRunner runner(benchutil::payload_datasets());
+  std::fputs(report::name_service_findings(runner.inputs()).c_str(), stdout);
+  benchutil::print_paper_reference(
+      "DNS: median latency ~0.4 ms internal vs ~20 ms external; request types\n"
+      "A 50-66%, AAAA 17-25% (hosts resolve A+AAAA in parallel), PTR 10-18%,\n"
+      "MX 4-7%; NOERROR 77-86%, NXDOMAIN 11-21%; a few clients (the two main\n"
+      "SMTP servers) dominate the query load.\n"
+      "Netbios/NS: queries 81-85%, refresh 12-15%; 63-71% of queried names are\n"
+      "workstations/servers, 22-32% domain/browser; 36-50% of distinct queries\n"
+      "fail (stale names), spread across clients (top-10 < 40% of requests).");
+  return 0;
+}

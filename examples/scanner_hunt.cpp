@@ -1,0 +1,53 @@
+// scanner_hunt: demonstrate the paper's §3 scanner-identification heuristic
+// on a generated dataset — print each detected scanner, why it was flagged,
+// and the share of connections its removal affects.
+#include <cstdio>
+#include <map>
+
+#include "core/analyzer.h"
+#include "synth/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace entrace;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.01;
+
+  EnterpriseModel model;
+  DatasetSpec spec = dataset_d4(scale);
+  spec.monitored_subnets = {5, 8, 12, 15, 16, 19};
+  const TraceSet traces = generate_dataset(spec, model);
+
+  // Run with and without scanner removal to show the ablation.
+  AnalyzerConfig with = default_config_for_model(model.site());
+  AnalyzerConfig without = with;
+  without.remove_scanners = false;
+
+  const DatasetAnalysis filtered = analyze_dataset(traces, with);
+  const DatasetAnalysis unfiltered = analyze_dataset(traces, without);
+
+  std::printf("scanner sources detected: %zu\n", filtered.scanners.size());
+  for (const Ipv4Address addr : filtered.scanners) {
+    const bool known = addr == model.internal_scanner(0).ip ||
+                       addr == model.internal_scanner(1).ip;
+    const bool internal = model.is_internal(addr);
+    std::printf("  %-16s %s%s\n", addr.to_string().c_str(),
+                internal ? "internal" : "external",
+                known ? " (site's known vulnerability scanner)" : " (heuristic: ordered sweep)");
+  }
+
+  std::printf("\nconnections: %zu total, %zu after removal (%.1f%% removed; paper: 4-18%%)\n",
+              unfiltered.connections.size(), filtered.connections.size(),
+              filtered.scanner_removed_fraction() * 100.0);
+
+  // Show what scanners would otherwise distort: ICMP connection share.
+  auto icmp_share = [](const DatasetAnalysis& a) {
+    std::uint64_t icmp = 0;
+    for (const Connection* c : a.connections)
+      if (c->key.proto == 1) ++icmp;
+    return a.connections.empty() ? 0.0
+                                 : 100.0 * static_cast<double>(icmp) /
+                                       static_cast<double>(a.connections.size());
+  };
+  std::printf("ICMP share of connections: %.1f%% unfiltered vs %.1f%% filtered\n",
+              icmp_share(unfiltered), icmp_share(filtered));
+  return 0;
+}

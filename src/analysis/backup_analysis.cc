@@ -1,0 +1,39 @@
+#include "analysis/backup_analysis.h"
+
+#include "proto/registry.h"
+
+namespace entrace {
+
+BackupAnalysis BackupAnalysis::compute(std::span<const Connection* const> conns,
+                                       const SiteConfig& site) {
+  (void)site;
+  BackupAnalysis out;
+  for (const Connection* c : conns) {
+    AppRow* row = nullptr;
+    switch (static_cast<AppProtocol>(c->app_id)) {
+      case AppProtocol::kVeritasCtrl:
+        row = &out.veritas_ctrl;
+        break;
+      case AppProtocol::kVeritasData:
+        row = &out.veritas_data;
+        break;
+      case AppProtocol::kDantz:
+        row = &out.dantz;
+        break;
+      case AppProtocol::kConnectedBackup:
+        row = &out.connected;
+        break;
+      default:
+        continue;
+    }
+    ++row->conns;
+    row->bytes += c->total_bytes();
+    row->client_to_server_bytes += c->orig_bytes;
+    row->server_to_client_bytes += c->resp_bytes;
+    constexpr std::uint64_t kMega = 1024 * 1024;
+    if (c->orig_bytes > kMega && c->resp_bytes > kMega) ++row->bidirectional_conns;
+  }
+  return out;
+}
+
+}  // namespace entrace

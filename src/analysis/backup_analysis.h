@@ -1,0 +1,40 @@
+// Backup application analysis (§5.2.3, Table 15): Veritas (separate
+// control/data connections, one-way client->server data), Dantz (control
+// and data in one connection, significant bidirectionality), and the
+// external "Connected" backup service.
+#pragma once
+
+#include <span>
+
+#include "analysis/site.h"
+#include "flow/connection.h"
+#include "util/stats.h"
+
+namespace entrace {
+
+struct BackupAnalysis {
+  struct AppRow {
+    std::uint64_t conns = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t client_to_server_bytes = 0;
+    std::uint64_t server_to_client_bytes = 0;
+    // Connections with more than 1 MB in each direction.
+    std::uint64_t bidirectional_conns = 0;
+
+    double c2s_fraction() const {
+      return bytes == 0 ? 0.0
+                        : static_cast<double>(client_to_server_bytes) /
+                              static_cast<double>(bytes);
+    }
+  };
+
+  AppRow veritas_ctrl;
+  AppRow veritas_data;
+  AppRow dantz;
+  AppRow connected;
+
+  static BackupAnalysis compute(std::span<const Connection* const> conns,
+                                const SiteConfig& site);
+};
+
+}  // namespace entrace

@@ -1,0 +1,125 @@
+#include "analysis/breakdown.h"
+
+#include "net/headers.h"
+
+namespace entrace {
+
+void NetworkLayerBreakdown::add(L3Kind kind) {
+  ++total;
+  switch (kind) {
+    case L3Kind::kIpv4:
+      ++ip;
+      break;
+    case L3Kind::kArp:
+      ++arp;
+      break;
+    case L3Kind::kIpx:
+      ++ipx;
+      break;
+    case L3Kind::kOther:
+      ++other;
+      break;
+  }
+}
+
+TransportBreakdown TransportBreakdown::compute(std::span<const Connection* const> connections) {
+  TransportBreakdown out;
+  for (const Connection* c : connections) {
+    ++out.conns;
+    out.bytes += c->total_bytes();
+    switch (c->key.proto) {
+      case ipproto::kTcp:
+        ++out.tcp_conns;
+        out.tcp_bytes += c->total_bytes();
+        break;
+      case ipproto::kUdp:
+        ++out.udp_conns;
+        out.udp_bytes += c->total_bytes();
+        break;
+      case ipproto::kIcmp:
+        ++out.icmp_conns;
+        out.icmp_bytes += c->total_bytes();
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+double TransportBreakdown::conn_fraction(std::uint8_t proto) const {
+  if (conns == 0) return 0.0;
+  const std::uint64_t n = proto == ipproto::kTcp   ? tcp_conns
+                          : proto == ipproto::kUdp ? udp_conns
+                                                   : icmp_conns;
+  return static_cast<double>(n) / static_cast<double>(conns);
+}
+
+double TransportBreakdown::byte_fraction(std::uint8_t proto) const {
+  if (bytes == 0) return 0.0;
+  const std::uint64_t n = proto == ipproto::kTcp   ? tcp_bytes
+                          : proto == ipproto::kUdp ? udp_bytes
+                                                   : icmp_bytes;
+  return static_cast<double>(n) / static_cast<double>(bytes);
+}
+
+AppCategory AppCategoryBreakdown::category_for(const Connection& conn) {
+  const auto app = static_cast<AppProtocol>(conn.app_id);
+  if (app != AppProtocol::kUnknown) return category_of(app);
+  return conn.key.proto == ipproto::kUdp ? AppCategory::kOtherUdp : AppCategory::kOtherTcp;
+}
+
+AppCategoryBreakdown AppCategoryBreakdown::compute(std::span<const Connection* const> conns,
+                                                   const SiteConfig& site) {
+  AppCategoryBreakdown out;
+  for (const Connection* c : conns) {
+    if (c->key.proto != ipproto::kTcp && c->key.proto != ipproto::kUdp) continue;
+    const auto cat = static_cast<std::size_t>(category_for(*c));
+    const std::uint64_t bytes = c->total_bytes();
+    const std::uint64_t pkts = c->total_pkts();
+    out.total_bytes_all += bytes;
+    out.total_conns_all += 1;
+    if (c->multicast) {
+      Cell& cell = out.multicast[cat];
+      ++cell.conns;
+      cell.bytes += bytes;
+      cell.pkts += pkts;
+      continue;
+    }
+    const bool wan = !site.is_internal(c->key.src) || !site.is_internal(c->key.dst);
+    Cell& cell = out.unicast[cat][wan ? 1 : 0];
+    ++cell.conns;
+    cell.bytes += bytes;
+    cell.pkts += pkts;
+    ++out.total_unicast_conns;
+    out.total_unicast_bytes += bytes;
+    out.total_unicast_pkts += pkts;
+  }
+  return out;
+}
+
+double AppCategoryBreakdown::byte_fraction(AppCategory c, bool wan) const {
+  if (total_unicast_bytes == 0) return 0.0;
+  return static_cast<double>(unicast[static_cast<std::size_t>(c)][wan ? 1 : 0].bytes) /
+         static_cast<double>(total_unicast_bytes);
+}
+
+double AppCategoryBreakdown::conn_fraction(AppCategory c, bool wan) const {
+  if (total_unicast_conns == 0) return 0.0;
+  return static_cast<double>(unicast[static_cast<std::size_t>(c)][wan ? 1 : 0].conns) /
+         static_cast<double>(total_unicast_conns);
+}
+
+double AppCategoryBreakdown::multicast_byte_fraction(AppCategory c) const {
+  if (total_bytes_all == 0) return 0.0;
+  return static_cast<double>(multicast[static_cast<std::size_t>(c)].bytes) /
+         static_cast<double>(total_bytes_all);
+}
+
+double AppCategoryBreakdown::multicast_conn_fraction(AppCategory c) const {
+  if (total_conns_all == 0) return 0.0;
+  return static_cast<double>(multicast[static_cast<std::size_t>(c)].conns) /
+         static_cast<double>(total_conns_all);
+}
+
+}  // namespace entrace

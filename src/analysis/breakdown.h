@@ -1,0 +1,90 @@
+// Broad traffic breakdowns — Table 2 (network layer), Table 3 (transport),
+// Figure 1 (application categories, enterprise vs WAN).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "analysis/site.h"
+#include "flow/connection.h"
+#include "net/decoder.h"
+#include "proto/registry.h"
+#include "util/stats.h"
+
+namespace entrace {
+
+// Table 2: fraction of packets by network-layer protocol.
+struct NetworkLayerBreakdown {
+  std::uint64_t total = 0;
+  std::uint64_t ip = 0;
+  std::uint64_t arp = 0;
+  std::uint64_t ipx = 0;
+  std::uint64_t other = 0;
+
+  void add(L3Kind kind);
+
+  double ip_fraction() const { return frac(ip); }
+  // The paper reports ARP/IPX/other as fractions of the *non-IP* packets.
+  double non_ip_fraction() const { return frac(total - ip); }
+  double arp_of_non_ip() const { return non_ip_frac(arp); }
+  double ipx_of_non_ip() const { return non_ip_frac(ipx); }
+  double other_of_non_ip() const { return non_ip_frac(other); }
+
+ private:
+  double frac(std::uint64_t n) const {
+    return total == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(total);
+  }
+  double non_ip_frac(std::uint64_t n) const {
+    const std::uint64_t non_ip = total - ip;
+    return non_ip == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(non_ip);
+  }
+};
+
+// Table 3: payload bytes and connection counts by transport protocol.
+struct TransportBreakdown {
+  std::uint64_t conns = 0;
+  std::uint64_t tcp_conns = 0;
+  std::uint64_t udp_conns = 0;
+  std::uint64_t icmp_conns = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t tcp_bytes = 0;
+  std::uint64_t udp_bytes = 0;
+  std::uint64_t icmp_bytes = 0;
+
+  static TransportBreakdown compute(std::span<const Connection* const> conns);
+
+  double conn_fraction(std::uint8_t proto) const;
+  double byte_fraction(std::uint8_t proto) const;
+};
+
+// Figure 1: per-category payload bytes / connections / packets, split into
+// enterprise-internal and WAN-crossing, with multicast tracked separately
+// (the paper reports multicast streaming/name/net-mgnt callouts).
+struct AppCategoryBreakdown {
+  struct Cell {
+    std::uint64_t conns = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t pkts = 0;
+  };
+  // [category][0=enterprise,1=wan]
+  std::array<std::array<Cell, 2>, kNumCategories> unicast{};
+  std::array<Cell, kNumCategories> multicast{};
+  std::uint64_t total_unicast_conns = 0;
+  std::uint64_t total_unicast_bytes = 0;
+  std::uint64_t total_unicast_pkts = 0;
+  std::uint64_t total_bytes_all = 0;  // unicast + multicast
+  std::uint64_t total_conns_all = 0;
+
+  static AppCategoryBreakdown compute(std::span<const Connection* const> conns,
+                                      const SiteConfig& site);
+
+  static AppCategory category_for(const Connection& conn);
+
+  double byte_fraction(AppCategory c, bool wan) const;
+  double conn_fraction(AppCategory c, bool wan) const;
+  double multicast_byte_fraction(AppCategory c) const;
+  double multicast_conn_fraction(AppCategory c) const;
+};
+
+}  // namespace entrace

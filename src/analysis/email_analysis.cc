@@ -1,0 +1,60 @@
+#include "analysis/email_analysis.h"
+
+#include <vector>
+
+#include "proto/registry.h"
+
+namespace entrace {
+
+EmailAnalysis EmailAnalysis::compute(std::span<const Connection* const> conns,
+                                     const SiteConfig& site) {
+  EmailAnalysis out;
+  std::vector<const Connection*> smtp, imaps;
+
+  for (const Connection* c : conns) {
+    const auto app = static_cast<AppProtocol>(c->app_id);
+    const bool wan = !site.is_internal(c->key.src) || !site.is_internal(c->key.dst);
+    switch (app) {
+      case AppProtocol::kSmtp:
+        out.smtp_bytes += c->total_bytes();
+        smtp.push_back(c);
+        if (c->successful() && c->duration() > 0) {
+          (wan ? out.smtp_dur_wan : out.smtp_dur_ent).add(c->duration());
+          (wan ? out.smtp_size_wan : out.smtp_size_ent)
+              .add(static_cast<double>(c->orig_bytes));
+        }
+        break;
+      case AppProtocol::kImapS:
+        out.imaps_bytes += c->total_bytes();
+        imaps.push_back(c);
+        if (c->successful() && c->duration() > 0) {
+          (wan ? out.imaps_dur_wan : out.imaps_dur_ent).add(c->duration());
+          (wan ? out.imaps_size_wan : out.imaps_size_ent)
+              .add(static_cast<double>(c->resp_bytes));
+        }
+        break;
+      case AppProtocol::kImap4:
+        out.imap4_bytes += c->total_bytes();
+        break;
+      case AppProtocol::kPop3:
+      case AppProtocol::kPopS:
+      case AppProtocol::kLdap:
+        out.other_bytes += c->total_bytes();
+        break;
+      default:
+        break;
+    }
+  }
+
+  auto is_wan = [&site](const Connection& c) {
+    return !site.is_internal(c.key.src) || !site.is_internal(c.key.dst);
+  };
+  out.smtp_ent =
+      HostPairOutcomes::compute(smtp, [&](const Connection& c) { return !is_wan(c); });
+  out.smtp_wan =
+      HostPairOutcomes::compute(smtp, [&](const Connection& c) { return is_wan(c); });
+  out.imaps_all = HostPairOutcomes::compute(imaps, [](const Connection&) { return true; });
+  return out;
+}
+
+}  // namespace entrace

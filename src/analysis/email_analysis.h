@@ -1,0 +1,41 @@
+// Email analysis (§5.1.2) — Table 8, Figures 5-6, success rates.
+//
+// As in the paper, the analysis is transport-level (IMAP/S and much SMTP
+// payload is encrypted): byte volumes per protocol, connection durations,
+// flow sizes in the dominant transfer direction, and host-pair success.
+#pragma once
+
+#include <span>
+
+#include "analysis/host_pair.h"
+#include "analysis/site.h"
+#include "flow/connection.h"
+#include "util/stats.h"
+
+namespace entrace {
+
+struct EmailAnalysis {
+  // ---- Table 8: bytes by protocol -----------------------------------------
+  std::uint64_t smtp_bytes = 0;
+  std::uint64_t imaps_bytes = 0;
+  std::uint64_t imap4_bytes = 0;
+  std::uint64_t other_bytes = 0;  // POP3, POP/S, LDAP
+
+  // ---- Figure 5: connection durations -------------------------------------
+  EmpiricalCdf smtp_dur_ent, smtp_dur_wan;
+  EmpiricalCdf imaps_dur_ent, imaps_dur_wan;
+
+  // ---- Figure 6: flow sizes ------------------------------------------------
+  // SMTP measured client->server, IMAP/S measured server->client.
+  EmpiricalCdf smtp_size_ent, smtp_size_wan;
+  EmpiricalCdf imaps_size_ent, imaps_size_wan;
+
+  // ---- Success rates (host pairs) ------------------------------------------
+  HostPairOutcomes smtp_ent, smtp_wan;
+  HostPairOutcomes imaps_all;
+
+  static EmailAnalysis compute(std::span<const Connection* const> conns,
+                               const SiteConfig& site);
+};
+
+}  // namespace entrace

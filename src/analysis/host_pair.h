@@ -1,0 +1,69 @@
+// Host-pair success-rate accounting (§5).
+//
+// "counting the number of failed connections/requests ... can be misleading
+// if the client is automated and endlessly retries ... Therefore, we
+// instead determine the number of distinct operations between distinct
+// host-pairs when quantifying success and failure."  This helper groups
+// connections by (orig, resp) pair and classifies each pair by its dominant
+// outcome.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+
+#include "flow/connection.h"
+
+namespace entrace {
+
+struct HostPairOutcomes {
+  std::uint64_t pairs = 0;
+  std::uint64_t successful = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t unanswered = 0;
+
+  double success_rate() const {
+    return pairs == 0 ? 0.0 : static_cast<double>(successful) / static_cast<double>(pairs);
+  }
+  double rejected_rate() const {
+    return pairs == 0 ? 0.0 : static_cast<double>(rejected) / static_cast<double>(pairs);
+  }
+  double unanswered_rate() const {
+    return pairs == 0 ? 0.0 : static_cast<double>(unanswered) / static_cast<double>(pairs);
+  }
+
+  template <typename Pred>
+  static HostPairOutcomes compute(std::span<const Connection* const> conns, Pred select) {
+    struct Tally {
+      std::uint64_t ok = 0, rej = 0, unans = 0;
+    };
+    std::map<std::pair<std::uint32_t, std::uint32_t>, Tally> pairs;
+    for (const Connection* c : conns) {
+      if (!select(*c)) continue;
+      auto& t = pairs[{c->key.src.value(), c->key.dst.value()}];
+      if (c->successful()) {
+        ++t.ok;
+      } else if (c->state == ConnState::kRejected) {
+        ++t.rej;
+      } else {
+        ++t.unans;
+      }
+    }
+    HostPairOutcomes out;
+    for (const auto& [key, t] : pairs) {
+      ++out.pairs;
+      // Dominant outcome; ties resolve toward success (a pair that ever
+      // succeeds is working).
+      if (t.ok >= t.rej && t.ok >= t.unans && t.ok > 0) {
+        ++out.successful;
+      } else if (t.rej >= t.unans) {
+        ++out.rejected;
+      } else {
+        ++out.unanswered;
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace entrace

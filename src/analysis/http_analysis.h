@@ -1,0 +1,61 @@
+// HTTP analysis (§5.1.1) — Tables 6-7, Figures 3-4, plus success-rate and
+// conditional-GET findings.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+
+#include "analysis/host_pair.h"
+#include "analysis/locality.h"
+#include "analysis/site.h"
+#include "proto/events.h"
+#include "util/stats.h"
+
+namespace entrace {
+
+enum class HttpClientKind : std::uint8_t { kNormal, kScan1, kGoogle1, kGoogle2, kIfolder };
+const char* to_string(HttpClientKind k);
+
+HttpClientKind classify_http_client(const HttpTransaction& txn);
+
+struct HttpAnalysis {
+  // ---- Table 6: automated clients (internal HTTP traffic only) ----------
+  struct AutoRow {
+    std::uint64_t requests = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::map<HttpClientKind, AutoRow> automated;
+  std::uint64_t internal_requests = 0;
+  std::uint64_t internal_bytes = 0;
+  double automated_request_fraction() const;
+  double automated_byte_fraction() const;
+
+  // ---- Connection success rates (host pairs) -----------------------------
+  HostPairOutcomes ent_success;
+  HostPairOutcomes wan_success;
+
+  // ---- Conditional GETs ---------------------------------------------------
+  // (automated clients excluded, as in the paper)
+  std::uint64_t ent_requests = 0, ent_conditional = 0;
+  std::uint64_t wan_requests = 0, wan_conditional = 0;
+  std::uint64_t ent_bytes = 0, ent_conditional_bytes = 0;
+  std::uint64_t wan_bytes = 0, wan_conditional_bytes = 0;
+  std::uint64_t request_successes = 0;  // 2xx or 304 outcomes
+
+  // ---- Table 7: content types (coarse type of successful GETs) ----------
+  BreakdownCounter content_ent;  // key = "text"/"image"/"application"/"other"
+  BreakdownCounter content_wan;
+
+  // ---- Figure 4: reply body sizes ----------------------------------------
+  EmpiricalCdf reply_size_ent;
+  EmpiricalCdf reply_size_wan;
+
+  // ---- Figure 3: fan-out ---------------------------------------------------
+  FanOutPair fanout;
+
+  static HttpAnalysis compute(std::span<const HttpTransaction> txns,
+                              std::span<const Connection* const> conns, const SiteConfig& site);
+};
+
+}  // namespace entrace

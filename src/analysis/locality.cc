@@ -1,0 +1,92 @@
+#include "analysis/locality.h"
+
+#include <map>
+#include <set>
+
+namespace entrace {
+
+OriginBreakdown OriginBreakdown::compute(std::span<const Connection* const> conns,
+                                         const SiteConfig& site) {
+  OriginBreakdown out;
+  for (const Connection* c : conns) {
+    ++out.total;
+    const bool src_internal = site.is_internal(c->key.src);
+    if (c->multicast) {
+      if (src_internal) {
+        ++out.multicast_ent_src;
+      } else {
+        ++out.multicast_wan_src;
+      }
+      continue;
+    }
+    const bool dst_internal = site.is_internal(c->key.dst);
+    if (src_internal && dst_internal) {
+      ++out.ent_to_ent;
+    } else if (src_internal) {
+      ++out.ent_to_wan;
+    } else {
+      ++out.wan_to_ent;
+    }
+  }
+  return out;
+}
+
+FanResult compute_fan(std::span<const Connection* const> conns, const SiteConfig& site,
+                      const std::function<bool(Ipv4Address)>& is_monitored) {
+  // peer sets: [host][0=ent,1=wan]
+  std::map<std::uint32_t, std::array<std::set<std::uint32_t>, 2>> fan_in;
+  std::map<std::uint32_t, std::array<std::set<std::uint32_t>, 2>> fan_out;
+
+  for (const Connection* c : conns) {
+    if (c->multicast) continue;
+    const Ipv4Address orig = c->key.src;
+    const Ipv4Address resp = c->key.dst;
+    if (is_monitored(orig)) {
+      const bool peer_wan = !site.is_internal(resp);
+      fan_out[orig.value()][peer_wan ? 1 : 0].insert(resp.value());
+    }
+    if (is_monitored(resp)) {
+      const bool peer_wan = !site.is_internal(orig);
+      fan_in[resp.value()][peer_wan ? 1 : 0].insert(orig.value());
+    }
+  }
+
+  FanResult out;
+  std::size_t in_only_internal = 0;
+  for (const auto& [host, peers] : fan_in) {
+    if (!peers[0].empty()) out.fan_in_ent.add(static_cast<double>(peers[0].size()));
+    if (!peers[1].empty()) out.fan_in_wan.add(static_cast<double>(peers[1].size()));
+    if (!peers[0].empty() && peers[1].empty()) ++in_only_internal;
+  }
+  std::size_t out_only_internal = 0;
+  for (const auto& [host, peers] : fan_out) {
+    if (!peers[0].empty()) out.fan_out_ent.add(static_cast<double>(peers[0].size()));
+    if (!peers[1].empty()) out.fan_out_wan.add(static_cast<double>(peers[1].size()));
+    if (!peers[0].empty() && peers[1].empty()) ++out_only_internal;
+  }
+  if (!fan_in.empty())
+    out.only_internal_fan_in = static_cast<double>(in_only_internal) /
+                               static_cast<double>(fan_in.size());
+  if (!fan_out.empty())
+    out.only_internal_fan_out = static_cast<double>(out_only_internal) /
+                                static_cast<double>(fan_out.size());
+  return out;
+}
+
+FanOutPair compute_app_fanout(std::span<const Connection* const> conns, const SiteConfig& site,
+                              const std::function<bool(const Connection&)>& select) {
+  std::map<std::uint32_t, std::array<std::set<std::uint32_t>, 2>> peers_by_client;
+  for (const Connection* c : conns) {
+    if (!select(*c)) continue;
+    const bool server_wan = !site.is_internal(c->key.dst);
+    peers_by_client[c->key.src.value()][server_wan ? 1 : 0].insert(c->key.dst.value());
+  }
+  FanOutPair out;
+  for (const auto& [client, peers] : peers_by_client) {
+    if (!peers[0].empty()) out.ent.add(static_cast<double>(peers[0].size()));
+    if (!peers[1].empty()) out.wan.add(static_cast<double>(peers[1].size()));
+  }
+  return out;
+}
+
+}  // namespace entrace

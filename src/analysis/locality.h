@@ -1,0 +1,61 @@
+// Origins and locality (§4): flow origin classes and fan-in / fan-out.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "analysis/site.h"
+#include "flow/connection.h"
+#include "util/stats.h"
+
+namespace entrace {
+
+// §4: "71-79% of flows across the five datasets [are] within the
+// enterprise; 2-3% originate within... communicating across the WAN;
+// 6-11% originate outside; 5-10% multicast sourced internally; 4-7%
+// multicast sourced externally."
+struct OriginBreakdown {
+  std::uint64_t total = 0;
+  std::uint64_t ent_to_ent = 0;
+  std::uint64_t ent_to_wan = 0;
+  std::uint64_t wan_to_ent = 0;
+  std::uint64_t multicast_ent_src = 0;
+  std::uint64_t multicast_wan_src = 0;
+
+  static OriginBreakdown compute(std::span<const Connection* const> conns,
+                                 const SiteConfig& site);
+
+  double fraction(std::uint64_t n) const {
+    return total == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(total);
+  }
+};
+
+// Figure 2: distributions of the number of peers each monitored host
+// originates conversations to (fan-out) and receives conversations from
+// (fan-in), split by peer locality.
+struct FanResult {
+  EmpiricalCdf fan_in_ent;
+  EmpiricalCdf fan_in_wan;
+  EmpiricalCdf fan_out_ent;
+  EmpiricalCdf fan_out_wan;
+  // Hosts whose peers are exclusively internal (the paper: one-third to
+  // one-half of hosts have only internal fan-in; more than half only
+  // internal fan-out).
+  double only_internal_fan_in = 0.0;
+  double only_internal_fan_out = 0.0;
+};
+
+FanResult compute_fan(std::span<const Connection* const> conns, const SiteConfig& site,
+                      const std::function<bool(Ipv4Address)>& is_monitored);
+
+// Generic per-source peer-count CDF (used for Figure 3's HTTP fan-out and
+// reusable for any application).
+struct FanOutPair {
+  EmpiricalCdf ent;  // peers per source, enterprise servers
+  EmpiricalCdf wan;  // peers per source, WAN servers
+};
+
+FanOutPair compute_app_fanout(std::span<const Connection* const> conns, const SiteConfig& site,
+                              const std::function<bool(const Connection&)>& select);
+
+}  // namespace entrace

@@ -1,0 +1,47 @@
+// Name service analysis (§5.1.3): DNS and Netbios-NS latency, client
+// concentration, request types, name types, and return codes.
+#pragma once
+
+#include <span>
+
+#include "analysis/site.h"
+#include "proto/events.h"
+#include "util/stats.h"
+
+namespace entrace {
+
+struct NameAnalysis {
+  // ---- DNS -----------------------------------------------------------------
+  EmpiricalCdf dns_latency_ent;  // seconds
+  EmpiricalCdf dns_latency_wan;
+  // Request type fractions over all DNS queries.
+  std::uint64_t dns_requests = 0;
+  std::uint64_t dns_a = 0, dns_aaaa = 0, dns_ptr = 0, dns_mx = 0, dns_other_type = 0;
+  // Return codes.
+  std::uint64_t dns_responses = 0, dns_noerror = 0, dns_nxdomain = 0, dns_other_rcode = 0;
+  // Fraction of requests issued by the top-2 clients (the paper: two main
+  // SMTP servers lead).
+  double dns_top2_client_share = 0.0;
+
+  // ---- Netbios-NS -------------------------------------------------------------
+  std::uint64_t nbns_requests = 0;
+  std::uint64_t nbns_queries = 0, nbns_refresh = 0, nbns_register = 0, nbns_release = 0,
+                nbns_other_op = 0;
+  std::uint64_t nbns_type_workstation_server = 0, nbns_type_domain = 0, nbns_type_other = 0;
+  // Failure rate over distinct (client, name) operations — the paper's
+  // host-pair style counting.
+  std::uint64_t nbns_distinct_ops = 0;
+  std::uint64_t nbns_failed_ops = 0;
+  double nbns_top10_client_share = 0.0;
+
+  double nbns_failure_rate() const {
+    return nbns_distinct_ops == 0
+               ? 0.0
+               : static_cast<double>(nbns_failed_ops) / static_cast<double>(nbns_distinct_ops);
+  }
+
+  static NameAnalysis compute(std::span<const DnsTransaction> dns,
+                              std::span<const NbnsTransaction> nbns, const SiteConfig& site);
+};
+
+}  // namespace entrace

@@ -1,0 +1,67 @@
+// Network file system analysis (§5.2.2) — Tables 12-14, Figures 7-8.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "analysis/site.h"
+#include "proto/events.h"
+#include "util/stats.h"
+
+namespace entrace {
+
+struct NetFileAnalysis {
+  // ---- Table 12: aggregate sizes -------------------------------------------
+  std::uint64_t nfs_conns = 0, nfs_bytes = 0;
+  std::uint64_t ncp_conns = 0, ncp_bytes = 0;
+
+  // Heavy hitters: share of bytes carried by the top-3 host pairs.
+  double nfs_top3_pair_byte_share = 0.0;
+  double ncp_top3_pair_byte_share = 0.0;
+
+  // NCP keepalive-only connections (paper: 40-80% of NCP connections carry
+  // only 1-byte keepalive retransmissions).
+  std::uint64_t ncp_keepalive_only_conns = 0;
+  double ncp_keepalive_only_fraction() const {
+    return ncp_conns == 0 ? 0.0
+                          : static_cast<double>(ncp_keepalive_only_conns) /
+                                static_cast<double>(ncp_conns);
+  }
+
+  // NFS UDP vs TCP (paper: 90% of host pairs use UDP; byte share varies
+  // enormously across datasets).
+  std::uint64_t nfs_udp_bytes = 0, nfs_tcp_bytes = 0;
+  std::uint64_t nfs_udp_pairs = 0, nfs_tcp_pairs = 0;
+
+  // ---- Table 13: NFS request breakdown -------------------------------------
+  struct Row {
+    std::uint64_t requests = 0;
+    std::uint64_t bytes = 0;  // request + reply bytes
+  };
+  Row nfs_read, nfs_write, nfs_getattr, nfs_lookup, nfs_access, nfs_other;
+  std::uint64_t nfs_total_requests = 0;
+  std::uint64_t nfs_total_data = 0;
+
+  // NFS request success (status == NFS3_OK).
+  std::uint64_t nfs_replies = 0, nfs_ok = 0;
+
+  // ---- Table 14: NCP request breakdown --------------------------------------
+  std::array<Row, 8> ncp_rows{};  // indexed by NcpFunction
+  std::uint64_t ncp_total_requests = 0;
+  std::uint64_t ncp_total_data = 0;
+  std::uint64_t ncp_replies = 0, ncp_ok = 0;
+
+  // ---- Figure 7: requests per host pair --------------------------------------
+  EmpiricalCdf nfs_reqs_per_pair;
+  EmpiricalCdf ncp_reqs_per_pair;
+
+  // ---- Figure 8: request/reply sizes ------------------------------------------
+  EmpiricalCdf nfs_req_sizes, nfs_reply_sizes;
+  EmpiricalCdf ncp_req_sizes, ncp_reply_sizes;
+
+  static NetFileAnalysis compute(const AppEvents& events,
+                                 std::span<const Connection* const> conns,
+                                 const SiteConfig& site);
+};
+
+}  // namespace entrace

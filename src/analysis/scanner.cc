@@ -1,0 +1,60 @@
+#include "analysis/scanner.h"
+
+#include <algorithm>
+
+namespace entrace {
+
+ScannerDetector::ScannerDetector(Config config) : config_(config) {}
+
+void ScannerDetector::observe(Ipv4Address src, Ipv4Address dst) {
+  auto& state = sources_[src.value()];
+  if (state.seen.insert(dst.value()).second) {
+    // Cap memory per source: beyond a few thousand distinct targets the
+    // verdict cannot change.
+    if (state.order.size() < 4096) state.order.push_back(dst.value());
+    cache_valid_ = false;
+  }
+}
+
+void ScannerDetector::add_known_scanner(Ipv4Address addr) {
+  known_.insert(addr);
+  cache_valid_ = false;
+}
+
+bool ScannerDetector::is_ordered_probe(const SourceState& s, const Config& config) {
+  if (s.seen.size() <= config.distinct_host_threshold) return false;
+  // Count the longest run of consecutive first-contacts moving in one
+  // direction through the address space.
+  std::size_t best = 1, asc = 1, desc = 1;
+  for (std::size_t i = 1; i < s.order.size(); ++i) {
+    if (s.order[i] > s.order[i - 1]) {
+      ++asc;
+      desc = 1;
+    } else if (s.order[i] < s.order[i - 1]) {
+      ++desc;
+      asc = 1;
+    } else {
+      asc = desc = 1;
+    }
+    best = std::max({best, asc, desc});
+  }
+  return best >= config.ordered_run_threshold;
+}
+
+std::set<Ipv4Address> ScannerDetector::scanners() const {
+  if (!cache_valid_) {
+    cache_ = known_;
+    for (const auto& [src, state] : sources_) {
+      if (is_ordered_probe(state, config_)) cache_.insert(Ipv4Address(src));
+    }
+    cache_valid_ = true;
+  }
+  return cache_;
+}
+
+bool ScannerDetector::is_scanner(Ipv4Address addr) const {
+  if (!cache_valid_) scanners();
+  return cache_.count(addr) > 0;
+}
+
+}  // namespace entrace

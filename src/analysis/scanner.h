@@ -1,0 +1,56 @@
+// Scanner identification — the paper's §3 heuristic.
+//
+// "We first identify sources contacting more than 50 distinct hosts.  We
+// then determine whether at least 45 of the distinct addresses probed were
+// in ascending or descending order."  Sources flagged by the heuristic,
+// plus the site's known internal scanners, are removed prior to the
+// traffic-breakdown analyses.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ip_address.h"
+
+namespace entrace {
+
+class ScannerDetector {
+ public:
+  struct Config {
+    std::size_t distinct_host_threshold = 50;
+    std::size_t ordered_run_threshold = 45;
+  };
+
+  ScannerDetector() : ScannerDetector(Config()) {}
+  explicit ScannerDetector(Config config);
+
+  // Feed one observed (source, destination) packet pair, in trace order.
+  void observe(Ipv4Address src, Ipv4Address dst);
+
+  void add_known_scanner(Ipv4Address addr);
+
+  // Evaluate the heuristic over everything observed so far.
+  std::set<Ipv4Address> scanners() const;
+
+  bool is_scanner(Ipv4Address addr) const;  // evaluates lazily, cached
+
+ private:
+  struct SourceState {
+    std::unordered_set<std::uint32_t> seen;
+    // Distinct destinations in first-contact order.
+    std::vector<std::uint32_t> order;
+  };
+
+  static bool is_ordered_probe(const SourceState& s, const Config& config);
+
+  Config config_;
+  std::unordered_map<std::uint32_t, SourceState> sources_;
+  std::set<Ipv4Address> known_;
+  mutable bool cache_valid_ = false;
+  mutable std::set<Ipv4Address> cache_;
+};
+
+}  // namespace entrace

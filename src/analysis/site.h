@@ -1,0 +1,32 @@
+// Site configuration: what counts as "enterprise" vs "WAN", and the
+// per-subnet layout used for monitored-subnet bookkeeping.  The locality
+// analyses of §4 and the per-application enterprise/WAN splits of §5 all
+// classify addresses through this.
+#pragma once
+
+#include <vector>
+
+#include "net/ip_address.h"
+
+namespace entrace {
+
+struct SiteConfig {
+  // Covers every internal address (the enterprise's address block).
+  Subnet enterprise_block;
+  // Individual subnets attached to the monitored routers (index = subnet id).
+  std::vector<Subnet> subnets;
+  // Known internal scanners (the paper removes 2 of them by configuration).
+  std::vector<Ipv4Address> known_scanners;
+
+  bool is_internal(Ipv4Address a) const { return enterprise_block.contains(a); }
+
+  // Subnet id containing the address, or -1.
+  int subnet_of(Ipv4Address a) const {
+    for (std::size_t i = 0; i < subnets.size(); ++i) {
+      if (subnets[i].contains(a)) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace entrace

@@ -1,0 +1,56 @@
+// Windows services analysis (§5.2.1) — Tables 9, 10, 11.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "analysis/host_pair.h"
+#include "analysis/site.h"
+#include "proto/events.h"
+#include "util/stats.h"
+
+namespace entrace {
+
+struct WindowsAnalysis {
+  // ---- Table 9: connection success by host pairs (internal traffic) ------
+  HostPairOutcomes nbss_conns;   // Netbios/SSN (139/tcp)
+  HostPairOutcomes cifs_conns;   // CIFS (445/tcp)
+  HostPairOutcomes epm_conns;    // Endpoint Mapper (135/tcp)
+
+  // Netbios/SSN application-level handshake success (by host pairs).
+  std::uint64_t nbss_handshake_pairs = 0;
+  std::uint64_t nbss_handshake_ok = 0;
+  double nbss_handshake_rate() const {
+    return nbss_handshake_pairs == 0 ? 0.0
+                                     : static_cast<double>(nbss_handshake_ok) /
+                                           static_cast<double>(nbss_handshake_pairs);
+  }
+
+  // ---- Table 10: CIFS command breakdown ----------------------------------
+  struct CategoryCell {
+    std::uint64_t requests = 0;
+    std::uint64_t bytes = 0;  // all message bytes in that category
+  };
+  std::array<CategoryCell, 5> cifs_categories{};  // indexed by CifsCategory
+  std::uint64_t cifs_total_requests = 0;
+  std::uint64_t cifs_total_bytes = 0;
+
+  // ---- Table 11: DCE/RPC function breakdown -------------------------------
+  // Rows: NetLogon, LsaRPC, Spoolss/WritePrinter, Spoolss/other, Other.
+  struct RpcRow {
+    std::uint64_t requests = 0;
+    std::uint64_t bytes = 0;
+  };
+  RpcRow rpc_netlogon, rpc_lsarpc, rpc_spoolss_write, rpc_spoolss_other, rpc_other;
+  std::uint64_t rpc_total_requests = 0;
+  std::uint64_t rpc_total_bytes = 0;
+  // Channel split: pipes vs stand-alone endpoints.
+  std::uint64_t rpc_over_pipe = 0;
+  std::uint64_t rpc_standalone = 0;
+
+  static WindowsAnalysis compute(const AppEvents& events,
+                                 std::span<const Connection* const> conns,
+                                 const SiteConfig& site);
+};
+
+}  // namespace entrace

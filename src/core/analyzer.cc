@@ -1,0 +1,105 @@
+#include "core/analyzer.h"
+
+#include "net/decoder.h"
+
+namespace entrace {
+
+std::uint64_t DatasetAnalysis::payload_bytes() const {
+  std::uint64_t total = 0;
+  for (const Connection* c : connections) total += c->total_bytes();
+  return total;
+}
+
+AnalyzerConfig default_config_for_model(const SiteConfig& site) {
+  AnalyzerConfig config;
+  config.site = site;
+  return config;
+}
+
+DatasetAnalysis analyze_dataset(const TraceSet& traces, const AnalyzerConfig& config) {
+  DatasetAnalysis out;
+  out.name = traces.dataset_name;
+  out.site = config.site;
+
+  // ---- pass 1: packet tallies + scanner identification ---------------------
+  ScannerDetector detector(config.scanner);
+  for (Ipv4Address known : config.site.known_scanners) detector.add_known_scanner(known);
+
+  for (const Trace& trace : traces.traces) {
+    if (trace.subnet_id >= 0) out.monitored_subnets.push_back(trace.subnet_id);
+    for (const RawPacket& pkt : trace.packets) {
+      ++out.total_packets;
+      out.total_wire_bytes += pkt.wire_len;
+      auto decoded = decode_packet(pkt);
+      if (!decoded) continue;
+      out.l3.add(decoded->l3);
+      if (decoded->l3 != L3Kind::kIpv4) continue;
+      ++out.ip_proto_packets[decoded->ip_proto];
+      detector.observe(decoded->src, decoded->dst);
+      for (const Ipv4Address addr : {decoded->src, decoded->dst}) {
+        if (addr.is_multicast() || addr.is_broadcast()) continue;
+        if (config.site.is_internal(addr)) {
+          out.lbnl_hosts.insert(addr.value());
+          if (config.site.subnet_of(addr) == trace.subnet_id) {
+            out.monitored_hosts.insert(addr.value());
+          }
+        } else {
+          out.remote_hosts.insert(addr.value());
+        }
+      }
+    }
+  }
+  out.scanners = detector.scanners();
+
+  // ---- pass 2: flows, application parsing, load ------------------------------
+  for (const Trace& trace : traces.traces) {
+    const bool payload =
+        config.payload_analysis.value_or(trace.snaplen >= 200);
+    auto dispatcher =
+        std::make_unique<ProtocolDispatcher>(out.registry, out.events, payload);
+    auto table = std::make_unique<FlowTable>(config.flow, dispatcher.get());
+
+    TraceLoadRaw load;
+    load.trace_name = trace.name;
+    for (const RawPacket& pkt : trace.packets) {
+      auto decoded = decode_packet(pkt);
+      if (!decoded) continue;
+      load.add_packet(pkt.ts, pkt.wire_len);
+      if (decoded->l3 != L3Kind::kIpv4) continue;
+      const PacketVerdict verdict = table->process(*decoded);
+      if (verdict.conn != nullptr && decoded->is_tcp()) {
+        const bool wan = !config.site.is_internal(verdict.conn->key.src) ||
+                         !config.site.is_internal(verdict.conn->key.dst);
+        if (verdict.keepalive_retx) {
+          // §6 excludes 1-byte keepalive retransmissions from the loss proxy.
+          ++load.keepalive_excluded;
+        } else {
+          auto& pkts = wan ? load.wan_tcp_pkts : load.ent_tcp_pkts;
+          auto& retx = wan ? load.wan_retx : load.ent_retx;
+          ++pkts;
+          if (verdict.tcp_retransmission) ++retx;
+        }
+      }
+    }
+    table->flush();
+    out.load_raw.push_back(std::move(load));
+    out.tables.push_back(std::move(table));
+    // Dispatcher can be dropped; events and registry outlive it.
+  }
+
+  // ---- assemble connection lists, remove scanner traffic ---------------------
+  for (const auto& table : out.tables) {
+    for (const Connection& conn : table->connections()) {
+      out.all_connections.push_back(&conn);
+      const bool from_scanner = config.remove_scanners && out.scanners.count(conn.key.src) > 0;
+      if (from_scanner) {
+        ++out.scanner_conns_removed;
+      } else {
+        out.connections.push_back(&conn);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace entrace

@@ -1,0 +1,88 @@
+// EnterpriseAnalyzer: the end-to-end pipeline of the paper.
+//
+//   packet traces -> decode -> scanner identification & removal (§3)
+//     -> connection summaries (flow table)  -> application parsing
+//     -> per-section analyses (§3-§6)
+//
+// analyze_dataset() consumes one TraceSet (one of D0-D4) and produces a
+// DatasetAnalysis holding connection summaries, application events, load
+// statistics and everything the report/benches need.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/breakdown.h"
+#include "analysis/load.h"
+#include "analysis/scanner.h"
+#include "analysis/site.h"
+#include "flow/flow_table.h"
+#include "pcap/trace.h"
+#include "proto/dispatcher.h"
+#include "proto/events.h"
+#include "proto/registry.h"
+
+namespace entrace {
+
+struct AnalyzerConfig {
+  SiteConfig site;
+  FlowConfig flow;
+  ScannerDetector::Config scanner;
+  bool remove_scanners = true;
+  // Override the per-trace snaplen-based payload-analysis decision.
+  std::optional<bool> payload_analysis;
+};
+
+class DatasetAnalysis {
+ public:
+  std::string name;
+  SiteConfig site;
+  std::vector<int> monitored_subnets;
+
+  // ---- packet-level tallies (Tables 1-2) ----------------------------------
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_wire_bytes = 0;
+  NetworkLayerBreakdown l3;
+  // IP packets by transport protocol number (rare transports of §3).
+  std::map<std::uint8_t, std::uint64_t> ip_proto_packets;
+  std::set<std::uint32_t> monitored_hosts;  // hosts in monitored subnets
+  std::set<std::uint32_t> lbnl_hosts;
+  std::set<std::uint32_t> remote_hosts;
+
+  // ---- connections -----------------------------------------------------------
+  // Flow state (owns the Connection objects everything else points into).
+  std::vector<std::unique_ptr<FlowTable>> tables;
+  std::vector<const Connection*> all_connections;
+  std::vector<const Connection*> connections;  // scanner traffic removed
+  std::set<Ipv4Address> scanners;
+  std::uint64_t scanner_conns_removed = 0;
+  double scanner_removed_fraction() const {
+    return all_connections.empty()
+               ? 0.0
+               : static_cast<double>(scanner_conns_removed) /
+                     static_cast<double>(all_connections.size());
+  }
+
+  // ---- application events -----------------------------------------------------
+  AppEvents events;
+  AppRegistry registry;
+
+  // ---- load (§6) -----------------------------------------------------------------
+  std::vector<TraceLoadRaw> load_raw;
+
+  bool is_monitored_host(Ipv4Address a) const {
+    return monitored_hosts.count(a.value()) > 0;
+  }
+  std::uint64_t payload_bytes() const;
+};
+
+DatasetAnalysis analyze_dataset(const TraceSet& traces, const AnalyzerConfig& config);
+
+// Convenience: the AnalyzerConfig matching the synthetic EnterpriseModel.
+AnalyzerConfig default_config_for_model(const SiteConfig& site);
+
+}  // namespace entrace

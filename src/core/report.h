@@ -1,0 +1,51 @@
+// Rendering of every table and figure of the paper from DatasetAnalysis
+// results.  Each function returns printable text; the bench binaries pair
+// these with the paper's published values (see EXPERIMENTS.md).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/analyzer.h"
+#include "synth/dataset_spec.h"
+
+namespace entrace::report {
+
+struct ReportInput {
+  const DatasetSpec* spec = nullptr;  // may be null for external traces
+  const DatasetAnalysis* analysis = nullptr;
+};
+
+using Inputs = std::span<const ReportInput>;
+
+std::string table1_datasets(Inputs in);
+std::string table2_network_layer(Inputs in);
+std::string table3_transport(Inputs in);        // includes scanner-removal row
+std::string figure1_app_breakdown(Inputs in);   // bytes + connections, ent/wan
+std::string origins_summary(Inputs in);         // §4 flow origin classes
+std::string figure2_fan(const ReportInput& in);
+std::string table6_http_automation(Inputs in);
+std::string http_findings(Inputs in);           // success rates, conditional GETs
+std::string figure3_http_fanout(Inputs in);
+std::string table7_http_content_types(Inputs in);
+std::string figure4_http_reply_sizes(Inputs in);
+std::string table8_email_sizes(Inputs in);
+std::string figure5_email_durations(Inputs in);
+std::string figure6_email_sizes(Inputs in);
+std::string name_service_findings(Inputs in);   // §5.1.3
+std::string table9_windows_success(Inputs in);
+std::string table10_cifs_commands(Inputs in);
+std::string table11_dcerpc_functions(Inputs in);
+std::string table12_netfile_sizes(Inputs in);
+std::string table13_nfs_requests(Inputs in);
+std::string table14_ncp_requests(Inputs in);
+std::string figure7_requests_per_pair(Inputs in);
+std::string figure8_netfile_message_sizes(Inputs in);
+std::string table15_backup(Inputs in);
+std::string figure9_utilization(const ReportInput& in);
+std::string figure10_retransmissions(Inputs in);
+
+// Everything above, in paper order.
+std::string full_report(Inputs in);
+
+}  // namespace entrace::report

@@ -1,0 +1,31 @@
+#include "flow/connection.h"
+
+#include "util/strings.h"
+
+namespace entrace {
+
+const char* to_string(ConnState s) {
+  switch (s) {
+    case ConnState::kPending:
+      return "pending";
+    case ConnState::kEstablished:
+      return "established";
+    case ConnState::kRejected:
+      return "rejected";
+    case ConnState::kUnanswered:
+      return "unanswered";
+    case ConnState::kReset:
+      return "reset";
+    case ConnState::kClosed:
+      return "closed";
+  }
+  return "?";
+}
+
+std::string Connection::to_string() const {
+  return key.to_string() + " " + entrace::to_string(state) + " dur=" +
+         format_double(duration(), 3) + "s orig=" + std::to_string(orig_bytes) +
+         "B resp=" + std::to_string(resp_bytes) + "B";
+}
+
+}  // namespace entrace

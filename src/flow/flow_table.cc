@@ -1,0 +1,252 @@
+#include "flow/flow_table.h"
+
+namespace entrace {
+namespace {
+
+// Signed sequence-number comparison (RFC 1982 style) so the logic survives
+// wraparound, although our traces are short enough not to wrap.
+inline bool seq_leq(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+inline bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+}  // namespace
+
+FlowTable::FlowTable(Config config, FlowObserver* observer)
+    : config_(config), observer_(observer) {}
+
+FlowTable::Entry& FlowTable::find_or_create(const DecodedPacket& pkt, bool& created) {
+  FiveTuple tuple = pkt.tuple();
+  if (pkt.is_icmp()) {
+    // Key ICMP flows: echo req/reply share the identifier; other types key
+    // on the type.  Ports are set symmetrically so both directions
+    // canonicalize to the same flow.
+    const bool echo = pkt.icmp_type == IcmpHeader::kEchoRequest ||
+                      pkt.icmp_type == IcmpHeader::kEchoReply;
+    tuple.src_port = echo ? pkt.icmp_id : pkt.icmp_type;
+    tuple.dst_port = tuple.src_port;
+  }
+  const FiveTuple key = tuple.canonical();
+
+  auto it = active_.find(key);
+  if (it != active_.end()) {
+    Entry& e = it->second;
+    Connection& conn = conn_of(e);
+    const bool syn_only = pkt.is_tcp() && (pkt.tcp_flags & tcpflag::kSyn) &&
+                          !(pkt.tcp_flags & tcpflag::kAck);
+    const bool idle_expired =
+        !pkt.is_tcp() &&
+        pkt.ts - conn.last_ts > (pkt.is_udp() ? config_.udp_flow_timeout
+                                              : config_.icmp_flow_timeout);
+    const bool fresh_syn = syn_only && e.closed;
+    if (fresh_syn || idle_expired) {
+      close_entry(e);
+      active_.erase(it);
+    } else {
+      created = false;
+      return e;
+    }
+  }
+
+  created = true;
+  Connection conn;
+  conn.key = tuple;  // orientation: first packet's sender is the originator
+  conn.start_ts = pkt.ts;
+  conn.last_ts = pkt.ts;
+  if (pkt.is_icmp()) conn.icmp_type = pkt.icmp_type;
+  conn.multicast = pkt.dst.is_multicast() || pkt.dst.is_broadcast();
+  connections_.push_back(conn);
+  Entry e{connections_.size() - 1, {}, {}, false};
+  auto [new_it, _] = active_.emplace(key, e);
+  return new_it->second;
+}
+
+PacketVerdict FlowTable::process(const DecodedPacket& pkt) {
+  ++packets_;
+  PacketVerdict verdict;
+  if (pkt.l3 != L3Kind::kIpv4 || !pkt.l4_ok) return verdict;
+  if (!pkt.is_tcp() && !pkt.is_udp() && !pkt.is_icmp()) return verdict;
+
+  bool created = false;
+  Entry& e = find_or_create(pkt, created);
+  Connection& conn = conn_of(e);
+  // ICMP flow keys are port-symmetric; direction is by address there.
+  const Direction dir =
+      (pkt.src == conn.key.src && (pkt.is_icmp() || pkt.src_port == conn.key.src_port))
+          ? Direction::kOrigToResp
+          : Direction::kRespToOrig;
+  verdict.conn = &conn;
+  verdict.dir = dir;
+
+  if (created && observer_) observer_->on_new_connection(conn);
+
+  conn.last_ts = pkt.ts;
+  if (dir == Direction::kOrigToResp) {
+    ++conn.orig_pkts;
+  } else {
+    ++conn.resp_pkts;
+  }
+
+  if (pkt.is_tcp()) {
+    PacketVerdict tcp_verdict = process_tcp(e, pkt, dir);
+    tcp_verdict.conn = &conn;
+    tcp_verdict.dir = dir;
+    return tcp_verdict;
+  }
+  process_udp(e, pkt, dir);
+  return verdict;
+}
+
+PacketVerdict FlowTable::process_tcp(Entry& e, const DecodedPacket& pkt, Direction dir) {
+  PacketVerdict verdict;
+  Connection& conn = conn_of(e);
+  DirState& ds = dir == Direction::kOrigToResp ? e.orig : e.resp;
+  const std::uint8_t flags = pkt.tcp_flags;
+  const std::uint32_t seq = pkt.tcp_seq;
+  const std::uint32_t payload_len = pkt.payload_wire_len;
+
+  // --- handshake state -------------------------------------------------
+  if ((flags & tcpflag::kSyn) && !(flags & tcpflag::kAck)) {
+    if (dir == Direction::kOrigToResp) {
+      if (conn.saw_syn && seq == conn.orig_isn) {
+        // Retransmitted SYN: the connection attempt is not progressing.
+        ++conn.retransmissions;
+        verdict.tcp_retransmission = true;
+      }
+      conn.saw_syn = true;
+      conn.orig_isn = seq;
+      ds.have_seq = true;
+      ds.next_seq = seq + 1;
+      ds.max_seq_end = seq + 1;
+    }
+    return verdict;
+  }
+  if ((flags & tcpflag::kSyn) && (flags & tcpflag::kAck)) {
+    if (dir == Direction::kRespToOrig) {
+      if (conn.saw_synack && seq == conn.resp_isn) {
+        ++conn.retransmissions;
+        verdict.tcp_retransmission = true;
+      }
+      conn.saw_synack = true;
+      conn.resp_isn = seq;
+      if (conn.state == ConnState::kPending) conn.state = ConnState::kEstablished;
+      ds.have_seq = true;
+      ds.next_seq = seq + 1;
+      ds.max_seq_end = seq + 1;
+    }
+    return verdict;
+  }
+  if (flags & tcpflag::kRst) {
+    conn.saw_rst = true;
+    if (conn.state == ConnState::kPending) {
+      // RST answering a SYN from the responder side = rejected.
+      conn.state = dir == Direction::kRespToOrig ? ConnState::kRejected
+                                                 : ConnState::kUnanswered;
+    } else if (conn.successful()) {
+      conn.state = ConnState::kReset;
+    }
+    close_entry(e);
+    return verdict;
+  }
+
+  // --- data / retransmission tracking ----------------------------------
+  if (!ds.have_seq) {
+    // Mid-stream pickup (trace started inside the connection).
+    ds.have_seq = true;
+    ds.next_seq = seq;
+    ds.max_seq_end = seq;
+    if (conn.state == ConnState::kPending && conn.orig_pkts > 0 && conn.resp_pkts > 0)
+      conn.state = ConnState::kEstablished;
+  }
+
+  if (payload_len > 0) {
+    const std::uint32_t seq_end = seq + payload_len;
+    if (seq_leq(seq_end, ds.max_seq_end)) {
+      // Entirely old data: a retransmission.
+      ++conn.retransmissions;
+      verdict.tcp_retransmission = true;
+      if (payload_len == 1 && seq + 1 == ds.next_seq) {
+        // 1-byte keepalive probe (NCP/SSH style, §6).
+        ++conn.keepalive_retx;
+        verdict.keepalive_retx = true;
+      }
+    } else {
+      // At least some new data.  Byte accounting is sequence-based (wire
+      // truth): a gap left by a capture drop still advances the stream, so
+      // the missing bytes are counted exactly once.
+      std::uint32_t new_start = seq;
+      if (seq_lt(seq, ds.next_seq)) new_start = ds.next_seq;  // partial overlap
+      const std::uint64_t new_bytes =
+          seq_lt(ds.next_seq, seq_end) ? seq_end - ds.next_seq : 0;
+      if (dir == Direction::kOrigToResp) {
+        conn.orig_bytes += new_bytes;
+      } else {
+        conn.resp_bytes += new_bytes;
+      }
+      if (observer_ && !pkt.payload.empty()) {
+        // Map the new byte range into the captured payload span.
+        const std::uint32_t skip = new_start - seq;
+        if (skip < pkt.payload.size()) {
+          auto data = pkt.payload.subspan(skip);
+          observer_->on_data(conn, dir, pkt.ts, data,
+                             static_cast<std::uint32_t>(data.size()));
+        }
+      }
+      ds.next_seq = seq_end;
+      ds.max_seq_end = seq_end;
+      if (conn.state == ConnState::kPending && conn.saw_syn && conn.saw_synack)
+        conn.state = ConnState::kEstablished;
+    }
+  }
+
+  if (flags & tcpflag::kFin) {
+    ds.next_seq = seq + payload_len + 1;
+    ds.max_seq_end = ds.next_seq;
+    const bool other_fin = conn.saw_fin;
+    conn.saw_fin = true;
+    if (other_fin) {
+      if (conn.successful() || conn.state == ConnState::kPending)
+        conn.state = ConnState::kClosed;
+      close_entry(e);
+    }
+  }
+  return verdict;
+}
+
+void FlowTable::process_udp(Entry& e, const DecodedPacket& pkt, Direction dir) {
+  Connection& conn = conn_of(e);
+  const std::uint32_t payload_len = pkt.payload_wire_len;
+  if (dir == Direction::kOrigToResp) {
+    conn.orig_bytes += payload_len;
+  } else {
+    conn.resp_bytes += payload_len;
+  }
+  if (conn.state == ConnState::kPending) conn.state = ConnState::kEstablished;
+  if (observer_ && pkt.is_udp() && !pkt.payload.empty())
+    observer_->on_data(conn, dir, pkt.ts, pkt.payload, pkt.payload_wire_len);
+}
+
+void FlowTable::close_entry(Entry& e) {
+  if (e.closed) return;
+  e.closed = true;
+  Connection& conn = conn_of(e);
+  if (conn.state == ConnState::kPending) {
+    if (conn.key.proto == ipproto::kTcp && conn.saw_syn && conn.resp_pkts == 0) {
+      conn.state = ConnState::kUnanswered;
+    } else if (conn.resp_pkts > 0 || conn.multicast) {
+      conn.state = ConnState::kEstablished;
+    } else {
+      conn.state = ConnState::kUnanswered;
+    }
+  }
+  if (observer_) observer_->on_close(conn);
+}
+
+void FlowTable::flush() {
+  for (auto& [key, entry] : active_) close_entry(entry);
+  active_.clear();
+}
+
+}  // namespace entrace

@@ -1,0 +1,147 @@
+// Bounds-checked big-endian byte readers/writers.
+//
+// All wire formats in this project (Ethernet, IPv4, TCP, DNS, SMB, SunRPC,
+// pcap records...) are serialized through these helpers rather than by
+// casting packed structs, which keeps the code endian-portable and free of
+// alignment UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace entrace {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16be(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32be(std::uint32_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 24));
+    out_.push_back(static_cast<std::uint8_t>(v >> 16));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u64be(std::uint64_t v) {
+    u32be(static_cast<std::uint32_t>(v >> 32));
+    u32be(static_cast<std::uint32_t>(v));
+  }
+  // Little-endian variants (pcap file format, SMB, DCE-RPC and NCP use LE).
+  void u16le(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32le(std::uint32_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v >> 16));
+    out_.push_back(static_cast<std::uint8_t>(v >> 24));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+  void bytes(std::string_view s) {
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void zeros(std::size_t n) { out_.insert(out_.end(), n, 0); }
+
+  std::size_t size() const { return out_.size(); }
+  // Patch a previously written big-endian u16 (e.g. a length field).
+  void patch_u16be(std::size_t offset, std::uint16_t v) {
+    out_[offset] = static_cast<std::uint8_t>(v >> 8);
+    out_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+  void patch_u32le(std::size_t offset, std::uint32_t v) {
+    out_[offset] = static_cast<std::uint8_t>(v);
+    out_[offset + 1] = static_cast<std::uint8_t>(v >> 8);
+    out_[offset + 2] = static_cast<std::uint8_t>(v >> 16);
+    out_[offset + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+// Reader that never throws: failed reads return false / 0 and set a sticky
+// truncated flag, which decoding code checks once at the end.  This models
+// how a trace analyzer must treat snaplen-truncated packets.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool ok() const { return !truncated_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+  std::uint8_t u8() { return read_int<1>(); }
+  std::uint16_t u16be() { return static_cast<std::uint16_t>(read_int<2>()); }
+  std::uint32_t u32be() { return static_cast<std::uint32_t>(read_int<4>()); }
+  std::uint64_t u64be() {
+    const std::uint64_t hi = u32be();
+    return (hi << 32) | u32be();
+  }
+  std::uint16_t u16le() {
+    if (!check(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                            static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32le() {
+    if (!check(4)) return 0;
+    const std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) |
+                            static_cast<std::uint32_t>(data_[pos_ + 1]) << 8 |
+                            static_cast<std::uint32_t>(data_[pos_ + 2]) << 16 |
+                            static_cast<std::uint32_t>(data_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (!check(n)) return {};
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::string string(std::size_t n) {
+    auto b = bytes(n);
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+  void skip(std::size_t n) { check(n) ? void(pos_ += n) : void(); }
+  std::span<const std::uint8_t> rest() {
+    auto out = data_.subspan(pos_);
+    pos_ = data_.size();
+    return out;
+  }
+
+ private:
+  template <std::size_t N>
+  std::uint64_t read_int() {
+    if (!check(N)) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < N; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += N;
+    return v;
+  }
+  bool check(std::size_t n) {
+    if (data_.size() - pos_ < n) {
+      truncated_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace entrace

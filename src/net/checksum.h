@@ -1,0 +1,19 @@
+// RFC 1071 Internet checksum, used by the IPv4/TCP/UDP/ICMP encoders and
+// verified by the decoder tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace entrace {
+
+// One's-complement sum folded to 16 bits (not yet complemented).
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data, std::uint32_t sum = 0);
+
+// Final internet checksum of a buffer.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+// Finish a partial sum into the complemented checksum.
+std::uint16_t checksum_finish(std::uint32_t sum);
+
+}  // namespace entrace

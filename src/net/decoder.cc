@@ -1,0 +1,108 @@
+#include "net/decoder.h"
+
+namespace entrace {
+
+std::optional<DecodedPacket> decode_packet(const RawPacket& pkt) {
+  ByteReader r(pkt.data);
+  auto eth = EthernetHeader::decode(r);
+  if (!eth) return std::nullopt;
+
+  DecodedPacket d;
+  d.ts = pkt.ts;
+  d.wire_len = pkt.wire_len;
+  d.cap_len = static_cast<std::uint32_t>(pkt.data.size());
+  d.eth_src = eth->src;
+  d.eth_dst = eth->dst;
+  d.ethertype = eth->ethertype;
+
+  switch (eth->ethertype) {
+    case ethertype::kArp:
+      d.l3 = L3Kind::kArp;
+      return d;
+    case ethertype::kIpx:
+      d.l3 = L3Kind::kIpx;
+      return d;
+    case ethertype::kIpv4:
+      break;
+    default:
+      d.l3 = L3Kind::kOther;
+      return d;
+  }
+
+  auto ip = Ipv4Header::decode(r);
+  if (!ip) {
+    d.l3 = L3Kind::kOther;
+    return d;
+  }
+  d.l3 = L3Kind::kIpv4;
+  d.src = ip->src;
+  d.dst = ip->dst;
+  d.ip_proto = ip->protocol;
+  d.ttl = ip->ttl;
+  d.ip_total_len = ip->total_length;
+
+  // Wire-truth payload length from the IP header, independent of snaplen.
+  const std::size_t ip_header_len = r.position() - EthernetHeader::kSize;
+  const std::uint32_t ip_payload_wire =
+      ip->total_length > ip_header_len
+          ? static_cast<std::uint32_t>(ip->total_length - ip_header_len)
+          : 0;
+
+  switch (ip->protocol) {
+    case ipproto::kTcp: {
+      auto tcp = TcpHeader::decode(r);
+      if (!tcp) return d;
+      d.l4_ok = true;
+      d.src_port = tcp->src_port;
+      d.dst_port = tcp->dst_port;
+      d.tcp_flags = tcp->flags;
+      d.tcp_seq = tcp->seq;
+      d.tcp_ack = tcp->ack;
+      d.payload_wire_len =
+          ip_payload_wire >= TcpHeader::kMinSize
+              ? ip_payload_wire - static_cast<std::uint32_t>(TcpHeader::kMinSize)
+              : 0;
+      d.payload = r.rest();
+      break;
+    }
+    case ipproto::kUdp: {
+      auto udp = UdpHeader::decode(r);
+      if (!udp) return d;
+      d.l4_ok = true;
+      d.src_port = udp->src_port;
+      d.dst_port = udp->dst_port;
+      d.payload_wire_len =
+          udp->length >= UdpHeader::kSize
+              ? static_cast<std::uint32_t>(udp->length - UdpHeader::kSize)
+              : 0;
+      d.payload = r.rest();
+      break;
+    }
+    case ipproto::kIcmp: {
+      auto icmp = IcmpHeader::decode(r);
+      if (!icmp) return d;
+      d.l4_ok = true;
+      d.icmp_type = icmp->type;
+      d.icmp_code = icmp->code;
+      d.icmp_id = icmp->identifier;
+      d.icmp_seq = icmp->sequence;
+      d.payload_wire_len =
+          ip_payload_wire >= IcmpHeader::kSize
+              ? ip_payload_wire - static_cast<std::uint32_t>(IcmpHeader::kSize)
+              : 0;
+      d.payload = r.rest();
+      break;
+    }
+    default:
+      d.payload_wire_len = ip_payload_wire;
+      d.payload = r.rest();
+      break;
+  }
+
+  // Clamp captured payload to the wire payload (Ethernet minimum-frame
+  // padding shows up as trailing bytes beyond the IP total length).
+  if (d.payload.size() > d.payload_wire_len) d.payload = d.payload.first(d.payload_wire_len);
+  return d;
+}
+
+}  // namespace entrace

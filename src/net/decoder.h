@@ -1,0 +1,69 @@
+// Packet decoding: raw captured bytes -> a flat DecodedPacket view with
+// link/network/transport metadata and a span over the captured payload.
+//
+// Decoding is tolerant of snaplen truncation: a packet whose transport
+// header was captured but whose payload was snapped still yields correct
+// byte accounting via payload_wire_len (derived from the IP total length),
+// mirroring how the paper analyzes the 68-byte-snaplen datasets D1/D2.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/five_tuple.h"
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace entrace {
+
+enum class L3Kind : std::uint8_t { kIpv4, kArp, kIpx, kOther };
+
+struct DecodedPacket {
+  double ts = 0.0;
+  std::uint32_t wire_len = 0;
+  std::uint32_t cap_len = 0;
+
+  MacAddress eth_src;
+  MacAddress eth_dst;
+  std::uint16_t ethertype = 0;
+  L3Kind l3 = L3Kind::kOther;
+
+  // IPv4 fields (valid when l3 == kIpv4).
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint8_t ip_proto = 0;
+  std::uint8_t ttl = 0;
+  std::uint16_t ip_total_len = 0;
+
+  // Transport fields (valid when l4_ok).
+  bool l4_ok = false;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t tcp_flags = 0;
+  std::uint32_t tcp_seq = 0;
+  std::uint32_t tcp_ack = 0;
+  std::uint8_t icmp_type = 0;
+  std::uint8_t icmp_code = 0;
+  std::uint16_t icmp_id = 0;
+  std::uint16_t icmp_seq = 0;
+
+  // Captured transport payload (may be shorter than payload_wire_len under
+  // snaplen truncation).
+  std::span<const std::uint8_t> payload;
+  std::uint32_t payload_wire_len = 0;
+
+  bool is_tcp() const { return l3 == L3Kind::kIpv4 && ip_proto == ipproto::kTcp; }
+  bool is_udp() const { return l3 == L3Kind::kIpv4 && ip_proto == ipproto::kUdp; }
+  bool is_icmp() const { return l3 == L3Kind::kIpv4 && ip_proto == ipproto::kIcmp; }
+
+  FiveTuple tuple() const { return {src, dst, src_port, dst_port, ip_proto}; }
+};
+
+// Decode an Ethernet frame.  Returns nullopt only if even the Ethernet
+// header is truncated; unknown ethertypes decode to l3 == kOther.
+// The returned payload span aliases `pkt.data` — the RawPacket must outlive
+// the DecodedPacket.
+std::optional<DecodedPacket> decode_packet(const RawPacket& pkt);
+
+}  // namespace entrace

@@ -1,0 +1,142 @@
+#include "net/encoder.h"
+
+#include "net/checksum.h"
+
+namespace entrace {
+namespace {
+
+void append_ipv4(std::vector<std::uint8_t>& frame, const FrameEndpoints& ep,
+                 std::uint8_t protocol, std::size_t l4_len, std::uint8_t ttl) {
+  ByteWriter w(frame);
+  Ipv4Header ip;
+  ip.src = ep.src_ip;
+  ip.dst = ep.dst_ip;
+  ip.protocol = protocol;
+  ip.ttl = ttl;
+  ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kMinSize + l4_len);
+  ip.encode(w);
+}
+
+void append_ethernet(std::vector<std::uint8_t>& frame, const MacAddress& src,
+                     const MacAddress& dst, std::uint16_t ethertype) {
+  ByteWriter w(frame);
+  EthernetHeader eth{dst, src, ethertype};
+  eth.encode(w);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> make_tcp_frame(const FrameEndpoints& ep, std::uint16_t src_port,
+                                         std::uint16_t dst_port, std::uint32_t seq,
+                                         std::uint32_t ack, std::uint8_t flags,
+                                         std::span<const std::uint8_t> payload, std::uint8_t ttl) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(EthernetHeader::kSize + Ipv4Header::kMinSize + TcpHeader::kMinSize +
+                payload.size());
+  append_ethernet(frame, ep.src_mac, ep.dst_mac, ethertype::kIpv4);
+  append_ipv4(frame, ep, ipproto::kTcp, TcpHeader::kMinSize + payload.size(), ttl);
+  ByteWriter w(frame);
+  TcpHeader tcp;
+  tcp.src_port = src_port;
+  tcp.dst_port = dst_port;
+  tcp.seq = seq;
+  tcp.ack = ack;
+  tcp.flags = flags;
+  tcp.encode(w);
+  w.bytes(payload);
+  return frame;
+}
+
+std::vector<std::uint8_t> make_udp_frame(const FrameEndpoints& ep, std::uint16_t src_port,
+                                         std::uint16_t dst_port,
+                                         std::span<const std::uint8_t> payload, std::uint8_t ttl) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(EthernetHeader::kSize + Ipv4Header::kMinSize + UdpHeader::kSize + payload.size());
+  append_ethernet(frame, ep.src_mac, ep.dst_mac, ethertype::kIpv4);
+  append_ipv4(frame, ep, ipproto::kUdp, UdpHeader::kSize + payload.size(), ttl);
+  ByteWriter w(frame);
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  udp.encode(w);
+  w.bytes(payload);
+  return frame;
+}
+
+std::vector<std::uint8_t> make_icmp_frame(const FrameEndpoints& ep, std::uint8_t type,
+                                          std::uint8_t code, std::uint16_t id, std::uint16_t seq,
+                                          std::size_t payload_len, std::uint8_t ttl) {
+  std::vector<std::uint8_t> frame;
+  append_ethernet(frame, ep.src_mac, ep.dst_mac, ethertype::kIpv4);
+  append_ipv4(frame, ep, ipproto::kIcmp, IcmpHeader::kSize + payload_len, ttl);
+  const std::size_t icmp_start = frame.size();
+  ByteWriter w(frame);
+  IcmpHeader icmp;
+  icmp.type = type;
+  icmp.code = code;
+  icmp.identifier = id;
+  icmp.sequence = seq;
+  icmp.encode(w);
+  const auto filler = filler_payload(payload_len);
+  w.bytes(filler);
+  const std::uint16_t csum = internet_checksum(
+      std::span<const std::uint8_t>(frame.data() + icmp_start, frame.size() - icmp_start));
+  frame[icmp_start + 2] = static_cast<std::uint8_t>(csum >> 8);
+  frame[icmp_start + 3] = static_cast<std::uint8_t>(csum);
+  return frame;
+}
+
+std::vector<std::uint8_t> make_ip_frame(const FrameEndpoints& ep, std::uint8_t protocol,
+                                        std::size_t payload_len, std::uint8_t ttl) {
+  std::vector<std::uint8_t> frame;
+  append_ethernet(frame, ep.src_mac, ep.dst_mac, ethertype::kIpv4);
+  append_ipv4(frame, ep, protocol, payload_len, ttl);
+  const auto filler = filler_payload(payload_len);
+  ByteWriter w(frame);
+  w.bytes(filler);
+  return frame;
+}
+
+std::vector<std::uint8_t> make_arp_frame(const MacAddress& src_mac, std::uint16_t opcode,
+                                         Ipv4Address sender_ip, Ipv4Address target_ip) {
+  std::vector<std::uint8_t> frame;
+  const MacAddress dst =
+      opcode == ArpHeader::kRequest ? MacAddress::broadcast() : MacAddress::from_host_id(0);
+  append_ethernet(frame, src_mac, dst, ethertype::kArp);
+  ByteWriter w(frame);
+  ArpHeader arp;
+  arp.opcode = opcode;
+  arp.sender_mac = src_mac;
+  arp.sender_ip = sender_ip;
+  arp.target_ip = target_ip;
+  arp.encode(w);
+  return frame;
+}
+
+std::vector<std::uint8_t> make_ipx_frame(const MacAddress& src_node, const MacAddress& dst_node,
+                                         std::uint8_t packet_type, std::uint16_t src_socket,
+                                         std::uint16_t dst_socket, std::size_t payload_len) {
+  std::vector<std::uint8_t> frame;
+  append_ethernet(frame, src_node, dst_node, ethertype::kIpx);
+  ByteWriter w(frame);
+  IpxHeader ipx;
+  ipx.length = static_cast<std::uint16_t>(IpxHeader::kSize + payload_len);
+  ipx.packet_type = packet_type;
+  ipx.src_node = src_node;
+  ipx.dst_node = dst_node;
+  ipx.src_socket = src_socket;
+  ipx.dst_socket = dst_socket;
+  ipx.encode(w);
+  const auto filler = filler_payload(payload_len);
+  w.bytes(filler);
+  return frame;
+}
+
+std::vector<std::uint8_t> filler_payload(std::size_t len) {
+  std::vector<std::uint8_t> out(len);
+  for (std::size_t i = 0; i < len; ++i) out[i] = static_cast<std::uint8_t>(0x20 + (i % 0x5F));
+  return out;
+}
+
+}  // namespace entrace

@@ -1,0 +1,52 @@
+// Frame construction for the synthetic trace generator: builds complete,
+// decodable Ethernet frames with correct lengths and IP checksums.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace entrace {
+
+struct FrameEndpoints {
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+};
+
+// TCP segment with payload; seq/ack are absolute.
+std::vector<std::uint8_t> make_tcp_frame(const FrameEndpoints& ep, std::uint16_t src_port,
+                                         std::uint16_t dst_port, std::uint32_t seq,
+                                         std::uint32_t ack, std::uint8_t flags,
+                                         std::span<const std::uint8_t> payload,
+                                         std::uint8_t ttl = 64);
+
+std::vector<std::uint8_t> make_udp_frame(const FrameEndpoints& ep, std::uint16_t src_port,
+                                         std::uint16_t dst_port,
+                                         std::span<const std::uint8_t> payload,
+                                         std::uint8_t ttl = 64);
+
+std::vector<std::uint8_t> make_icmp_frame(const FrameEndpoints& ep, std::uint8_t type,
+                                          std::uint8_t code, std::uint16_t id, std::uint16_t seq,
+                                          std::size_t payload_len, std::uint8_t ttl = 64);
+
+// Other IP protocols (IGMP, ESP, GRE, PIM, 224...) — payload is opaque.
+std::vector<std::uint8_t> make_ip_frame(const FrameEndpoints& ep, std::uint8_t protocol,
+                                        std::size_t payload_len, std::uint8_t ttl = 64);
+
+std::vector<std::uint8_t> make_arp_frame(const MacAddress& src_mac, std::uint16_t opcode,
+                                         Ipv4Address sender_ip, Ipv4Address target_ip);
+
+std::vector<std::uint8_t> make_ipx_frame(const MacAddress& src_node, const MacAddress& dst_node,
+                                         std::uint8_t packet_type, std::uint16_t src_socket,
+                                         std::uint16_t dst_socket, std::size_t payload_len);
+
+// A filler payload of the given size (repeating pattern; compressible, but
+// nothing in the analysis depends on payload entropy).
+std::vector<std::uint8_t> filler_payload(std::size_t len);
+
+}  // namespace entrace

@@ -1,0 +1,19 @@
+#include "net/five_tuple.h"
+
+namespace entrace {
+
+bool FiveTuple::is_canonical_order() const {
+  if (src.value() != dst.value()) return src.value() < dst.value();
+  return src_port <= dst_port;
+}
+
+FiveTuple FiveTuple::canonical() const { return is_canonical_order() ? *this : reversed(); }
+
+FiveTuple FiveTuple::reversed() const { return {dst, src, dst_port, src_port, proto}; }
+
+std::string FiveTuple::to_string() const {
+  return src.to_string() + ":" + std::to_string(src_port) + " -> " + dst.to_string() + ":" +
+         std::to_string(dst_port) + " proto=" + std::to_string(proto);
+}
+
+}  // namespace entrace

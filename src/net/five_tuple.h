@@ -1,0 +1,48 @@
+// Flow keys: the (src, dst, sport, dport, proto) five-tuple, plus the
+// canonical (direction-independent) form used to index the flow table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/ip_address.h"
+
+namespace entrace {
+
+struct FiveTuple {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+
+  // Direction-independent key: orders (addr, port) pairs so A->B and B->A
+  // map to the same flow.
+  FiveTuple canonical() const;
+  // True if this tuple is already in canonical order.
+  bool is_canonical_order() const;
+  FiveTuple reversed() const;
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+};
+
+}  // namespace entrace
+
+template <>
+struct std::hash<entrace::FiveTuple> {
+  std::size_t operator()(const entrace::FiveTuple& t) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mix(t.src.value());
+    mix(t.dst.value());
+    mix((static_cast<std::uint64_t>(t.src_port) << 32) | t.dst_port);
+    mix(t.proto);
+    return static_cast<std::size_t>(h);
+  }
+};

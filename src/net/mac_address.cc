@@ -1,0 +1,28 @@
+#include "net/mac_address.h"
+
+#include <cstdio>
+
+namespace entrace {
+
+MacAddress MacAddress::from_host_id(std::uint32_t host_id) {
+  // 0x02 => locally administered, unicast.
+  return MacAddress({0x02, 0x1B, static_cast<std::uint8_t>(host_id >> 24),
+                     static_cast<std::uint8_t>(host_id >> 16),
+                     static_cast<std::uint8_t>(host_id >> 8),
+                     static_cast<std::uint8_t>(host_id)});
+}
+
+bool MacAddress::is_broadcast() const {
+  for (auto b : bytes_)
+    if (b != 0xFF) return false;
+  return true;
+}
+
+std::string MacAddress::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0], bytes_[1], bytes_[2],
+                bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+}  // namespace entrace

@@ -1,0 +1,34 @@
+// 48-bit Ethernet MAC addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace entrace {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> bytes) : bytes_(bytes) {}
+
+  // Deterministic locally-administered MAC derived from a host id; the
+  // trace generator gives every modeled host a stable MAC.
+  static MacAddress from_host_id(std::uint32_t host_id);
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+  }
+
+  constexpr const std::array<std::uint8_t, 6>& bytes() const { return bytes_; }
+  bool is_broadcast() const;
+  bool is_multicast() const { return (bytes_[0] & 0x01) != 0; }
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+}  // namespace entrace

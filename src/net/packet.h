@@ -1,0 +1,16 @@
+// Raw captured packets, as produced by the pcap reader or the synthetic
+// generator's tap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace entrace {
+
+struct RawPacket {
+  double ts = 0.0;            // seconds since trace epoch
+  std::uint32_t wire_len = 0;  // original length on the wire
+  std::vector<std::uint8_t> data;  // captured bytes (<= wire_len when snapped)
+};
+
+}  // namespace entrace

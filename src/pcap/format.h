@@ -1,0 +1,20 @@
+// Constants of the classic libpcap capture-file format (the format the
+// LBNL traces were distributed in).  We implement the format directly —
+// no libpcap dependency — supporting both byte orders on read and
+// microsecond timestamps.
+#pragma once
+
+#include <cstdint>
+
+namespace entrace::pcapfmt {
+
+inline constexpr std::uint32_t kMagicUsec = 0xA1B2C3D4;     // native order
+inline constexpr std::uint32_t kMagicUsecSwap = 0xD4C3B2A1;  // swapped order
+inline constexpr std::uint16_t kVersionMajor = 2;
+inline constexpr std::uint16_t kVersionMinor = 4;
+inline constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+inline constexpr std::size_t kGlobalHeaderSize = 24;
+inline constexpr std::size_t kRecordHeaderSize = 16;
+
+}  // namespace entrace::pcapfmt

@@ -1,0 +1,60 @@
+#include "pcap/reader.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "pcap/format.h"
+
+namespace entrace {
+
+PcapReader::PcapReader(const std::string& path) : file_(std::fopen(path.c_str(), "rb")) {
+  if (!file_) throw std::runtime_error("PcapReader: cannot open " + path);
+  std::array<std::uint8_t, pcapfmt::kGlobalHeaderSize> hdr;
+  if (std::fread(hdr.data(), 1, hdr.size(), file_.get()) != hdr.size())
+    throw std::runtime_error("PcapReader: short global header in " + path);
+  // Magic read little-endian first.
+  const std::uint32_t magic_le = static_cast<std::uint32_t>(hdr[0]) |
+                                 static_cast<std::uint32_t>(hdr[1]) << 8 |
+                                 static_cast<std::uint32_t>(hdr[2]) << 16 |
+                                 static_cast<std::uint32_t>(hdr[3]) << 24;
+  if (magic_le == pcapfmt::kMagicUsec) {
+    swapped_ = false;
+  } else if (magic_le == pcapfmt::kMagicUsecSwap) {
+    swapped_ = true;
+  } else {
+    throw std::runtime_error("PcapReader: bad magic in " + path);
+  }
+  snaplen_ = read_u32(hdr.data() + 16);
+  link_type_ = read_u32(hdr.data() + 20);
+}
+
+PcapReader::~PcapReader() = default;
+
+std::uint32_t PcapReader::read_u32(const std::uint8_t* p) const {
+  if (!swapped_) {
+    return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+  }
+  return static_cast<std::uint32_t>(p[3]) | static_cast<std::uint32_t>(p[2]) << 8 |
+         static_cast<std::uint32_t>(p[1]) << 16 | static_cast<std::uint32_t>(p[0]) << 24;
+}
+
+std::optional<RawPacket> PcapReader::next() {
+  std::array<std::uint8_t, pcapfmt::kRecordHeaderSize> rec;
+  if (std::fread(rec.data(), 1, rec.size(), file_.get()) != rec.size()) return std::nullopt;
+  const std::uint32_t sec = read_u32(rec.data());
+  const std::uint32_t usec = read_u32(rec.data() + 4);
+  const std::uint32_t caplen = read_u32(rec.data() + 8);
+  const std::uint32_t wirelen = read_u32(rec.data() + 12);
+  // Guard against absurd record lengths from corrupt files.
+  if (caplen > 256 * 1024) return std::nullopt;
+
+  RawPacket pkt;
+  pkt.ts = static_cast<double>(sec) + static_cast<double>(usec) * 1e-6;
+  pkt.wire_len = wirelen;
+  pkt.data.resize(caplen);
+  if (std::fread(pkt.data.data(), 1, caplen, file_.get()) != caplen) return std::nullopt;
+  return pkt;
+}
+
+}  // namespace entrace

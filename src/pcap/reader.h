@@ -1,0 +1,43 @@
+// pcap capture-file reader; handles both byte orders.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/packet.h"
+
+namespace entrace {
+
+class PcapReader {
+ public:
+  // Throws std::runtime_error on open failure or bad magic.
+  explicit PcapReader(const std::string& path);
+  ~PcapReader();
+
+  PcapReader(const PcapReader&) = delete;
+  PcapReader& operator=(const PcapReader&) = delete;
+
+  // Next packet, or nullopt at end of file.  Truncated trailing records
+  // are treated as EOF (as tcpdump does).
+  std::optional<RawPacket> next();
+
+  std::uint32_t snaplen() const { return snaplen_; }
+  std::uint32_t link_type() const { return link_type_; }
+
+ private:
+  std::uint32_t read_u32(const std::uint8_t* p) const;
+
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  bool swapped_ = false;
+  std::uint32_t snaplen_ = 0;
+  std::uint32_t link_type_ = 0;
+};
+
+}  // namespace entrace

@@ -1,0 +1,48 @@
+// Traces and trace sets.
+//
+// The paper's datasets are collections of per-subnet traces: the tracing
+// host rotated through the 18-22 subnets attached to each router, capturing
+// each for 10 minutes (D0) or an hour (D1-D4), once or twice per tap.
+// A Trace models one such capture (one subnet, one capture window); a
+// TraceSet is a whole dataset (D0..D4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace entrace {
+
+struct Trace {
+  std::string name;        // e.g. "D3-subnet07"
+  int subnet_id = -1;      // index of the monitored subnet
+  std::uint32_t snaplen = 1500;
+  double start_ts = 0.0;   // capture window start (trace epoch seconds)
+  double duration = 0.0;   // capture window length
+  std::vector<RawPacket> packets;
+
+  std::uint64_t total_wire_bytes() const;
+  // Apply snaplen truncation in place (models the capture filter; the
+  // generator emits full frames and the tap snaps them).
+  void apply_snaplen();
+
+  // Round-trip through the pcap file format.
+  void save(const std::string& path) const;
+  static Trace load(const std::string& path, const std::string& name = "", int subnet_id = -1);
+};
+
+struct TraceSet {
+  std::string dataset_name;  // "D0".."D4"
+  std::vector<Trace> traces;
+
+  std::uint64_t total_packets() const;
+  std::uint64_t total_wire_bytes() const;
+
+  // All packets of all traces merged into timestamp order — the paper's
+  // per-dataset aggregate view.  (Stable across equal timestamps.)
+  std::vector<const RawPacket*> merged() const;
+};
+
+}  // namespace entrace

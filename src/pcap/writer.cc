@@ -1,0 +1,61 @@
+#include "pcap/writer.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "net/bytes.h"
+#include "pcap/format.h"
+
+namespace entrace {
+namespace {
+
+void put_u32le(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  ByteWriter w(v);
+  w.u32le(x);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
+    : file_(std::fopen(path.c_str(), "wb")), snaplen_(snaplen) {
+  if (!file_) throw std::runtime_error("PcapWriter: cannot open " + path);
+  std::vector<std::uint8_t> hdr;
+  hdr.reserve(pcapfmt::kGlobalHeaderSize);
+  put_u32le(hdr, pcapfmt::kMagicUsec);
+  ByteWriter w(hdr);
+  w.u16le(pcapfmt::kVersionMajor);
+  w.u16le(pcapfmt::kVersionMinor);
+  w.u32le(0);  // thiszone
+  w.u32le(0);  // sigfigs
+  w.u32le(snaplen_);
+  w.u32le(pcapfmt::kLinkTypeEthernet);
+  if (std::fwrite(hdr.data(), 1, hdr.size(), file_.get()) != hdr.size())
+    throw std::runtime_error("PcapWriter: header write failed");
+}
+
+PcapWriter::~PcapWriter() = default;
+
+void PcapWriter::write(const RawPacket& pkt) {
+  const std::uint32_t caplen =
+      std::min<std::uint32_t>(static_cast<std::uint32_t>(pkt.data.size()), snaplen_);
+  const double ts = pkt.ts < 0 ? 0.0 : pkt.ts;
+  const auto sec = static_cast<std::uint32_t>(ts);
+  const auto usec = static_cast<std::uint32_t>(std::lround((ts - sec) * 1e6)) % 1000000;
+
+  std::vector<std::uint8_t> rec;
+  rec.reserve(pcapfmt::kRecordHeaderSize + caplen);
+  ByteWriter w(rec);
+  w.u32le(sec);
+  w.u32le(usec);
+  w.u32le(caplen);
+  w.u32le(pkt.wire_len);
+  w.bytes(std::span<const std::uint8_t>(pkt.data.data(), caplen));
+  if (std::fwrite(rec.data(), 1, rec.size(), file_.get()) != rec.size())
+    throw std::runtime_error("PcapWriter: record write failed");
+  ++packets_;
+}
+
+void PcapWriter::flush() { std::fflush(file_.get()); }
+
+}  // namespace entrace

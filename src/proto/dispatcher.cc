@@ -1,0 +1,83 @@
+#include "proto/dispatcher.h"
+
+#include "net/headers.h"
+#include "proto/cifs.h"
+#include "proto/dcerpc.h"
+#include "proto/dns.h"
+#include "proto/http.h"
+#include "proto/ncp.h"
+#include "proto/netbios.h"
+#include "proto/nfs.h"
+#include "proto/smtp.h"
+
+namespace entrace {
+
+ProtocolDispatcher::ProtocolDispatcher(AppRegistry& registry, AppEvents& events,
+                                       bool payload_analysis)
+    : registry_(registry), events_(events), payload_analysis_(payload_analysis) {}
+
+void ProtocolDispatcher::on_new_connection(Connection& conn) {
+  const AppProtocol app = registry_.identify(conn);
+  conn.app_id = static_cast<std::uint16_t>(app);
+  if (!payload_analysis_) return;
+  if (auto parser = make_parser(conn, app)) parsers_[&conn] = std::move(parser);
+}
+
+std::unique_ptr<AppParser> ProtocolDispatcher::make_parser(const Connection& conn,
+                                                           AppProtocol app) {
+  switch (app) {
+    case AppProtocol::kHttp:
+      return std::make_unique<HttpParser>(events_.http);
+    case AppProtocol::kSmtp:
+      return std::make_unique<SmtpParser>(events_.smtp);
+    case AppProtocol::kDns:
+      if (conn.key.proto == ipproto::kUdp) return std::make_unique<DnsParser>(events_.dns);
+      return nullptr;
+    case AppProtocol::kNetbiosNs:
+      return std::make_unique<NbnsParser>(events_.nbns);
+    case AppProtocol::kNetbiosSsn:
+      return std::make_unique<CifsParser>(events_, /*netbios_framing=*/true);
+    case AppProtocol::kCifs:
+      return std::make_unique<CifsParser>(events_, /*netbios_framing=*/false);
+    case AppProtocol::kEndpointMapper:
+    case AppProtocol::kDceRpc:
+      if (conn.key.proto == ipproto::kTcp)
+        return std::make_unique<DceRpcParser>(events_.dcerpc, events_.epm);
+      return nullptr;
+    case AppProtocol::kNfs:
+      return std::make_unique<NfsParser>(events_.nfs, conn.key.proto == ipproto::kTcp);
+    case AppProtocol::kNcp:
+      if (conn.key.proto == ipproto::kTcp) return std::make_unique<NcpParser>(events_.ncp);
+      return nullptr;
+    default:
+      return nullptr;
+  }
+}
+
+void ProtocolDispatcher::on_data(Connection& conn, Direction dir, double ts,
+                                 std::span<const std::uint8_t> data, std::uint32_t wire_len) {
+  auto it = parsers_.find(&conn);
+  if (it == parsers_.end()) return;
+  if (conn.key.proto == ipproto::kUdp) {
+    it->second->on_datagram(conn, dir, ts, data, wire_len);
+  } else {
+    it->second->on_data(conn, dir, ts, data);
+  }
+  register_new_epm_mappings();
+}
+
+void ProtocolDispatcher::register_new_epm_mappings() {
+  while (registered_epm_ < events_.epm.size()) {
+    const EpmMapping& m = events_.epm[registered_epm_++];
+    registry_.register_dcerpc_endpoint(m.server, m.port);
+  }
+}
+
+void ProtocolDispatcher::on_close(Connection& conn) {
+  auto it = parsers_.find(&conn);
+  if (it == parsers_.end()) return;
+  it->second->on_close(conn);
+  parsers_.erase(it);
+}
+
+}  // namespace entrace

@@ -1,0 +1,41 @@
+// ProtocolDispatcher: the glue between the flow table and the application
+// parsers.  Identifies each connection (port-based plus dynamic DCE/RPC
+// endpoints), instantiates the right parser, feeds it stream data, and
+// registers Endpoint Mapper results back into the registry so later
+// ephemeral-port connections are classified — mirroring the two-channel
+// DCE/RPC analysis of §5.2.1.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "flow/flow_table.h"
+#include "proto/events.h"
+#include "proto/parser.h"
+#include "proto/registry.h"
+
+namespace entrace {
+
+class ProtocolDispatcher : public FlowObserver {
+ public:
+  // payload_analysis=false (header-only snaplen datasets D1/D2) identifies
+  // connections but runs no payload parsers, as in the paper.
+  ProtocolDispatcher(AppRegistry& registry, AppEvents& events, bool payload_analysis);
+
+  void on_new_connection(Connection& conn) override;
+  void on_data(Connection& conn, Direction dir, double ts, std::span<const std::uint8_t> data,
+               std::uint32_t wire_len) override;
+  void on_close(Connection& conn) override;
+
+ private:
+  std::unique_ptr<AppParser> make_parser(const Connection& conn, AppProtocol app);
+  void register_new_epm_mappings();
+
+  AppRegistry& registry_;
+  AppEvents& events_;
+  bool payload_analysis_;
+  std::unordered_map<const Connection*, std::unique_ptr<AppParser>> parsers_;
+  std::size_t registered_epm_ = 0;
+};
+
+}  // namespace entrace

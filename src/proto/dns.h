@@ -1,0 +1,45 @@
+// DNS wire format (RFC 1035, no name compression) — encoder used by the
+// trace generator, decoder + transaction pairing used by the analysis
+// (§5.1.3: request types, return codes, latency).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "proto/events.h"
+#include "proto/parser.h"
+
+namespace entrace {
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::uint8_t opcode = 0;
+  int rcode = 0;
+  std::string qname;
+  std::uint16_t qtype = dnstype::kA;
+  std::uint16_t ancount = 0;  // encoded as synthetic A records
+};
+
+std::vector<std::uint8_t> encode_dns(const DnsMessage& msg);
+std::optional<DnsMessage> decode_dns(std::span<const std::uint8_t> data);
+
+// Pairs queries with responses by transaction id within a flow.
+class DnsParser : public AppParser {
+ public:
+  explicit DnsParser(std::vector<DnsTransaction>& out);
+
+  void on_data(Connection& conn, Direction dir, double ts,
+               std::span<const std::uint8_t> data) override;
+  void on_close(Connection& conn) override;
+
+ private:
+  std::vector<DnsTransaction>& out_;
+  std::map<std::uint16_t, DnsTransaction> pending_;
+};
+
+}  // namespace entrace

@@ -1,0 +1,70 @@
+// Netbios Name Service (RFC 1002) over UDP 137 — §5.1.3.
+//
+// Implements first-level name encoding, the query/registration/release/
+// refresh opcodes, the suffix byte that distinguishes workstation / server /
+// domain names, and positive/negative (NXDOMAIN-analogue) responses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "proto/events.h"
+#include "proto/parser.h"
+
+namespace entrace {
+
+// RFC 1002 opcode values.
+namespace nbns_opcode {
+inline constexpr std::uint8_t kQuery = 0;
+inline constexpr std::uint8_t kRegistration = 5;
+inline constexpr std::uint8_t kRelease = 6;
+inline constexpr std::uint8_t kWack = 7;
+inline constexpr std::uint8_t kRefresh = 8;
+}  // namespace nbns_opcode
+
+// Name suffix bytes (16th byte of the NetBIOS name).
+namespace nbns_suffix {
+inline constexpr std::uint8_t kWorkstation = 0x00;
+inline constexpr std::uint8_t kServer = 0x20;
+inline constexpr std::uint8_t kDomainMaster = 0x1B;
+inline constexpr std::uint8_t kDomainGroup = 0x1C;
+inline constexpr std::uint8_t kBrowser = 0x1E;
+}  // namespace nbns_suffix
+
+struct NbnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::uint8_t opcode = nbns_opcode::kQuery;
+  int rcode = 0;  // 0 positive, 3 name error
+  std::string name;  // up to 15 chars
+  std::uint8_t suffix = nbns_suffix::kWorkstation;
+};
+
+// RFC 1001 §14.1 first-level encoding: 16 bytes -> 32 nibble characters.
+std::string nbns_encode_name(const std::string& name, std::uint8_t suffix);
+bool nbns_decode_name(const std::string& encoded, std::string& name, std::uint8_t& suffix);
+
+std::vector<std::uint8_t> encode_nbns(const NbnsMessage& msg);
+std::optional<NbnsMessage> decode_nbns(std::span<const std::uint8_t> data);
+
+NbnsNameType nbns_name_type(std::uint8_t suffix);
+NbnsOpcode nbns_opcode_enum(std::uint8_t opcode);
+
+class NbnsParser : public AppParser {
+ public:
+  explicit NbnsParser(std::vector<NbnsTransaction>& out);
+
+  void on_data(Connection& conn, Direction dir, double ts,
+               std::span<const std::uint8_t> data) override;
+  void on_close(Connection& conn) override;
+
+ private:
+  std::vector<NbnsTransaction>& out_;
+  std::map<std::uint16_t, NbnsTransaction> pending_;
+};
+
+}  // namespace entrace

@@ -1,0 +1,159 @@
+#include "proto/nfs.h"
+
+#include <algorithm>
+
+#include "net/bytes.h"
+
+namespace entrace {
+
+std::vector<std::uint8_t> encode_rpc_call(std::uint32_t xid, std::uint32_t prog,
+                                          std::uint32_t vers, std::uint32_t proc,
+                                          std::size_t arg_len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(40 + arg_len);
+  ByteWriter w(out);
+  w.u32be(xid);
+  w.u32be(0);  // CALL
+  w.u32be(2);  // RPC version
+  w.u32be(prog);
+  w.u32be(vers);
+  w.u32be(proc);
+  w.u32be(0);  // cred flavor AUTH_NONE
+  w.u32be(0);  // cred length
+  w.u32be(0);  // verf flavor
+  w.u32be(0);  // verf length
+  for (std::size_t i = 0; i < arg_len; ++i) out.push_back(static_cast<std::uint8_t>(i * 7));
+  return out;
+}
+
+std::vector<std::uint8_t> encode_rpc_reply(std::uint32_t xid, std::uint32_t nfs_status,
+                                           std::size_t result_len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(28 + result_len);
+  ByteWriter w(out);
+  w.u32be(xid);
+  w.u32be(1);  // REPLY
+  w.u32be(0);  // MSG_ACCEPTED
+  w.u32be(0);  // verf flavor
+  w.u32be(0);  // verf length
+  w.u32be(0);  // accept_stat SUCCESS
+  w.u32be(nfs_status);
+  for (std::size_t i = 0; i < result_len; ++i) out.push_back(static_cast<std::uint8_t>(i * 3));
+  return out;
+}
+
+std::vector<std::uint8_t> rpc_record_mark(std::span<const std::uint8_t> msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + msg.size());
+  ByteWriter w(out);
+  w.u32be(0x80000000u | static_cast<std::uint32_t>(msg.size()));
+  w.bytes(msg);
+  return out;
+}
+
+std::optional<RpcMessage> decode_rpc(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  RpcMessage msg;
+  msg.body_len = static_cast<std::uint32_t>(data.size());
+  msg.xid = r.u32be();
+  const std::uint32_t mtype = r.u32be();
+  if (!r.ok()) return std::nullopt;
+  if (mtype == 0) {
+    msg.is_call = true;
+    const std::uint32_t rpcvers = r.u32be();
+    msg.prog = r.u32be();
+    msg.vers = r.u32be();
+    msg.proc = r.u32be();
+    const std::uint32_t cred_flavor = r.u32be();
+    const std::uint32_t cred_len = r.u32be();
+    (void)cred_flavor;
+    r.skip(cred_len);
+    r.u32be();  // verf flavor
+    const std::uint32_t verf_len = r.u32be();
+    r.skip(verf_len);
+    if (!r.ok() || rpcvers != 2) return std::nullopt;
+  } else if (mtype == 1) {
+    msg.is_call = false;
+    const std::uint32_t reply_stat = r.u32be();
+    r.u32be();  // verf flavor
+    const std::uint32_t verf_len = r.u32be();
+    r.skip(verf_len);
+    const std::uint32_t accept_stat = r.u32be();
+    msg.status = r.u32be();
+    if (!r.ok() || reply_stat != 0 || accept_stat != 0) return std::nullopt;
+  } else {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+NfsParser::NfsParser(std::vector<NfsCall>& out, bool is_tcp) : out_(out), is_tcp_(is_tcp) {}
+
+void NfsParser::on_datagram(Connection& conn, Direction dir, double ts,
+                            std::span<const std::uint8_t> data, std::uint32_t wire_len) {
+  if (!is_tcp_) {
+    handle_message(conn, ts, data, wire_len);
+    return;
+  }
+  on_data(conn, dir, ts, data);
+}
+
+void NfsParser::on_data(Connection& conn, Direction dir, double ts,
+                        std::span<const std::uint8_t> data) {
+  if (!is_tcp_) {
+    handle_message(conn, ts, data, static_cast<std::uint32_t>(data.size()));
+    return;
+  }
+  StreamBuffer& buf = dir == Direction::kOrigToResp ? orig_buf_ : resp_buf_;
+  buf.append(data);
+  if (buf.overflowed()) return;
+  for (;;) {
+    auto avail = buf.data();
+    if (avail.size() < 4) return;
+    const std::uint32_t mark = (static_cast<std::uint32_t>(avail[0]) << 24) |
+                               (static_cast<std::uint32_t>(avail[1]) << 16) |
+                               (static_cast<std::uint32_t>(avail[2]) << 8) | avail[3];
+    const std::uint32_t len = mark & 0x7FFFFFFF;
+    if (len > 1 << 20) {  // implausible: resync
+      buf.consume(1);
+      continue;
+    }
+    if (avail.size() < 4 + len) return;
+    handle_message(conn, ts, avail.subspan(4, len), len);
+    buf.consume(4 + len);
+  }
+}
+
+void NfsParser::handle_message(Connection& conn, double ts, std::span<const std::uint8_t> msg,
+                               std::uint32_t wire_len) {
+  auto rpc = decode_rpc(msg);
+  if (!rpc) return;
+  const std::uint32_t size = std::max(wire_len, rpc->body_len);
+  if (rpc->is_call) {
+    if (rpc->prog != kNfsProgram) return;
+    NfsCall call;
+    call.conn = &conn;
+    call.req_ts = ts;
+    call.proc = rpc->proc;
+    call.req_bytes = size;
+    pending_[rpc->xid] = call;
+  } else {
+    auto it = pending_.find(rpc->xid);
+    if (it == pending_.end()) return;
+    NfsCall call = it->second;
+    pending_.erase(it);
+    call.has_reply = true;
+    call.resp_ts = ts;
+    call.status = rpc->status;
+    call.resp_bytes = size;
+    out_.push_back(call);
+  }
+}
+
+void NfsParser::on_close(Connection& conn) {
+  (void)conn;
+  for (auto& [xid, call] : pending_) out_.push_back(call);
+  pending_.clear();
+}
+
+}  // namespace entrace

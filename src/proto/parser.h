@@ -1,0 +1,27 @@
+// Base interface for per-connection application parsers, driven by the
+// dispatcher with in-order stream data from the flow table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "flow/connection.h"
+
+namespace entrace {
+
+class AppParser {
+ public:
+  virtual ~AppParser() = default;
+  virtual void on_data(Connection& conn, Direction dir, double ts,
+                       std::span<const std::uint8_t> data) = 0;
+  // UDP datagrams additionally carry the wire length, which can exceed the
+  // captured length under snaplen truncation.  Default: ignore the hint.
+  virtual void on_datagram(Connection& conn, Direction dir, double ts,
+                           std::span<const std::uint8_t> data, std::uint32_t wire_len) {
+    (void)wire_len;
+    on_data(conn, dir, ts, data);
+  }
+  virtual void on_close(Connection& conn) { (void)conn; }
+};
+
+}  // namespace entrace

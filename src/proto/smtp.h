@@ -1,0 +1,28 @@
+// Light SMTP command parsing.  The paper analyzes email mostly at the
+// transport layer (payloads are often encrypted); we parse the SMTP command
+// stream where visible, both to validate the email traffic model and to
+// classify connections.
+#pragma once
+
+#include <vector>
+
+#include "proto/events.h"
+#include "proto/parser.h"
+#include "proto/stream_buffer.h"
+
+namespace entrace {
+
+class SmtpParser : public AppParser {
+ public:
+  explicit SmtpParser(std::vector<SmtpCommand>& out);
+
+  void on_data(Connection& conn, Direction dir, double ts,
+               std::span<const std::uint8_t> data) override;
+
+ private:
+  std::vector<SmtpCommand>& out_;
+  StreamBuffer client_buf_;
+  bool in_data_ = false;  // between DATA and the dot terminator
+};
+
+}  // namespace entrace

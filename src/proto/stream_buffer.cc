@@ -1,0 +1,35 @@
+#include "proto/stream_buffer.h"
+
+#include <algorithm>
+
+namespace entrace {
+
+StreamBuffer::StreamBuffer(std::size_t max_buffer) : max_buffer_(max_buffer) {}
+
+void StreamBuffer::append(std::span<const std::uint8_t> data) {
+  total_seen_ += data.size();
+  if (pending_skip_ > 0) {
+    const std::uint64_t eat = std::min<std::uint64_t>(pending_skip_, data.size());
+    pending_skip_ -= eat;
+    data = data.subspan(static_cast<std::size_t>(eat));
+  }
+  if (data.empty() || overflowed_) return;
+  if (buffer_.size() + data.size() > max_buffer_) {
+    overflowed_ = true;
+    return;
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void StreamBuffer::skip(std::uint64_t n) {
+  const std::uint64_t from_buffer = std::min<std::uint64_t>(n, buffer_.size());
+  consume(static_cast<std::size_t>(from_buffer));
+  pending_skip_ += n - from_buffer;
+}
+
+void StreamBuffer::consume(std::size_t n) {
+  n = std::min(n, buffer_.size());
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+}  // namespace entrace

@@ -1,0 +1,44 @@
+// Per-direction stream buffer used by TCP application parsers for message
+// framing.
+//
+// Parsers often know a message body's length from its header and have no
+// need to buffer the body; skip() consumes bytes lazily so an 8 MB HTTP
+// body costs no memory.  A hard cap bounds memory against pathological
+// streams (binary data on a text port, etc.).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace entrace {
+
+class StreamBuffer {
+ public:
+  explicit StreamBuffer(std::size_t max_buffer = 256 * 1024);
+
+  // Append incoming stream data (after discharging any pending skip).
+  void append(std::span<const std::uint8_t> data);
+
+  // Discard n bytes of stream: first from the buffer, the remainder from
+  // future appends.
+  void skip(std::uint64_t n);
+
+  // Currently buffered contiguous data.
+  std::span<const std::uint8_t> data() const { return {buffer_.data(), buffer_.size()}; }
+  void consume(std::size_t n);
+
+  std::uint64_t pending_skip() const { return pending_skip_; }
+  // True once the buffer cap was hit; the parser should stop trying.
+  bool overflowed() const { return overflowed_; }
+  std::uint64_t total_seen() const { return total_seen_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::uint64_t pending_skip_ = 0;
+  std::uint64_t total_seen_ = 0;
+  std::size_t max_buffer_;
+  bool overflowed_ = false;
+};
+
+}  // namespace entrace

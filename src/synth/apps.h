@@ -1,0 +1,83 @@
+// Application traffic generators.  Each gen_* fills one monitored-subnet
+// trace with the sessions of its application family, drawing endpoints so
+// that at least one side lives in the monitored subnet (the tap sees only
+// traffic entering/leaving the subnet, §2).
+#pragma once
+
+#include <vector>
+
+#include "synth/dataset_spec.h"
+#include "synth/model.h"
+#include "synth/sink.h"
+#include "synth/tcp_builder.h"
+#include "synth/udp_builder.h"
+#include "util/rng.h"
+
+namespace entrace {
+
+class GenContext {
+ public:
+  GenContext(PacketSink& sink, Rng& rng, const EnterpriseModel& model, const DatasetSpec& spec,
+             int subnet, double t0, double t1)
+      : sink_(sink), rng_(rng), model_(model), spec_(spec), subnet_(subnet), t0_(t0), t1_(t1) {}
+
+  PacketSink& sink() { return sink_; }
+  Rng& rng() { return rng_; }
+  const EnterpriseModel& model() const { return model_; }
+  const DatasetSpec& spec() const { return spec_; }
+  int subnet() const { return subnet_; }
+  double t0() const { return t0_; }
+  double t1() const { return t1_; }
+  double duration() const { return t1_ - t0_; }
+
+  // True if `s` is the monitored subnet.
+  bool monitoring(int s) const { return s == subnet_; }
+  // True if host is visible from this tap (in the monitored subnet).
+  bool local(const HostRef& h) const { return model_.subnet_of(h.ip) == subnet_; }
+
+  // ---- endpoint selection ---------------------------------------------------
+  HostRef local_host() { return model_.host(subnet_, pick_host_index()); }
+  // Internal host in a different subnet.
+  HostRef other_internal();
+  HostRef external();
+
+  // ---- arrivals ---------------------------------------------------------------
+  // Session start times: Poisson-ish count of expected*scale, uniform in
+  // the window (leaving headroom so sessions can complete).
+  std::vector<double> arrivals(double expected_at_scale1, double headroom = 0.05);
+  // Arrivals at paper magnitude, NOT multiplied by scale — for entities
+  // whose *count* the paper reports absolutely (e.g. NCP connections,
+  // Table 12) while their per-entity volume scales instead.
+  std::vector<double> arrivals_abs(double expected, double headroom = 0.05);
+  // Count only.
+  std::size_t scaled_count(double expected_at_scale1);
+
+  std::uint16_t ephemeral_port() {
+    return static_cast<std::uint16_t>(1024 + rng_.uniform_int(0, 60000));
+  }
+
+  TcpOptions lan_tcp() const;
+  TcpOptions wan_tcp() const;
+
+ private:
+  std::uint32_t pick_host_index();
+
+  PacketSink& sink_;
+  Rng& rng_;
+  const EnterpriseModel& model_;
+  const DatasetSpec& spec_;
+  int subnet_;
+  double t0_, t1_;
+};
+
+void gen_web(GenContext& ctx);
+void gen_email(GenContext& ctx);
+void gen_name(GenContext& ctx);
+void gen_windows(GenContext& ctx);
+void gen_netfile(GenContext& ctx);
+void gen_backup(GenContext& ctx);
+void gen_other(GenContext& ctx);       // interactive/streaming/net-mgnt/misc/bulk
+void gen_background(GenContext& ctx);  // ARP/IPX/other-L3/rare IP protocols
+void gen_scanner(GenContext& ctx);
+
+}  // namespace entrace

@@ -1,0 +1,71 @@
+// Link-layer background (Table 2): ARP request/reply chatter, broadcast
+// IPX (SAP/RIP advertising from the Netware environment), other non-IP
+// ethertypes, and the rare IP transports the paper lists (IGMP, ESP, GRE,
+// PIM, protocol 224).
+#include "net/encoder.h"
+#include "proto/registry.h"
+#include "synth/apps.h"
+
+namespace entrace {
+
+void gen_background(GenContext& ctx) {
+  Rng& rng = ctx.rng();
+  const BackgroundKnobs& k = ctx.spec().background;
+  const EnterpriseModel& m = ctx.model();
+
+  // ---- ARP ------------------------------------------------------------------
+  for (double t : ctx.arrivals(k.arp_per_trace)) {
+    const HostRef asker = ctx.local_host();
+    const HostRef target = m.host(ctx.subnet(), static_cast<std::uint32_t>(
+                                                    rng.uniform_int(0, 199)));
+    ctx.sink().emit(t, make_arp_frame(asker.mac, ArpHeader::kRequest, asker.ip, target.ip));
+    if (rng.bernoulli(0.7)) {
+      ctx.sink().emit(t + 0.0004,
+                      make_arp_frame(target.mac, ArpHeader::kReply, target.ip, asker.ip));
+    }
+  }
+
+  // ---- IPX broadcasts ----------------------------------------------------------
+  for (double t : ctx.arrivals(k.ipx_per_trace)) {
+    const HostRef src = ctx.local_host();
+    // SAP advertising (socket 0x0452) and RIP (0x0453) broadcasts.
+    const bool sap = rng.bernoulli(0.7);
+    ctx.sink().emit(t, make_ipx_frame(src.mac, MacAddress::broadcast(), 4,
+                                      sap ? 0x0452 : 0x0453, sap ? 0x0452 : 0x0453,
+                                      64 + rng.uniform_int(0, 400)));
+  }
+
+  // ---- other non-IP ethertypes (AppleTalk, DECnet remnants) -----------------
+  for (double t : ctx.arrivals(k.other_l3_per_trace)) {
+    const HostRef src = ctx.local_host();
+    std::vector<std::uint8_t> frame;
+    ByteWriter w(frame);
+    EthernetHeader eth{MacAddress::broadcast(), src.mac,
+                       rng.bernoulli(0.6) ? ethertype::kAppleTalk : ethertype::kDecnet};
+    eth.encode(w);
+    w.bytes(filler_payload(46 + rng.uniform_int(0, 200)));
+    ctx.sink().emit(t, std::move(frame));
+  }
+
+  // ---- rare IP transports ---------------------------------------------------------
+  for (double t : ctx.arrivals(k.igmp_flows)) {
+    const HostRef src = ctx.local_host();
+    FrameEndpoints ep{src.mac, MacAddress::broadcast(), src.ip, Ipv4Address(224, 0, 0, 1)};
+    ctx.sink().emit(t, make_ip_frame(ep, ipproto::kIgmp, 8));
+  }
+  for (double t : ctx.arrivals(k.rare_ip_protos)) {
+    const HostRef src = ctx.local_host();
+    const HostRef dst = ctx.other_internal();
+    FrameEndpoints ep{src.mac, dst.mac, src.ip, dst.ip};
+    std::uint8_t proto;
+    switch (rng.weighted({0.3, 0.3, 0.2, 0.2})) {
+      case 0: proto = ipproto::kEsp; break;
+      case 1: proto = ipproto::kGre; break;
+      case 2: proto = ipproto::kPim; break;
+      default: proto = ipproto::kProto224; break;
+    }
+    ctx.sink().emit(t, make_ip_frame(ep, proto, 80 + rng.uniform_int(0, 800)));
+  }
+}
+
+}  // namespace entrace

@@ -1,0 +1,90 @@
+// Backup traffic (§5.2.3, Table 15): Veritas with separate control and
+// strictly one-way data connections, Dantz with bidirectional data inside
+// one connection, Connected backing up to an external service — plus the
+// lossy-path Veritas trace behind Figure 10's 5% retransmission outlier.
+#include "proto/registry.h"
+#include "synth/apps.h"
+
+namespace entrace {
+namespace {
+
+std::uint64_t mb(double v) { return static_cast<std::uint64_t>(v * 1024 * 1024); }
+
+}  // namespace
+
+void gen_backup(GenContext& ctx) {
+  Rng& rng = ctx.rng();
+  const BackupKnobs& k = ctx.spec().backup;
+  const EnterpriseModel& m = ctx.model();
+  const bool lossy_trace = rng.bernoulli(k.lossy_trace_frac);
+
+  // ---- Veritas: control connections (tiny, chatty) -------------------------
+  for (double t : ctx.arrivals(k.veritas_ctrl_conns)) {
+    const HostRef client = ctx.local_host();
+    if (m.subnet_of(m.veritas_server().ip) == ctx.subnet()) continue;
+    TcpFlowBuilder tcp(ctx.sink(), rng, client, m.veritas_server(), ctx.ephemeral_port(),
+                       ports::kVeritasCtrl, t, ctx.lan_tcp());
+    tcp.connect();
+    for (int i = 0; i < 4; ++i) {
+      tcp.client_message(filler_payload(48 + rng.uniform_int(0, 80)));
+      tcp.server_message(filler_payload(32 + rng.uniform_int(0, 60)));
+      tcp.advance(rng.exponential(2.0));
+    }
+    tcp.close();
+  }
+
+  // ---- Veritas: data connections (huge, strictly client -> server) ---------
+  // A lossy trace always carries its Veritas transfer — the Figure 10
+  // outlier is a single backup connection crossing a flaky path.
+  auto veritas_arrivals = ctx.arrivals(k.veritas_data_conns);
+  if (lossy_trace && veritas_arrivals.empty()) {
+    veritas_arrivals.push_back(ctx.t0() + ctx.duration() * 0.1);
+  }
+  for (double t : veritas_arrivals) {
+    const HostRef client = ctx.local_host();
+    if (m.subnet_of(m.veritas_server().ip) == ctx.subnet()) continue;
+    TcpOptions opt = ctx.lan_tcp();
+    if (lossy_trace) opt.loss_rate = 0.05;  // flaky NIC / congested segment
+    TcpFlowBuilder tcp(ctx.sink(), rng, client, m.veritas_server(), ctx.ephemeral_port(),
+                       ports::kVeritasData, t, opt);
+    tcp.connect();
+    const std::uint64_t bytes = mb(k.veritas_data_mb * rng.pareto(1.3, 0.15, 12.0));
+    tcp.client_transfer(bytes);
+    tcp.close();
+  }
+
+  // ---- Dantz: single connection, bidirectional data ---------------------------
+  for (double t : ctx.arrivals(k.dantz_conns)) {
+    const HostRef client = ctx.local_host();
+    if (m.subnet_of(m.dantz_server().ip) == ctx.subnet()) continue;
+    TcpFlowBuilder tcp(ctx.sink(), rng, client, m.dantz_server(), ctx.ephemeral_port(),
+                       ports::kDantz, t, ctx.lan_tcp());
+    tcp.connect();
+    // Control exchange inside the data connection.
+    tcp.client_message(filler_payload(220));
+    tcp.server_message(filler_payload(180));
+    const std::uint64_t c2s = mb(k.dantz_mb * rng.pareto(1.3, 0.1, 10.0));
+    tcp.client_transfer(c2s);
+    if (rng.bernoulli(k.dantz_bidir_frac)) {
+      // Fingerprint/validation exchange: tens of MB server -> client,
+      // within the same connection.
+      tcp.server_transfer(mb(k.dantz_mb * rng.uniform(0.3, 1.2)));
+    } else {
+      tcp.server_transfer(mb(0.02));
+    }
+    tcp.close();
+  }
+
+  // ---- Connected: backup to an external provider ------------------------------
+  for (double t : ctx.arrivals(k.connected_conns)) {
+    const HostRef client = ctx.local_host();
+    TcpFlowBuilder tcp(ctx.sink(), rng, client, ctx.external(), ctx.ephemeral_port(),
+                       ports::kConnected, t, ctx.wan_tcp());
+    tcp.connect();
+    tcp.client_transfer(mb(k.connected_mb * rng.pareto(1.4, 0.2, 8.0)));
+    tcp.server_transfer(mb(0.01));
+    tcp.close();
+  }
+}
+
+}  // namespace entrace

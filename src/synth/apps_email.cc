@@ -1,0 +1,173 @@
+// Email traffic (§5.1.2): SMTP command dialogues with RTT- and
+// processing-dominated durations (Figure 5), heavy-tailed message sizes
+// (Figure 6), the IMAP4 -> IMAP/S policy transition between D0 and D1
+// (Table 8), and long-lived internal IMAP sessions with ~10-minute polls.
+#include <string>
+
+#include "proto/registry.h"
+#include "synth/apps.h"
+
+namespace entrace {
+namespace {
+
+std::vector<std::uint8_t> line(const std::string& s) {
+  std::string msg = s + "\r\n";
+  return {msg.begin(), msg.end()};
+}
+
+void smtp_session(GenContext& ctx, double start, const HostRef& client, const HostRef& server,
+                  bool wan, bool rejected, bool allow_huge = true) {
+  Rng& rng = ctx.rng();
+  TcpOptions opt = wan ? ctx.wan_tcp() : ctx.lan_tcp();
+  TcpFlowBuilder tcp(ctx.sink(), rng, client, server, ctx.ephemeral_port(), ports::kSmtp, start,
+                     opt);
+  if (rejected) {
+    if (rng.bernoulli(0.6)) {
+      tcp.connect_rejected();
+    } else {
+      tcp.connect_unanswered(2);
+    }
+    return;
+  }
+  tcp.connect();
+  // Per-command server processing delay: the dominant term for internal
+  // connections (median 0.2-0.4 s); WAN adds ~RTT per exchange on top.
+  auto step = [&] { tcp.advance(rng.exponential(0.045)); };
+  tcp.server_message(line("220 smtp.lbl.example ESMTP"));
+  step();
+  tcp.client_message(line("HELO client.lbl.example"));
+  tcp.server_message(line("250 smtp.lbl.example"));
+  step();
+  tcp.client_message(line("MAIL FROM:<user@lbl.example>"));
+  tcp.server_message(line("250 2.1.0 Ok"));
+  step();
+  tcp.client_message(line("RCPT TO:<peer@example.org>"));
+  tcp.server_message(line("250 2.1.5 Ok"));
+  step();
+  tcp.client_message(line("DATA"));
+  tcp.server_message(line("354 End data with <CR><LF>.<CR><LF>"));
+  // Message body: log-normal core with a Pareto upper tail (attachments).
+  std::size_t body = static_cast<std::size_t>(rng.lognormal(9.2, 1.2));
+  if (allow_huge && rng.bernoulli(0.06))
+    body = static_cast<std::size_t>(rng.pareto(1.1, 2e5, 3e8));
+  tcp.client_transfer(body);
+  tcp.client_message(line("."));
+  step();
+  tcp.server_message(line("250 2.0.0 Ok: queued"));
+  step();
+  tcp.client_message(line("QUIT"));
+  tcp.server_message(line("221 2.0.0 Bye"));
+  tcp.close();
+}
+
+void imap_session(GenContext& ctx, double start, const HostRef& client, const HostRef& server,
+                  bool wan) {
+  Rng& rng = ctx.rng();
+  const bool secure = ctx.spec().imap_secure;
+  const std::uint16_t port = secure ? ports::kImapS : ports::kImap4;
+  TcpOptions opt = wan ? ctx.wan_tcp() : ctx.lan_tcp();
+  TcpFlowBuilder tcp(ctx.sink(), rng, client, server, ctx.ephemeral_port(), port, start, opt);
+  tcp.connect();
+  // Opaque (TLS) login exchange, then the initial mailbox sync — the bulk
+  // of a session's volume (Figure 6b's server->client dominance).
+  tcp.client_message(filler_payload(240));
+  tcp.server_message(filler_payload(800));
+  tcp.client_message(filler_payload(120));
+  {
+    std::size_t sync = static_cast<std::size_t>(rng.lognormal(10.5, 1.4));
+    if (rng.bernoulli(0.05)) sync = static_cast<std::size_t>(rng.pareto(1.1, 1e5, 2e8));
+    tcp.server_transfer(sync);
+  }
+
+  // Internal sessions persist and poll every ~10 minutes (duration up to
+  // ~50 min); WAN sessions are 1-2 orders of magnitude shorter.
+  const double max_dur = wan ? rng.pareto(1.2, 0.5, 120.0) : rng.uniform(30.0, 3000.0);
+  const double end = std::min(ctx.t1(), start + max_dur);
+  double poll_interval = wan ? rng.uniform(2.0, 30.0) : 600.0;
+  while (tcp.now() + poll_interval < end) {
+    tcp.advance(poll_interval);
+    tcp.client_message(filler_payload(80 + rng.uniform_int(0, 120)));
+    std::size_t mail = static_cast<std::size_t>(rng.lognormal(8.5, 1.6));
+    if (rng.bernoulli(0.03)) mail = static_cast<std::size_t>(rng.pareto(1.1, 1e5, 2e8));
+    tcp.server_transfer(mail);
+  }
+  tcp.close();
+}
+
+}  // namespace
+
+void gen_email(GenContext& ctx) {
+  Rng& rng = ctx.rng();
+  const EmailKnobs& em = ctx.spec().email;
+  const EnterpriseModel& m = ctx.model();
+
+  const int smtp_subnet = m.subnet_of(m.smtp_server(0).ip);
+  const bool mail_monitored = ctx.monitoring(smtp_subnet);
+
+  // ---- SMTP ----------------------------------------------------------------
+  // Client-side: local hosts submitting mail to the enterprise MX.
+  for (double t : ctx.arrivals(em.smtp_client_sessions)) {
+    const HostRef client = ctx.local_host();
+    const HostRef server = m.smtp_server(static_cast<int>(rng.uniform_int(0, 1)));
+    if (m.subnet_of(server.ip) == ctx.subnet()) continue;  // intra-subnet: invisible
+    // Desktop submissions rarely carry the giant attachments; those enter
+    // via the MX volume (keeps D3/D4's small SMTP totals from being
+    // dominated by a single tail draw).
+    smtp_session(ctx, t, client, server, false, rng.bernoulli(0.03), /*allow_huge=*/false);
+  }
+  // Departmental servers delivering straight to external MTAs (the small
+  // WAN SMTP population seen even when the MX subnets are unmonitored).
+  for (double t : ctx.arrivals(em.smtp_client_sessions * 0.25)) {
+    smtp_session(ctx, t, ctx.local_host(), ctx.external(), true,
+                 rng.bernoulli(em.smtp_wan_fail / 3), /*allow_huge=*/false);
+  }
+  if (mail_monitored) {
+    // Server-side: the whole site and the WAN converge on these MXs.
+    for (double t : ctx.arrivals(em.smtp_client_sessions * em.server_subnet_boost)) {
+      const HostRef server = m.smtp_server(static_cast<int>(rng.uniform_int(0, 1)));
+      const bool wan = rng.bernoulli(em.smtp_wan_frac);
+      const HostRef client = wan ? ctx.external() : ctx.other_internal();
+      // Busy-server effect: WAN attempts to the loaded MXs fail more often
+      // (the paper: 71-93% success in D0-2 vs 99-100% in D3-4).
+      const double fail = wan ? 0.15 : 0.03;
+      smtp_session(ctx, t, client, server, wan, rng.bernoulli(fail));
+      if (ctx.sink().window_end() < t) break;
+    }
+    // Outbound relay: MX delivering to external MTAs.
+    for (double t : ctx.arrivals(em.smtp_client_sessions * em.server_subnet_boost * 0.4)) {
+      smtp_session(ctx, t, m.smtp_server(0), ctx.external(), true, rng.bernoulli(0.05));
+    }
+  }
+
+  // ---- IMAP(/S) ---------------------------------------------------------------
+  const int imap_subnet = m.subnet_of(m.imap_server().ip);
+  for (double t : ctx.arrivals(em.imap_sessions)) {
+    const HostRef client = ctx.local_host();
+    if (imap_subnet == ctx.subnet()) continue;
+    imap_session(ctx, t, client, m.imap_server(), false);
+  }
+  if (ctx.monitoring(imap_subnet)) {
+    for (double t : ctx.arrivals(em.imap_sessions * em.server_subnet_boost * 0.6)) {
+      const bool wan = rng.bernoulli(em.imap_wan_frac);
+      const HostRef client = wan ? ctx.external() : ctx.other_internal();
+      imap_session(ctx, t, client, m.imap_server(), wan);
+    }
+  }
+
+  // ---- POP3 / POP/S / LDAP (the "Other" row of Table 8) --------------------
+  for (double t : ctx.arrivals(em.pop_ldap_sessions)) {
+    const HostRef client = ctx.local_host();
+    const HostRef server = m.smtp_server(1);
+    if (m.subnet_of(server.ip) == ctx.subnet()) continue;
+    const std::uint16_t port =
+        rng.bernoulli(0.5) ? ports::kLdap : (rng.bernoulli(0.5) ? ports::kPop3 : ports::kPopS);
+    TcpFlowBuilder tcp(ctx.sink(), rng, client, server, ctx.ephemeral_port(), port, t,
+                       ctx.lan_tcp());
+    tcp.connect();
+    tcp.client_message(filler_payload(90));
+    tcp.server_message(filler_payload(400 + rng.uniform_int(0, 30000)));
+    tcp.close();
+  }
+}
+
+}  // namespace entrace

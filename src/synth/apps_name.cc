@@ -1,0 +1,208 @@
+// Name services (§5.1.3): DNS with the paper's request-type and
+// return-code mixes and on/off-site latency split; Netbios-NS with its
+// striking ~40-50% stale-name failure rate; multicast SrvLoc with its
+// peer-to-peer fan-out pattern.
+#include <string>
+
+#include "proto/dns.h"
+#include "proto/netbios.h"
+#include "proto/registry.h"
+#include "synth/apps.h"
+
+namespace entrace {
+namespace {
+
+std::uint16_t sample_qtype(Rng& rng, const NameKnobs& k) {
+  switch (rng.weighted({k.frac_a, k.frac_aaaa, k.frac_ptr, k.frac_mx,
+                        1.0 - k.frac_a - k.frac_aaaa - k.frac_ptr - k.frac_mx})) {
+    case 0:
+      return dnstype::kA;
+    case 1:
+      return dnstype::kAaaa;
+    case 2:
+      return dnstype::kPtr;
+    case 3:
+      return dnstype::kMx;
+    default:
+      return 16;  // TXT
+  }
+}
+
+std::string random_qname(Rng& rng, bool broken) {
+  const std::uint64_t n = rng.uniform_int(0, broken ? 800 : 4000);
+  return (broken ? "stale" : "host") + std::to_string(n) +
+         (rng.bernoulli(0.5) ? ".lbl.example" : ".example.org");
+}
+
+// One DNS query/response exchange on a fresh ephemeral port (one UDP flow
+// per lookup, as resolvers of the era behaved under per-query sockets).
+void dns_lookup(GenContext& ctx, double t, const HostRef& client, const HostRef& server,
+                double latency, std::uint16_t qtype, bool fails) {
+  Rng& rng = ctx.rng();
+  DnsMessage q;
+  q.id = static_cast<std::uint16_t>(rng.next_u64());
+  q.qname = random_qname(rng, fails);
+  q.qtype = qtype;
+  const std::uint16_t sport = ctx.ephemeral_port();
+  send_udp(ctx.sink(), client, server, sport, ports::kDns, t, encode_dns(q));
+  DnsMessage r = q;
+  r.is_response = true;
+  r.rcode = fails ? dnsrcode::kNxDomain : dnsrcode::kNoError;
+  r.ancount = fails ? 0 : static_cast<std::uint16_t>(1 + rng.uniform_int(0, 2));
+  send_udp(ctx.sink(), server, client, ports::kDns, sport, t + latency, encode_dns(r));
+
+  // Hosts configured to resolve A and AAAA in parallel (the paper's
+  // explanation for the surprisingly high AAAA share).
+  if (qtype == dnstype::kA && rng.bernoulli(0.3)) {
+    DnsMessage q6 = q;
+    q6.id = static_cast<std::uint16_t>(rng.next_u64());
+    q6.qtype = dnstype::kAaaa;
+    const std::uint16_t sport6 = ctx.ephemeral_port();
+    send_udp(ctx.sink(), client, server, sport6, ports::kDns, t + 0.0002, encode_dns(q6));
+    DnsMessage r6 = q6;
+    r6.is_response = true;
+    r6.rcode = r.rcode;
+    r6.ancount = fails ? 0 : 1;
+    send_udp(ctx.sink(), server, client, ports::kDns, sport6, t + 0.0002 + latency,
+             encode_dns(r6));
+  }
+}
+
+void gen_dns(GenContext& ctx) {
+  Rng& rng = ctx.rng();
+  const NameKnobs& k = ctx.spec().names;
+  const EnterpriseModel& m = ctx.model();
+
+  auto ent_latency = [&rng] { return 0.0003 + rng.exponential(0.0002); };
+  auto wan_latency = [&rng] { return 0.008 + rng.exponential(0.015); };
+
+  // Local clients resolving via the site's DNS servers.
+  for (double t : ctx.arrivals(k.dns_client_queries)) {
+    const HostRef client = ctx.local_host();
+    const HostRef server = m.dns_server(static_cast<int>(rng.uniform_int(0, 1)));
+    if (m.subnet_of(server.ip) == ctx.subnet()) continue;  // handled server-side
+    dns_lookup(ctx, t, client, server, ent_latency(), sample_qtype(rng, k),
+               rng.bernoulli(k.nxdomain_rate));
+  }
+
+  // SMTP servers are the top DNS clients (lookups for incoming mail);
+  // visible when their subnet is monitored.
+  if (ctx.monitoring(m.subnet_of(m.smtp_server(0).ip))) {
+    for (double t : ctx.arrivals(k.smtp_lookup_queries)) {
+      const HostRef client = m.smtp_server(static_cast<int>(rng.uniform_int(0, 1)));
+      const HostRef server = m.dns_server(0);
+      const std::uint16_t qtype = rng.bernoulli(0.4) ? dnstype::kMx
+                                  : rng.bernoulli(0.5) ? dnstype::kPtr
+                                                       : dnstype::kA;
+      dns_lookup(ctx, t, client, server, ent_latency(), qtype,
+                 rng.bernoulli(k.nxdomain_rate));
+    }
+  }
+
+  // Server-side view when a main DNS server's subnet is monitored: queries
+  // from everywhere, plus the resolver's own WAN lookups.
+  for (int i = 0; i < 2; ++i) {
+    const HostRef server = m.dns_server(i);
+    if (!ctx.monitoring(m.subnet_of(server.ip))) continue;
+    for (double t : ctx.arrivals(k.dns_client_queries * k.dns_server_boost / 10.0)) {
+      dns_lookup(ctx, t, ctx.other_internal(), server, ent_latency(), sample_qtype(rng, k),
+                 rng.bernoulli(k.nxdomain_rate));
+    }
+    // Recursive lookups to off-site authorities (WAN latency ~20 ms).
+    for (double t : ctx.arrivals(k.dns_client_queries * k.dns_server_boost / 14.0)) {
+      dns_lookup(ctx, t, server, ctx.external(), wan_latency(), sample_qtype(rng, k),
+                 rng.bernoulli(k.nxdomain_rate));
+    }
+  }
+}
+
+void gen_nbns(GenContext& ctx) {
+  Rng& rng = ctx.rng();
+  const NameKnobs& k = ctx.spec().names;
+  const EnterpriseModel& m = ctx.model();
+
+  // Name pool: a name is persistently stale (fails) by hash — failures are
+  // a property of the name going out of date, not of any one client.
+  auto name_for = [&rng, &k](bool& fails) {
+    fails = rng.bernoulli(k.nbns_fail_rate);
+    const std::uint64_t n = rng.uniform_int(0, fails ? 600 : 1500);
+    return (fails ? "OLDHOST" : "HOST") + std::to_string(n);
+  };
+
+  auto one_request = [&](double t, const HostRef& client) {
+    const HostRef server = m.nbns_server(rng.bernoulli(0.95) ? 0 : 1);
+    if (m.subnet_of(server.ip) == m.subnet_of(client.ip)) return;
+    NbnsMessage msg;
+    msg.id = static_cast<std::uint16_t>(rng.next_u64());
+    const double r = rng.uniform();
+    if (r < k.nbns_query_frac) {
+      msg.opcode = nbns_opcode::kQuery;
+    } else if (r < k.nbns_query_frac + k.nbns_refresh_frac) {
+      msg.opcode = nbns_opcode::kRefresh;
+    } else {
+      msg.opcode = rng.bernoulli(0.6) ? nbns_opcode::kRegistration : nbns_opcode::kRelease;
+    }
+    bool fails = false;
+    msg.name = name_for(fails);
+    // Name-type mix: 63-71% workstation/server, 22-32% domain/browser.
+    switch (rng.weighted({0.45, 0.22, 0.27, 0.06})) {
+      case 0: msg.suffix = nbns_suffix::kWorkstation; break;
+      case 1: msg.suffix = nbns_suffix::kServer; break;
+      case 2:
+        msg.suffix = rng.bernoulli(0.5) ? nbns_suffix::kDomainGroup : nbns_suffix::kBrowser;
+        break;
+      default: msg.suffix = 0x03; break;  // messenger
+    }
+    const std::uint16_t sport = ctx.ephemeral_port();
+    send_udp(ctx.sink(), client, server, sport, ports::kNetbiosNs, t, encode_nbns(msg));
+    NbnsMessage resp = msg;
+    resp.is_response = true;
+    resp.rcode = (msg.opcode == nbns_opcode::kQuery && fails) ? 3 : 0;
+    send_udp(ctx.sink(), server, client, ports::kNetbiosNs, sport, t + 0.0006,
+             encode_nbns(resp));
+  };
+
+  // Requests spread across many clients (top-10 < 40% of requests).
+  for (double t : ctx.arrivals(k.nbns_requests)) one_request(t, ctx.local_host());
+  // Server-side view.
+  for (int i = 0; i < 2; ++i) {
+    if (!ctx.monitoring(m.subnet_of(m.nbns_server(i).ip))) continue;
+    for (double t : ctx.arrivals(k.nbns_requests * 6)) one_request(t, ctx.other_internal());
+  }
+}
+
+void gen_srvloc(GenContext& ctx) {
+  Rng& rng = ctx.rng();
+  const NameKnobs& k = ctx.spec().names;
+  // Multicast service-location announcements/queries from local hosts,
+  // plus the unicast peer-to-peer pattern that produces the fan-out tail
+  // (§4: "the tail of the internal fan-out ... is largely due to the
+  // peer-to-peer communication pattern of SrvLoc traffic").
+  for (double t : ctx.arrivals(k.srvloc_sessions)) {
+    const HostRef src = ctx.local_host();
+    send_udp_multicast(ctx.sink(), src, Ipv4Address(239, 255, 255, 253), ports::kSrvLoc,
+                       ports::kSrvLoc, t, 120 + rng.uniform_int(0, 240));
+  }
+  if (rng.bernoulli(0.4)) {
+    // One SrvLoc-chatty host unicasts to scores of internal peers.
+    const HostRef src = ctx.local_host();
+    const int peers = static_cast<int>(rng.uniform(80, 220));
+    double t = ctx.t0() + rng.uniform(0, ctx.duration() * 0.5);
+    for (int i = 0; i < peers && t < ctx.t1(); ++i) {
+      const HostRef peer = ctx.other_internal();
+      send_udp(ctx.sink(), src, peer, ports::kSrvLoc, ports::kSrvLoc, t,
+               filler_payload(140));
+      t += rng.exponential(ctx.duration() / (2.0 * peers));
+    }
+  }
+}
+
+}  // namespace
+
+void gen_name(GenContext& ctx) {
+  gen_dns(ctx);
+  gen_nbns(ctx);
+  gen_srvloc(ctx);
+}
+
+}  // namespace entrace

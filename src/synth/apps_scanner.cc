@@ -1,0 +1,97 @@
+// Scanning traffic (§3): the site's two proactive vulnerability scanners
+// sweeping address ranges in order (caught by the paper's heuristic /
+// known-scanner list), and external ICMP scanners whose ordered probing
+// survives the border filtering.  Scanner traffic is 4-18% of connections
+// before filtering.
+#include "proto/registry.h"
+#include "synth/apps.h"
+
+namespace entrace {
+
+void gen_scanner(GenContext& ctx) {
+  Rng& rng = ctx.rng();
+  const ScannerKnobs& k = ctx.spec().scanner;
+  const EnterpriseModel& m = ctx.model();
+
+  // ---- internal vulnerability scanners: ascending sweep ---------------------
+  // Sweeps run at absolute magnitude: the site's scanners probe on their
+  // own schedule regardless of how much user traffic we scale in, keeping
+  // the removed-connection share in the paper's 4-18% band.
+  for (double t : ctx.arrivals_abs(k.internal_sweeps)) {
+    const HostRef scanner = m.internal_scanner(static_cast<int>(rng.uniform_int(0, 1)));
+    double ts = t;
+    for (int i = 0; i < k.sweep_targets && ts < ctx.t1(); ++i) {
+      // Ascending through the monitored subnet's address space.
+      const HostRef target = EnterpriseModel::ref(ctx.model().subnet(ctx.subnet()).host(
+          static_cast<std::uint32_t>(4 + i)));
+      if (rng.bernoulli(k.scan_tcp_frac)) {
+        const std::uint16_t port =
+            rng.bernoulli(0.5) ? ports::kHttp : (rng.bernoulli(0.5) ? ports::kSsh : 21);
+        TcpFlowBuilder probe(ctx.sink(), rng, scanner, target, ctx.ephemeral_port(), port, ts,
+                             ctx.lan_tcp());
+        if (rng.bernoulli(0.3)) {
+          probe.connect();
+          probe.abort_rst();
+        } else if (rng.bernoulli(0.6)) {
+          probe.connect_rejected();
+        } else {
+          probe.connect_unanswered(0);
+        }
+      } else {
+        send_icmp_echo(ctx.sink(), scanner, target, false,
+                       static_cast<std::uint16_t>(rng.next_u64()),
+                       static_cast<std::uint16_t>(i), ts);
+        if (rng.bernoulli(0.5)) {
+          send_icmp_echo(ctx.sink(), target, scanner, true, 0,
+                         static_cast<std::uint16_t>(i), ts + 0.0005);
+        }
+      }
+      ts += rng.exponential(0.25);
+    }
+  }
+
+  // ---- Internet background radiation ---------------------------------------
+  // Worm-era probing from external sources in RANDOM target order: the §3
+  // heuristic does not (and should not) catch these, so they remain in the
+  // analyzed traffic and populate the wan->ent origin class and external
+  // fan-in of §4.
+  for (double t : ctx.arrivals_abs(ctx.spec().other.background_radiation)) {
+    const HostRef source = ctx.external();
+    const HostRef target = ctx.model().host(
+        ctx.subnet(), static_cast<std::uint32_t>(rng.uniform_int(0, 199)));
+    const double r = rng.uniform();
+    if (r < 0.25) {
+      send_icmp_echo(ctx.sink(), source, target, false,
+                     static_cast<std::uint16_t>(rng.next_u64()), 0, t);
+    } else {
+      // Worm-era targets: Windows services and SQL, not the web (inbound
+      // web scans are filtered at the border, §3).
+      const std::uint16_t port = rng.bernoulli(0.5)   ? ports::kCifs
+                                 : rng.bernoulli(0.5) ? ports::kEpm
+                                                      : ports::kMsSql;
+      TcpFlowBuilder probe(ctx.sink(), rng, source, target, ctx.ephemeral_port(), port, t,
+                           ctx.wan_tcp());
+      if (rng.bernoulli(0.6)) {
+        probe.connect_unanswered(1);
+      } else {
+        probe.connect_rejected();
+      }
+    }
+  }
+
+  // ---- external ICMP scanners: descending sweep across the subnet ----------
+  for (double t : ctx.arrivals_abs(k.external_icmp_scans)) {
+    const HostRef scanner = ctx.external();
+    double ts = t;
+    for (int i = 0; i < k.external_targets && ts < ctx.t1(); ++i) {
+      const HostRef target = EnterpriseModel::ref(ctx.model().subnet(ctx.subnet()).host(
+          static_cast<std::uint32_t>(250 - i)));
+      send_icmp_echo(ctx.sink(), scanner, target, false,
+                     static_cast<std::uint16_t>(rng.next_u64()),
+                     static_cast<std::uint16_t>(i), ts);
+      ts += rng.exponential(0.4);
+    }
+  }
+}
+
+}  // namespace entrace

@@ -1,0 +1,348 @@
+// Windows services (§5.2.1): the parallel 139/445 dialing behaviour that
+// depresses CIFS connection success (Table 9), NBSS handshakes, SMB
+// dialogues whose command mix reproduces Table 10, DCE/RPC over named
+// pipes and over Endpoint-Mapper-discovered TCP ports (Table 11), and
+// Netbios-DGM broadcast chatter.
+#include <string>
+
+#include "proto/cifs.h"
+#include "proto/dcerpc.h"
+#include "proto/registry.h"
+#include "synth/apps.h"
+
+namespace entrace {
+namespace {
+
+enum class SmbActivity { kRpcPipe, kFileShare, kLanman };
+
+DceIface sample_iface(Rng& rng, const WindowsKnobs& k) {
+  switch (rng.weighted({k.w_netlogon, k.w_lsarpc, k.w_spoolss_write + k.w_spoolss_other,
+                        k.w_other})) {
+    case 0:
+      return DceIface::kNetLogon;
+    case 1:
+      return DceIface::kLsaRpc;
+    case 2:
+      return DceIface::kSpoolss;
+    default:
+      return rng.bernoulli(0.5) ? DceIface::kSamr : DceIface::kWkssvc;
+  }
+}
+
+const char* pipe_name_for(DceIface iface) {
+  switch (iface) {
+    case DceIface::kNetLogon:
+      return "\\netlogon";
+    case DceIface::kLsaRpc:
+      return "\\lsarpc";
+    case DceIface::kSpoolss:
+      return "\\spoolss";
+    case DceIface::kSamr:
+      return "\\samr";
+    case DceIface::kWkssvc:
+      return "\\wkssvc";
+    default:
+      return "\\srvsvc";
+  }
+}
+
+// Run DCE/RPC calls over an SMB named pipe: bind, then request/response
+// pairs carried in WriteAndX / ReadAndX.
+void rpc_over_pipe(GenContext& ctx, TcpFlowBuilder& tcp, std::uint16_t& mid, std::uint16_t fid,
+                   DceIface iface) {
+  Rng& rng = ctx.rng();
+  const WindowsKnobs& k = ctx.spec().windows;
+  std::uint32_t call_id = 1;
+
+  tcp.client_message(smb_write_request(mid, fid, encode_dce_bind(call_id, dce_uuid(iface))));
+  tcp.server_message(smb_write_response(mid, fid));
+  ++mid;
+  tcp.client_message(smb_read_request(mid, fid, 4280));
+  tcp.server_message(smb_read_response(mid, fid, encode_dce_bind_ack(call_id)));
+  ++mid;
+  ++call_id;
+
+  int requests = 0;
+  if (iface == DceIface::kSpoolss) {
+    // A print job: open, a burst of WritePrinter calls pushing the job
+    // data, then end-doc.  WritePrinter stubs carry the page data.
+    const double write_share =
+        k.w_spoolss_write + k.w_spoolss_other > 0
+            ? k.w_spoolss_write / (k.w_spoolss_write + k.w_spoolss_other)
+            : 0.0;
+    // Print jobs push page data in long WritePrinter bursts.
+    requests = 10 + static_cast<int>(rng.pareto(1.0, 12.0, 900.0));
+    for (int i = 0; i < requests && tcp.now() < ctx.t1(); ++i) {
+      const bool write = rng.bernoulli(write_share);
+      const std::uint16_t opnum =
+          write ? spoolss_op::kWritePrinter
+                : (i == 0 ? spoolss_op::kOpenPrinter
+                          : (rng.bernoulli(0.5) ? spoolss_op::kStartDocPrinter
+                                                : spoolss_op::kEndDocPrinter));
+      const std::size_t stub = write ? 2800 + rng.uniform_int(0, 1400)
+                                     : 64 + rng.uniform_int(0, 256);
+      tcp.client_message(smb_write_request(mid, fid, encode_dce_request(call_id, opnum, stub)));
+      tcp.server_message(smb_write_response(mid, fid));
+      ++mid;
+      tcp.client_message(smb_read_request(mid, fid, 4280));
+      tcp.server_message(smb_read_response(mid, fid, encode_dce_response(call_id, 32)));
+      ++mid;
+      ++call_id;
+      tcp.advance(rng.exponential(0.01));
+    }
+  } else {
+    // Authentication / directory traffic: small request/response pairs.
+    requests = 2 + static_cast<int>(rng.exponential(5.0));
+    for (int i = 0; i < requests && tcp.now() < ctx.t1(); ++i) {
+      const std::uint16_t opnum = static_cast<std::uint16_t>(rng.uniform_int(0, 45));
+      tcp.client_message(
+          smb_write_request(mid, fid, encode_dce_request(call_id, opnum,
+                                                         100 + rng.uniform_int(0, 400))));
+      tcp.server_message(smb_write_response(mid, fid));
+      ++mid;
+      tcp.client_message(smb_read_request(mid, fid, 4280));
+      tcp.server_message(
+          smb_read_response(mid, fid, encode_dce_response(call_id, 80 + rng.uniform_int(0, 700))));
+      ++mid;
+      ++call_id;
+      tcp.advance(rng.exponential(0.05));
+    }
+  }
+}
+
+void smb_dialogue(GenContext& ctx, TcpFlowBuilder& tcp, DceIface iface) {
+  Rng& rng = ctx.rng();
+  const WindowsKnobs& k = ctx.spec().windows;
+  std::uint16_t mid = 1;
+
+  tcp.client_message(smb_simple(smbcmd::kNegotiate, mid, false, 60));
+  tcp.server_message(smb_simple(smbcmd::kNegotiate, mid, true, 90));
+  ++mid;
+  tcp.client_message(smb_simple(smbcmd::kSessionSetup, mid, false, 140));
+  tcp.server_message(smb_simple(smbcmd::kSessionSetup, mid, true, 60));
+  ++mid;
+  tcp.client_message(smb_simple(smbcmd::kTreeConnect, mid, false, 48));
+  tcp.server_message(smb_simple(smbcmd::kTreeConnect, mid, true, 24));
+  ++mid;
+
+  SmbActivity activity = SmbActivity::kRpcPipe;
+  const double r = rng.uniform();
+  if (r < k.file_share_frac) {
+    activity = SmbActivity::kFileShare;
+  } else if (r < k.file_share_frac + k.lanman_frac) {
+    activity = SmbActivity::kLanman;
+  }
+
+  switch (activity) {
+    case SmbActivity::kRpcPipe: {
+      const std::uint16_t fid = static_cast<std::uint16_t>(rng.uniform_int(0x100, 0xFFF0));
+      tcp.client_message(smb_ntcreate_request(mid, pipe_name_for(iface)));
+      tcp.server_message(smb_ntcreate_response(mid, fid));
+      ++mid;
+      rpc_over_pipe(ctx, tcp, mid, fid, iface);
+      tcp.client_message(smb_simple(smbcmd::kClose, mid, false, 0));
+      tcp.server_message(smb_simple(smbcmd::kClose, mid, true, 0));
+      ++mid;
+      break;
+    }
+    case SmbActivity::kFileShare: {
+      const std::uint16_t fid = static_cast<std::uint16_t>(rng.uniform_int(0x100, 0xFFF0));
+      tcp.client_message(
+          smb_ntcreate_request(mid, "\\docs\\report" + std::to_string(rng.uniform_int(0, 500)) +
+                                        ".doc"));
+      tcp.server_message(smb_ntcreate_response(mid, fid));
+      ++mid;
+      const bool writing = rng.bernoulli(0.35);
+      const int ops = 2 + static_cast<int>(rng.pareto(1.2, 2.0, 40.0));
+      for (int i = 0; i < ops && tcp.now() < ctx.t1(); ++i) {
+        const std::size_t chunk = 2048 + rng.uniform_int(0, 8192);
+        if (writing) {
+          tcp.client_message(smb_write_request(mid, fid, filler_payload(chunk)));
+          tcp.server_message(smb_write_response(mid, fid));
+        } else {
+          tcp.client_message(smb_read_request(mid, fid, static_cast<std::uint16_t>(chunk)));
+          tcp.server_message(smb_read_response(mid, fid, filler_payload(chunk)));
+        }
+        ++mid;
+        tcp.advance(rng.exponential(0.01));
+      }
+      tcp.client_message(smb_simple(smbcmd::kClose, mid, false, 0));
+      tcp.server_message(smb_simple(smbcmd::kClose, mid, true, 0));
+      ++mid;
+      break;
+    }
+    case SmbActivity::kLanman: {
+      const int ops = 1 + static_cast<int>(rng.exponential(2.0));
+      for (int i = 0; i < ops; ++i) {
+        tcp.client_message(smb_trans(mid, false, "\\PIPE\\LANMAN", 60));
+        tcp.server_message(smb_trans(mid, true, "\\PIPE\\LANMAN", 800 + rng.uniform_int(0, 3000)));
+        ++mid;
+        tcp.advance(rng.exponential(0.2));
+      }
+      break;
+    }
+  }
+  tcp.client_message(smb_simple(smbcmd::kTreeDisconnect, mid, false, 0));
+  tcp.server_message(smb_simple(smbcmd::kTreeDisconnect, mid, true, 0));
+  tcp.close();
+}
+
+// A client dials the server on 139 and 445 in parallel and uses whichever
+// port answers — the paper's explanation for the low CIFS success rate.
+void cifs_pair_session(GenContext& ctx, double t, const HostRef& client, const HostRef& server,
+                       DceIface iface) {
+  Rng& rng = ctx.rng();
+  const WindowsKnobs& k = ctx.spec().windows;
+  const bool server_down = rng.bernoulli(k.unanswered_frac);
+  // Whether this server listens only on 139 is a stable property of the
+  // server, derived from a hash of its address.  The big service boxes
+  // (print server, domain controller) listen on both ports; the property
+  // afflicts the general file-server population.
+  const bool exempt = server.ip == ctx.model().print_server().ip ||
+                      server.ip == ctx.model().auth_server().ip;
+  const std::uint32_t server_hash = (server.ip.value() * 2654435761u) >> 16;
+  const bool only_139 = !exempt && (server_hash % 1000) < k.cifs_only_139_frac * 1000;
+
+  TcpFlowBuilder c445(ctx.sink(), rng, client, server, ctx.ephemeral_port(), ports::kCifs, t,
+                      ctx.lan_tcp());
+  TcpFlowBuilder c139(ctx.sink(), rng, client, server, ctx.ephemeral_port(), ports::kNetbiosSsn,
+                      t + 0.0002, ctx.lan_tcp());
+  if (server_down) {
+    c445.connect_unanswered(2);
+    c139.connect_unanswered(2);
+    return;
+  }
+
+  if (only_139) {
+    c445.connect_rejected();
+    c139.connect();
+    c139.client_message(nbss_session_request("FILESRV", "CLIENT"));
+    if (rng.bernoulli(k.nbss_negative_frac)) {
+      c139.server_message(nbss_session_response(false));
+      c139.close();
+      return;
+    }
+    c139.server_message(nbss_session_response(true));
+    smb_dialogue(ctx, c139, iface);
+  } else {
+    // 445 answers; the 139 connection performs its handshake and is let go.
+    c445.connect();
+    c139.connect();
+    c139.client_message(nbss_session_request("FILESRV", "CLIENT"));
+    c139.server_message(nbss_session_response(rng.bernoulli(1.0 - k.nbss_negative_frac)));
+    c139.close();
+    smb_dialogue(ctx, c445, iface);
+  }
+}
+
+// Endpoint Mapper lookup followed by DCE/RPC on the mapped ephemeral port.
+void epm_session(GenContext& ctx, double t, const HostRef& client, const HostRef& server,
+                 DceIface iface) {
+  Rng& rng = ctx.rng();
+  const WindowsKnobs& k = ctx.spec().windows;
+  const std::uint16_t mapped_port = static_cast<std::uint16_t>(rng.uniform_int(1025, 5000));
+
+  TcpFlowBuilder epm(ctx.sink(), rng, client, server, ctx.ephemeral_port(), ports::kEpm, t,
+                     ctx.lan_tcp());
+  epm.connect();
+  epm.client_message(encode_dce_bind(1, dce_uuid(DceIface::kEpm)));
+  epm.server_message(encode_dce_bind_ack(1));
+  const auto stub = encode_epm_map_stub(dce_uuid(iface), server.ip, mapped_port);
+  epm.client_message(encode_dce_request_stub(2, 3 /*ept_map*/, stub));
+  epm.server_message(encode_dce_response_stub(2, stub));
+  epm.close();
+
+  TcpFlowBuilder rpc(ctx.sink(), rng, client, server, ctx.ephemeral_port(), mapped_port,
+                     epm.now() + 0.002, ctx.lan_tcp());
+  rpc.connect();
+  rpc.client_message(encode_dce_bind(1, dce_uuid(iface)));
+  rpc.server_message(encode_dce_bind_ack(1));
+  const int calls = 1 + static_cast<int>(rng.exponential(6.0));
+  std::uint32_t call_id = 2;
+  const double write_share = k.w_spoolss_write + k.w_spoolss_other > 0
+                                 ? k.w_spoolss_write / (k.w_spoolss_write + k.w_spoolss_other)
+                                 : 0.0;
+  for (int i = 0; i < calls && rpc.now() < ctx.t1(); ++i) {
+    // Stand-alone endpoints run the same function mix as the pipes.
+    std::uint16_t opnum;
+    std::size_t stub = 120 + rng.uniform_int(0, 500);
+    if (iface == DceIface::kSpoolss && rng.bernoulli(write_share)) {
+      opnum = spoolss_op::kWritePrinter;
+      stub = 2800 + rng.uniform_int(0, 1400);
+    } else if (iface == DceIface::kSpoolss) {
+      opnum = rng.bernoulli(0.5) ? spoolss_op::kStartDocPrinter : spoolss_op::kOpenPrinter;
+    } else {
+      opnum = static_cast<std::uint16_t>(rng.uniform_int(0, 30));
+    }
+    rpc.client_message(encode_dce_request(call_id, opnum, stub));
+    rpc.server_message(encode_dce_response(call_id, 90 + rng.uniform_int(0, 900)));
+    ++call_id;
+    rpc.advance(rng.exponential(0.1));
+  }
+  rpc.close();
+}
+
+}  // namespace
+
+void gen_windows(GenContext& ctx) {
+  Rng& rng = ctx.rng();
+  const WindowsKnobs& k = ctx.spec().windows;
+  const EnterpriseModel& m = ctx.model();
+
+  auto server_for = [&](DceIface iface) {
+    switch (iface) {
+      case DceIface::kNetLogon:
+      case DceIface::kLsaRpc:
+        return m.auth_server();
+      case DceIface::kSpoolss:
+        // Half the print queues live on the central print server, the rest
+        // on departmental file servers.
+        if (rng.bernoulli(0.5)) return m.print_server();
+        [[fallthrough]];
+      default:
+        return m.file_smb_server(static_cast<std::uint32_t>(rng.uniform_int(0, 11)));
+    }
+  };
+
+  for (double t : ctx.arrivals(k.cifs_sessions)) {
+    const HostRef client = ctx.local_host();
+    const DceIface iface = sample_iface(rng, k);
+    HostRef server = server_for(iface);
+    if (m.subnet_of(server.ip) == ctx.subnet())
+      server = m.file_smb_server(static_cast<std::uint32_t>(rng.uniform_int(0, 5)));
+    if (m.subnet_of(server.ip) == ctx.subnet()) continue;
+    cifs_pair_session(ctx, t, client, server, iface);
+  }
+
+  // Server-side boosts: monitoring the authentication or print server's
+  // subnet multiplies the visible load (the D0 vs D3-4 contrast of
+  // Table 11).
+  if (ctx.monitoring(m.subnet_of(m.auth_server().ip))) {
+    for (double t : ctx.arrivals(k.cifs_sessions * k.auth_server_boost / 4.0)) {
+      cifs_pair_session(ctx, t, ctx.other_internal(), m.auth_server(),
+                        rng.bernoulli(0.6) ? DceIface::kNetLogon : DceIface::kLsaRpc);
+    }
+  }
+  if (ctx.monitoring(m.subnet_of(m.print_server().ip))) {
+    for (double t : ctx.arrivals(k.cifs_sessions * k.print_server_boost / 4.0)) {
+      cifs_pair_session(ctx, t, ctx.other_internal(), m.print_server(), DceIface::kSpoolss);
+    }
+  }
+
+  for (double t : ctx.arrivals(k.epm_sessions)) {
+    const HostRef client = ctx.local_host();
+    const DceIface iface = sample_iface(rng, k);
+    HostRef server = server_for(iface);
+    if (m.subnet_of(server.ip) == ctx.subnet()) continue;
+    epm_session(ctx, t, client, server, iface);
+  }
+
+  // Netbios-DGM browser-election broadcast chatter.
+  for (double t : ctx.arrivals(k.dgm_broadcasts)) {
+    const HostRef src = ctx.local_host();
+    send_udp_multicast(ctx.sink(), src, Ipv4Address(0xFFFFFFFFu), ports::kNetbiosDgm,
+                       ports::kNetbiosDgm, t, 180 + rng.uniform_int(0, 300));
+  }
+}
+
+}  // namespace entrace

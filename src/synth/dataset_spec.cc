@@ -1,0 +1,267 @@
+#include "synth/dataset_spec.h"
+
+#include <stdexcept>
+
+namespace entrace {
+namespace {
+
+// D0-D2 monitor all 22 subnets of both routers, including the subnets
+// holding the mail servers (2), auth server (1), and an NCP server (3).
+std::vector<int> all_22() {
+  std::vector<int> v;
+  for (int i = 0; i < 22; ++i) v.push_back(i);
+  return v;
+}
+
+// D3-D4 monitor 18 subnets that exclude the mail/auth/NCP-heavy low
+// subnets but include the print server (15) and main DNS servers (16, 17).
+std::vector<int> high_18() {
+  std::vector<int> v;
+  for (int i = 4; i < 22; ++i) v.push_back(i);
+  return v;
+}
+
+}  // namespace
+
+DatasetSpec dataset_d0(double scale) {
+  DatasetSpec d;
+  d.name = "D0";
+  d.num_subnets = 22;
+  d.traces_per_subnet = 1;
+  d.trace_duration = 600.0;  // 10-minute traces
+  d.snaplen = 1500;
+  d.seed = 0xD0;
+  d.scale = scale;
+  d.imap_secure = false;  // IMAP4 in the clear, pre-policy change
+  d.monitored_subnets = all_22();
+
+  // 10-minute windows: client-driven counts are roughly a quarter of the
+  // hour-long datasets' per-trace values (D0's packet rate is the highest).
+  d.web.browse_sessions = 420;
+  d.web.google_sessions = 0.4;   // google bots dominate D0 internal bytes
+  d.web.google1_share = 0.5;
+  d.web.scanner_sessions = 0.3;
+  d.web.ifolder_sessions = 0.1;
+  d.web.https_sessions = 110;
+  d.web.inbound_sessions = 450;
+  d.other.background_radiation = 25;  // 10-minute windows
+  d.email.smtp_client_sessions = 18;
+  d.email.imap_sessions = 26;
+  d.email.smtp_wan_fail = 0.18;
+  d.names.dns_client_queries = 1300;
+  d.names.smtp_lookup_queries = 4500;
+  d.names.nbns_requests = 1300;
+  d.names.srvloc_sessions = 380;
+  // DCE/RPC: user authentication dominates (NetLogon 42%, LsaRPC 26%),
+  // no WritePrinter at all (Table 11).
+  d.windows.cifs_sessions = 45;
+  d.windows.epm_sessions = 12;
+  d.windows.w_netlogon = 0.42;
+  d.windows.w_lsarpc = 0.26;
+  d.windows.w_spoolss_write = 0.0;
+  d.windows.w_spoolss_other = 0.24;
+  d.windows.w_other = 0.08;
+  d.windows.dgm_broadcasts = 35;
+  // NFS read-heavy (Table 13: 70% reads, 64% of bytes), NCP more conns
+  // than any other dataset (Table 12: 2590 vs 1067 NFS).
+  d.netfile.nfs_pairs = 5;
+  d.netfile.nfs_requests_mean = 6300;
+  d.netfile.nfs_udp_frac = 0.66;
+  d.netfile.nfs_read = 0.70;
+  d.netfile.nfs_write = 0.15;
+  d.netfile.nfs_getattr = 0.09;
+  d.netfile.nfs_lookup = 0.04;
+  d.netfile.nfs_access = 0.005;
+  d.netfile.ncp_sessions = 118;
+  d.netfile.ncp_requests_mean = 340;
+  d.netfile.ncp_read = 0.42;
+  d.netfile.ncp_write = 0.01;
+  d.netfile.ncp_fdinfo = 0.27;
+  d.netfile.ncp_openclose = 0.09;
+  d.netfile.ncp_size = 0.09;
+  d.netfile.ncp_search = 0.09;
+  d.netfile.ncp_nds = 0.02;
+  // Backup: D0 carries a sizable share of the aggregate Table 15 volume.
+  d.backup.veritas_ctrl_conns = 12;
+  d.backup.veritas_data_conns = 3.2;
+  d.backup.veritas_data_mb = 24;
+  d.backup.dantz_conns = 10;
+  d.backup.dantz_mb = 13;
+  d.backup.connected_conns = 1.0;
+  d.other.ssh_sessions = 40;
+  d.other.ftp_sessions = 8;
+  d.other.ftp_mb = 14;
+  d.other.hpss_sessions = 2;
+  d.other.hpss_mb = 55;
+  d.other.mcast_video_sessions = 1.5;
+  d.other.mcast_video_mb = 22;
+  d.other.other_udp_flows = 1400;
+  d.other.other_tcp_flows = 90;
+  d.other.icmp_echo_pairs = 380;
+  d.other.sap_announcers = 380;
+  d.other.ntp_hosts = 90;
+  d.other.snmp_polls = 70;
+  d.other.nav_pings = 60;
+  d.other.misc_tcp_sessions = 130;
+  d.other.print_jobs = 15;
+  d.other.sql_sessions = 12;
+  d.background.ipx_per_trace = 6400;   // IPX is 80% of non-IP in D0
+  d.background.arp_per_trace = 800;
+  d.background.other_l3_per_trace = 800;
+  d.scanner.internal_sweeps = 0.4;   // 10-minute windows
+  d.scanner.external_icmp_scans = 0.5;
+  return d;
+}
+
+DatasetSpec dataset_d1(double scale) {
+  DatasetSpec d;
+  d.name = "D1";
+  d.num_subnets = 22;
+  d.traces_per_subnet = 2;  // two 1-hour traces per tap
+  d.trace_duration = 3600.0;
+  d.snaplen = 68;  // header-only
+  d.seed = 0xD1;
+  d.scale = scale;
+  d.monitored_subnets = all_22();
+
+  // TCP carries 95% of bytes in D1: a heavy backup/bulk hour.
+  d.netfile.nfs_pairs = 4;
+  d.netfile.nfs_requests_mean = 6000;
+  d.netfile.nfs_udp_frac = 0.16;
+  d.netfile.ncp_sessions = 100;
+  d.netfile.ncp_requests_mean = 330;
+  d.backup.veritas_data_conns = 3.5;
+  d.backup.veritas_data_mb = 28;
+  d.backup.dantz_conns = 9;
+  d.backup.dantz_mb = 16;
+  d.other.mcast_video_mb = 32;
+  d.background.ipx_per_trace = 34000;
+  d.background.arp_per_trace = 2700;
+  d.background.other_l3_per_trace = 7600;
+  return d;
+}
+
+DatasetSpec dataset_d2(double scale) {
+  DatasetSpec d = dataset_d1(scale);
+  d.name = "D2";
+  d.traces_per_subnet = 1;
+  d.seed = 0xD2;
+  // Smaller hour: fewer backup bytes, UDP byte share 10%.
+  d.netfile.nfs_udp_frac = 0.31;
+  d.netfile.nfs_requests_mean = 5200;
+  d.backup.veritas_data_conns = 2.2;
+  d.backup.veritas_data_mb = 18;
+  d.backup.dantz_conns = 7;
+  d.backup.dantz_mb = 12;
+  d.background.ipx_per_trace = 14000;
+  d.background.arp_per_trace = 1100;
+  d.background.other_l3_per_trace = 6300;
+  return d;
+}
+
+DatasetSpec dataset_d3(double scale) {
+  DatasetSpec d;
+  d.name = "D3";
+  d.num_subnets = 18;
+  d.traces_per_subnet = 1;
+  d.trace_duration = 3600.0;
+  d.snaplen = 1500;
+  d.seed = 0xD3;
+  d.scale = scale;
+  d.monitored_subnets = high_18();
+
+  d.web.browse_sessions = 1000;
+  d.web.scanner_sessions = 0.9;  // scan1 is 45% of D3 internal requests
+  d.web.google_sessions = 0.15;
+  d.web.google1_share = 0.0;     // google2 only (Table 6)
+  d.web.ifolder_sessions = 0.02;
+  d.email.smtp_client_sessions = 45;  // mail subnets not monitored
+  d.email.imap_sessions = 55;
+  d.email.smtp_wan_fail = 0.01;  // D3-4 WAN SMTP succeeds 99-100%
+  d.names.dns_client_queries = 5200;
+  d.names.dns_server_boost = 30.0;  // main DNS servers monitored
+  d.names.smtp_lookup_queries = 0;
+  d.names.nbns_requests = 5200;
+  d.names.srvloc_sessions = 1100;
+  // Printing dominates DCE/RPC (Table 11: Spoolss 63%, WritePrinter 29%).
+  d.windows.w_netlogon = 0.05;
+  d.windows.w_lsarpc = 0.05;
+  d.windows.w_spoolss_write = 0.29;
+  d.windows.w_spoolss_other = 0.34;
+  d.windows.w_other = 0.27;
+  d.windows.print_server_boost = 14.0;
+  // NFS attribute-heavy (Table 13: getattr 53%, read 25% / 92% of bytes).
+  d.netfile.nfs_pairs = 3;
+  d.netfile.nfs_requests_mean = 5600;
+  d.netfile.nfs_udp_frac = 0.94;
+  d.netfile.nfs_read = 0.25;
+  d.netfile.nfs_write = 0.01;
+  d.netfile.nfs_getattr = 0.53;
+  d.netfile.nfs_lookup = 0.16;
+  d.netfile.nfs_access = 0.04;
+  // NCP light (both NCP servers' subnets mostly unmonitored in D3-4).
+  d.netfile.ncp_sessions = 35;
+  d.netfile.ncp_requests_mean = 350;
+  d.netfile.ncp_write = 0.21;
+  d.netfile.ncp_fdinfo = 0.16;
+  d.netfile.ncp_search = 0.07;
+  d.backup.veritas_data_conns = 1.4;
+  d.backup.veritas_data_mb = 14;
+  d.backup.dantz_conns = 4;
+  d.backup.dantz_mb = 9;
+  d.other.mcast_video_mb = 18;
+  d.background.ipx_per_trace = 7000;   // ARP 27% of non-IP in D3
+  d.background.arp_per_trace = 3300;
+  d.background.other_l3_per_trace = 2000;
+  return d;
+}
+
+DatasetSpec dataset_d4(double scale) {
+  DatasetSpec d = dataset_d3(scale);
+  d.name = "D4";
+  d.seed = 0xD4;
+  d.web.scanner_sessions = 0.45;
+  d.web.google_sessions = 0.12;
+  d.web.ifolder_sessions = 0.35;  // iFolder is 10% of D4 internal requests
+  // WritePrinter 81% of requests, 96% of bytes.
+  d.windows.w_netlogon = 0.005;
+  d.windows.w_lsarpc = 0.006;
+  d.windows.w_spoolss_write = 0.81;
+  d.windows.w_spoolss_other = 0.10;
+  d.windows.w_other = 0.08;
+  // NFS write-heavy (19% of requests, 83% of bytes), UDP only 7%.
+  d.netfile.nfs_requests_mean = 8500;
+  d.netfile.nfs_udp_frac = 0.07;
+  d.netfile.nfs_read = 0.01;
+  d.netfile.nfs_write = 0.19;
+  d.netfile.nfs_getattr = 0.50;
+  d.netfile.nfs_lookup = 0.23;
+  d.netfile.nfs_access = 0.05;
+  d.netfile.ncp_sessions = 45;
+  d.netfile.ncp_write = 0.02;
+  d.netfile.ncp_fdinfo = 0.26;
+  d.netfile.ncp_search = 0.16;
+  d.backup.veritas_data_conns = 1.8;
+  d.backup.veritas_data_mb = 17;
+  d.backup.lossy_trace_frac = 0.08;  // the 5%-retransmission Veritas trace
+  d.background.ipx_per_trace = 2900;  // "Other" dominates D4 non-IP
+  d.background.arp_per_trace = 1500;
+  d.background.other_l3_per_trace = 4800;
+  return d;
+}
+
+std::vector<DatasetSpec> all_datasets(double scale) {
+  return {dataset_d0(scale), dataset_d1(scale), dataset_d2(scale), dataset_d3(scale),
+          dataset_d4(scale)};
+}
+
+DatasetSpec dataset_by_name(const std::string& name, double scale) {
+  if (name == "D0") return dataset_d0(scale);
+  if (name == "D1") return dataset_d1(scale);
+  if (name == "D2") return dataset_d2(scale);
+  if (name == "D3") return dataset_d3(scale);
+  if (name == "D4") return dataset_d4(scale);
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+}  // namespace entrace

@@ -1,0 +1,188 @@
+// DatasetSpec: everything that distinguishes the five paper datasets
+// (D0-D4) — capture parameters (Table 1) and per-application traffic
+// intensities calibrated against the paper's published tables.
+//
+// Intensity knobs are expressed at *paper magnitude* — expected counts per
+// monitored-subnet trace at the paper's traffic volume — and are multiplied
+// by `scale` at generation time.  Fractions (failure rates, request mixes)
+// are scale-free.  Message/object sizes are NOT scaled (so size CDFs match
+// the paper); volume scales through session counts.  See DESIGN.md §6.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace entrace {
+
+struct WebKnobs {
+  double browse_sessions = 900;   // user browsing sessions per trace
+  double wan_server_ratio = 0.72; // fraction of browse sessions to WAN servers
+  double cond_get_ent = 0.40;     // conditional-GET fraction, internal
+  double cond_get_wan = 0.16;     // conditional-GET fraction, WAN
+  double reject_rate_ent = 0.15;  // internal connection failure (server RST)
+  double reject_rate_wan = 0.02;
+  // Automated clients run at absolute magnitude (their own schedule),
+  // like the site scanners — calibrated against Table 6 at default scale.
+  double scanner_sessions = 0.4;  // HTTP scanner sweeps (Table 6 "scan1")
+  double google_sessions = 0.3;   // crawler sessions (google1/google2)
+  double google1_share = 0.5;     // share of crawler work by Googlebot/1.x
+  double ifolder_sessions = 0.15;
+  double https_sessions = 350;
+  double https_retry_pairs = 0.25;  // pairs exhibiting ~800 short SSL conns
+  double inbound_sessions = 1200;   // WAN clients on the public web servers
+};
+
+struct EmailKnobs {
+  double smtp_client_sessions = 60;   // per-trace client-side SMTP
+  double server_subnet_boost = 110.0;  // multiplier when mail subnet monitored
+  double smtp_wan_frac = 0.5;         // server-side SMTP crossing the border
+  double smtp_wan_fail = 0.15;        // WAN failure rate at the busy MXs
+  double imap_sessions = 80;
+  double imap_wan_frac = 0.2;
+  double pop_ldap_sessions = 25;
+};
+
+struct NameKnobs {
+  double dns_client_queries = 4500;  // per-trace queries from local clients
+  double dns_server_boost = 25.0;    // when a main DNS server is monitored
+  double smtp_lookup_queries = 14000;  // queries by SMTP servers (top clients)
+  double frac_a = 0.58, frac_aaaa = 0.21, frac_ptr = 0.14, frac_mx = 0.05;
+  double nxdomain_rate = 0.16;
+  double nbns_requests = 4500;
+  double nbns_query_frac = 0.83, nbns_refresh_frac = 0.135;
+  double nbns_fail_rate = 0.43;   // stale-name failures on distinct queries
+  double srvloc_sessions = 1300;  // multicast SrvLoc (drives fan-out tail)
+};
+
+struct WindowsKnobs {
+  double cifs_sessions = 120;       // client sessions (139/445 parallel dial)
+  double cifs_only_139_frac = 0.6;  // file servers listening only on 139
+  double nbss_negative_frac = 0.05;  // NBSS handshake refusals
+  double unanswered_frac = 0.12;
+  double epm_sessions = 40;
+  // DCE/RPC request mix: netlogon/lsarpc/spoolss-write/spoolss-other/other.
+  double w_netlogon = 0.05, w_lsarpc = 0.03, w_spoolss_write = 0.55,
+         w_spoolss_other = 0.25, w_other = 0.12;
+  double auth_server_boost = 20.0;   // when the auth server's subnet is on
+  double print_server_boost = 12.0;  // when the print server's subnet is on
+  double file_share_frac = 0.35;     // CIFS sessions doing file I/O
+  double lanman_frac = 0.08;
+  double dgm_broadcasts = 120;
+};
+
+struct NetFileKnobs {
+  double nfs_pairs = 4;              // active NFS host pairs per trace
+  double nfs_requests_mean = 5000;   // requests per pair (heavy tail above)
+  double nfs_udp_frac = 0.6;         // fraction of pairs using UDP
+  // request mix: read/write/getattr/lookup/access
+  double nfs_read = 0.60, nfs_write = 0.12, nfs_getattr = 0.18, nfs_lookup = 0.07,
+         nfs_access = 0.02;
+  double nfs_fail_rate = 0.10;
+  double ncp_sessions = 100;
+  double ncp_keepalive_only_frac = 0.6;
+  double ncp_requests_mean = 330;    // per active session (unscaled)
+  double ncp_read = 0.42, ncp_write = 0.05, ncp_fdinfo = 0.25, ncp_openclose = 0.08,
+         ncp_size = 0.07, ncp_search = 0.10, ncp_nds = 0.015;
+  double ncp_fail_rate = 0.05;
+  double ncp_reject_rate = 0.06;
+};
+
+struct BackupKnobs {
+  double veritas_ctrl_conns = 10;
+  double veritas_data_conns = 2.75;
+  double veritas_data_mb = 19;     // mean per data connection (heavy tail)
+  double dantz_conns = 8;
+  double dantz_mb = 11;
+  double dantz_bidir_frac = 0.4;
+  double connected_conns = 0.9;
+  double connected_mb = 2.0;
+  double lossy_trace_frac = 0.05;  // traces where backup crosses a lossy path
+};
+
+struct OtherKnobs {
+  double ssh_sessions = 90;
+  double ssh_bulk_frac = 0.2;  // scp-style transfers inside SSH
+  double telnet_sessions = 10;
+  double ftp_sessions = 12;
+  double ftp_mb = 9;
+  double hpss_sessions = 3;
+  double hpss_mb = 45;
+  double rtsp_sessions = 15;
+  double realstream_sessions = 12;
+  double mcast_video_sessions = 2;
+  double mcast_video_mb = 28;      // multicast streaming is 5-10% of bytes
+  double ntp_hosts = 250;
+  double dhcp_events = 60;
+  double snmp_polls = 200;
+  double sap_announcers = 1300;    // SAP multicast (5-10% of connections)
+  double nav_pings = 150;
+  double print_jobs = 35;          // LPD/IPP
+  double sql_sessions = 30;
+  double misc_tcp_sessions = 350;  // Steltor/MetaSys etc.
+  double other_udp_flows = 3600;
+  double other_tcp_flows = 250;
+  double icmp_echo_pairs = 1100;
+  // Absolute: Internet background radiation — external sources probing
+  // internal hosts in random order (evading the §3 ordered-sweep
+  // heuristic), the main contributor to the wan->ent flow class of §4.
+  double background_radiation = 60;
+  double inbound_ssh = 3;  // absolute: off-site staff logging in
+};
+
+struct BackgroundKnobs {
+  double arp_per_trace = 2300;
+  double ipx_per_trace = 28000;  // broadcast IPX dominates non-IP
+  double other_l3_per_trace = 6500;
+  double igmp_flows = 20;
+  double rare_ip_protos = 60;    // ESP/GRE/PIM/224 packets
+};
+
+// Scanner intensities are absolute (not multiplied by scale): the site's
+// scanners sweep on their own schedule.
+struct ScannerKnobs {
+  double internal_sweeps = 0.5;   // per trace (2 site scanners rotate)
+  int sweep_targets = 120;
+  double external_icmp_scans = 0.8;
+  int external_targets = 70;
+  double scan_tcp_frac = 0.45;    // internal scanner mixes TCP SYN probes
+};
+
+struct DatasetSpec {
+  std::string name = "D0";
+  int num_subnets = 22;
+  int traces_per_subnet = 1;
+  double trace_duration = 600.0;
+  std::uint32_t snaplen = 1500;
+  std::uint64_t seed = 0xD0;
+  double scale = 0.02;
+  bool imap_secure = true;  // false for D0 (pre-policy-change IMAP4)
+  // Subnet ids (into EnterpriseModel) monitored by this dataset.
+  std::vector<int> monitored_subnets;
+
+  WebKnobs web;
+  EmailKnobs email;
+  NameKnobs names;
+  WindowsKnobs windows;
+  NetFileKnobs netfile;
+  BackupKnobs backup;
+  OtherKnobs other;
+  BackgroundKnobs background;
+  ScannerKnobs scanner;
+
+  bool payload_analysis() const { return snaplen >= 200; }
+};
+
+// The five paper datasets, calibrated to Table 1 and the §3-§6 results.
+// `scale` multiplies traffic volume; 1.0 would approximate the paper's
+// packet counts (tens of millions per dataset) — the default targets a
+// laptop-friendly ~1/50 of that.
+DatasetSpec dataset_d0(double scale = 0.02);
+DatasetSpec dataset_d1(double scale = 0.02);
+DatasetSpec dataset_d2(double scale = 0.02);
+DatasetSpec dataset_d3(double scale = 0.02);
+DatasetSpec dataset_d4(double scale = 0.02);
+std::vector<DatasetSpec> all_datasets(double scale = 0.02);
+DatasetSpec dataset_by_name(const std::string& name, double scale = 0.02);
+
+}  // namespace entrace

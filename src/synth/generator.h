@@ -1,0 +1,20 @@
+// Dataset generation: runs every application generator for each monitored
+// subnet trace and assembles a TraceSet, reproducing the paper's piecemeal
+// tracing methodology (one subnet at a time, per-dataset snaplen).
+#pragma once
+
+#include "pcap/trace.h"
+#include "synth/dataset_spec.h"
+#include "synth/model.h"
+
+namespace entrace {
+
+TraceSet generate_dataset(const DatasetSpec& spec, const EnterpriseModel& model);
+
+// Generate and write per-trace pcap files under `dir` (created by caller);
+// returns the paths written.
+std::vector<std::string> generate_dataset_to_pcap(const DatasetSpec& spec,
+                                                  const EnterpriseModel& model,
+                                                  const std::string& dir);
+
+}  // namespace entrace

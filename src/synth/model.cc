@@ -1,0 +1,92 @@
+#include "synth/model.h"
+
+namespace entrace {
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+EnterpriseModel::EnterpriseModel() {
+  site_.enterprise_block = Subnet(Ipv4Address(128, 3, 0, 0), 16);
+  for (int s = 0; s < kMaxSubnets; ++s) site_.subnets.push_back(subnet(s));
+  site_.known_scanners = {internal_scanner(0).ip, internal_scanner(1).ip};
+}
+
+Subnet EnterpriseModel::subnet(int s) const {
+  return Subnet(Ipv4Address(128, 3, static_cast<std::uint8_t>(s + 1), 0), 24);
+}
+
+HostRef EnterpriseModel::ref(Ipv4Address ip) {
+  return {ip, MacAddress::from_host_id(ip.value())};
+}
+
+HostRef EnterpriseModel::host(int subnet_id, std::uint32_t index) const {
+  // Host addresses start at .10; .1 is the router, low addresses reserved
+  // for servers.
+  return ref(subnet(subnet_id).host(10 + (index % kHostsPerSubnet)));
+}
+
+HostRef EnterpriseModel::external_host(std::uint64_t id) const {
+  // Deterministic pseudo-random public addresses, avoiding 128.3/16,
+  // multicast and reserved space.
+  const std::uint64_t h = mix64(id);
+  std::uint8_t a = static_cast<std::uint8_t>(16 + (h % 180));
+  if (a == 128) a = 130;
+  if (a == 127) a = 126;
+  return ref(Ipv4Address(a, static_cast<std::uint8_t>(h >> 8),
+                         static_cast<std::uint8_t>(h >> 16),
+                         static_cast<std::uint8_t>(1 + ((h >> 24) % 253))));
+}
+
+// Server slots use host part .2-.9 in their subnet.
+HostRef EnterpriseModel::smtp_server(int i) const { return ref(subnet(2).host(2 + (i % 2))); }
+HostRef EnterpriseModel::imap_server() const { return ref(subnet(2).host(4)); }
+HostRef EnterpriseModel::dns_server(int i) const {
+  return i == 0 ? ref(subnet(16).host(2)) : ref(subnet(17).host(2));
+}
+HostRef EnterpriseModel::nbns_server(int i) const {
+  return i == 0 ? ref(subnet(5).host(3)) : ref(subnet(16).host(3));
+}
+HostRef EnterpriseModel::auth_server() const { return ref(subnet(1).host(2)); }
+HostRef EnterpriseModel::print_server() const { return ref(subnet(15).host(2)); }
+HostRef EnterpriseModel::nfs_server(int i) const {
+  switch (i % 3) {
+    case 0:
+      return ref(subnet(4).host(2));
+    case 1:
+      return ref(subnet(6).host(2));
+    default:
+      return ref(subnet(16).host(4));
+  }
+}
+HostRef EnterpriseModel::ncp_server(int i) const {
+  return i == 0 ? ref(subnet(3).host(2)) : ref(subnet(5).host(2));
+}
+HostRef EnterpriseModel::web_proxy() const { return ref(subnet(7).host(2)); }
+HostRef EnterpriseModel::internal_web_server(std::uint32_t i) const {
+  return ref(subnet(static_cast<int>(i * 7) % kMaxSubnets).host(5));
+}
+HostRef EnterpriseModel::veritas_server() const { return ref(subnet(8).host(2)); }
+HostRef EnterpriseModel::dantz_server() const { return ref(subnet(9).host(2)); }
+HostRef EnterpriseModel::ftp_server() const { return ref(subnet(10).host(2)); }
+HostRef EnterpriseModel::hpss_server() const { return ref(subnet(10).host(3)); }
+HostRef EnterpriseModel::sql_server(int i) const { return ref(subnet(11).host(2 + (i % 2))); }
+HostRef EnterpriseModel::file_smb_server(std::uint32_t i) const {
+  return ref(subnet(static_cast<int>(1 + i * 3) % kMaxSubnets).host(6));
+}
+HostRef EnterpriseModel::internal_scanner(int i) const {
+  return ref(subnet(12).host(2 + (i % 2)));
+}
+
+Ipv4Address EnterpriseModel::multicast_group(std::uint32_t i) {
+  return Ipv4Address(239, 192, static_cast<std::uint8_t>(i >> 8),
+                     static_cast<std::uint8_t>(i));
+}
+
+}  // namespace entrace

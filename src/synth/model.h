@@ -1,0 +1,75 @@
+// The modeled enterprise: subnets, hosts, server placement, and the
+// external (WAN) host pool.
+//
+// The model mirrors the paper's site: two central routers with 18-22
+// subnets, a few thousand internal hosts, enterprise-wide servers whose
+// subnet placement drives the vantage-point effects the paper repeatedly
+// notes (e.g. D0-D2 monitored the mail-server subnet, D3-D4 the print
+// server's).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/site.h"
+#include "net/ip_address.h"
+#include "net/mac_address.h"
+
+namespace entrace {
+
+struct HostRef {
+  Ipv4Address ip;
+  MacAddress mac;
+};
+
+class EnterpriseModel {
+ public:
+  static constexpr int kMaxSubnets = 22;
+  static constexpr std::uint32_t kHostsPerSubnet = 200;
+
+  EnterpriseModel();
+
+  // ---- address helpers -----------------------------------------------------
+  // Enterprise block 128.3.0.0/16; subnet s occupies 128.3.(s+1).0/24.
+  Subnet subnet(int s) const;
+  HostRef host(int subnet_id, std::uint32_t index) const;  // index < kHostsPerSubnet
+  HostRef external_host(std::uint64_t id) const;           // deterministic WAN pool
+  static HostRef ref(Ipv4Address ip);
+  bool is_internal(Ipv4Address a) const { return site_.is_internal(a); }
+  int subnet_of(Ipv4Address a) const { return site_.subnet_of(a); }
+
+  // ---- servers ----------------------------------------------------------------
+  // Placement (subnet, host index) chosen so datasets monitoring low
+  // subnets see the mail/auth servers, high subnets the print/DNS servers.
+  HostRef smtp_server(int i = 0) const;   // 2 enterprise MX, subnet 2
+  HostRef imap_server() const;            // subnet 2
+  HostRef dns_server(int i = 0) const;    // 2 servers, subnets 16, 17
+  HostRef nbns_server(int i = 0) const;   // 2 servers, subnets 5, 16
+  HostRef auth_server() const;            // domain controller, subnet 1
+  HostRef print_server() const;           // subnet 15
+  HostRef nfs_server(int i = 0) const;    // 3 servers, subnets 4, 6, 16
+  HostRef ncp_server(int i = 0) const;    // 2 servers, subnets 3, 5
+  HostRef web_proxy() const;              // subnet 7
+  HostRef internal_web_server(std::uint32_t i) const;  // spread across subnets
+  HostRef veritas_server() const;         // subnet 8
+  HostRef dantz_server() const;           // subnet 9
+  HostRef ftp_server() const;             // subnet 10
+  HostRef hpss_server() const;            // subnet 10
+  HostRef sql_server(int i = 0) const;    // subnet 11
+  HostRef file_smb_server(std::uint32_t i) const;  // CIFS file servers
+
+  // Internal vulnerability scanners (the paper's 2 known scanners).
+  HostRef internal_scanner(int i) const;  // subnet 12
+
+  // Multicast groups.
+  static Ipv4Address multicast_group(std::uint32_t i);
+
+  // SiteConfig for the analysis side (includes known scanners).
+  const SiteConfig& site() const { return site_; }
+
+ private:
+  SiteConfig site_;
+};
+
+}  // namespace entrace

@@ -1,0 +1,36 @@
+// PacketSink: where generated frames land.  Applies the trace's snaplen at
+// emit time (modeling the capture apparatus) while recording the true wire
+// length, exactly like a pcap capture with -s.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pcap/trace.h"
+
+namespace entrace {
+
+class PacketSink {
+ public:
+  explicit PacketSink(Trace& trace) : trace_(trace) {}
+
+  void emit(double ts, std::vector<std::uint8_t> frame) {
+    RawPacket pkt;
+    pkt.ts = ts;
+    pkt.wire_len = static_cast<std::uint32_t>(frame.size());
+    if (frame.size() > trace_.snaplen) frame.resize(trace_.snaplen);
+    pkt.data = std::move(frame);
+    trace_.packets.push_back(std::move(pkt));
+  }
+
+  // Capture window; sessions must not emit beyond it.
+  double window_end() const { return trace_.start_ts + trace_.duration; }
+  double window_start() const { return trace_.start_ts; }
+  std::uint32_t snaplen() const { return trace_.snaplen; }
+
+ private:
+  Trace& trace_;
+};
+
+}  // namespace entrace

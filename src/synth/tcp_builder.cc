@@ -1,0 +1,200 @@
+#include "synth/tcp_builder.h"
+
+#include <algorithm>
+
+namespace entrace {
+
+TcpFlowBuilder::TcpFlowBuilder(PacketSink& sink, Rng& rng, const HostRef& client,
+                               const HostRef& server, std::uint16_t src_port,
+                               std::uint16_t dst_port, double start, TcpOptions options)
+    : sink_(sink),
+      rng_(rng),
+      client_(client),
+      server_(server),
+      src_port_(src_port),
+      dst_port_(dst_port),
+      opt_(options),
+      now_(start),
+      client_seq_(static_cast<std::uint32_t>(rng.next_u64())),
+      server_seq_(static_cast<std::uint32_t>(rng.next_u64())) {}
+
+void TcpFlowBuilder::send_segment(bool from_client, std::uint8_t flags,
+                                  std::span<const std::uint8_t> payload) {
+  FrameEndpoints ep;
+  std::uint32_t seq, ack;
+  std::uint16_t sport, dport;
+  std::uint8_t ttl;
+  if (from_client) {
+    ep = {client_.mac, server_.mac, client_.ip, server_.ip};
+    sport = src_port_;
+    dport = dst_port_;
+    seq = client_seq_;
+    ack = client_acked_;
+    ttl = opt_.client_ttl;
+  } else {
+    ep = {server_.mac, client_.mac, server_.ip, client_.ip};
+    sport = dst_port_;
+    dport = src_port_;
+    seq = server_seq_;
+    ack = server_acked_;
+    ttl = opt_.server_ttl;
+  }
+  sink_.emit(now_, make_tcp_frame(ep, sport, dport, seq, ack, flags, payload, ttl));
+}
+
+void TcpFlowBuilder::ack_from(bool from_client) {
+  now_ += opt_.rtt / 2;
+  send_segment(from_client, tcpflag::kAck, {});
+}
+
+void TcpFlowBuilder::connect() {
+  send_segment(true, tcpflag::kSyn, {});
+  client_seq_ += 1;
+  now_ += opt_.rtt / 2;
+  server_acked_ = client_seq_;
+  send_segment(false, tcpflag::kSyn | tcpflag::kAck, {});
+  server_seq_ += 1;
+  now_ += opt_.rtt / 2;
+  client_acked_ = server_seq_;
+  send_segment(true, tcpflag::kAck, {});
+  connected_ = true;
+}
+
+void TcpFlowBuilder::connect_rejected() {
+  send_segment(true, tcpflag::kSyn, {});
+  client_seq_ += 1;
+  now_ += opt_.rtt / 2;
+  server_acked_ = client_seq_;
+  send_segment(false, tcpflag::kRst | tcpflag::kAck, {});
+  closed_ = true;
+}
+
+void TcpFlowBuilder::connect_unanswered(int retries) {
+  double backoff = 3.0;
+  send_segment(true, tcpflag::kSyn, {});
+  for (int i = 0; i < retries; ++i) {
+    if (now_ + backoff >= sink_.window_end()) break;
+    now_ += backoff;
+    send_segment(true, tcpflag::kSyn, {});
+    backoff *= 2;
+  }
+  closed_ = true;
+}
+
+void TcpFlowBuilder::maybe_retransmit(bool from_client, std::uint32_t seq,
+                                      std::span<const std::uint8_t> payload) {
+  if (opt_.loss_rate <= 0.0 || !rng_.bernoulli(opt_.loss_rate)) return;
+  // Emit a duplicate of the segment a retransmission-timeout later; the
+  // analyzer sees old data and counts a retransmission.
+  const double saved = now_;
+  now_ += std::max(opt_.rtt * 2, 0.005);
+  std::uint32_t* seq_ptr = from_client ? &client_seq_ : &server_seq_;
+  const std::uint32_t cur = *seq_ptr;
+  *seq_ptr = seq;
+  send_segment(from_client, tcpflag::kAck | tcpflag::kPsh, payload);
+  *seq_ptr = cur;
+  now_ = std::max(saved, now_ - opt_.rtt);  // keep time roughly monotone
+}
+
+void TcpFlowBuilder::send_data(bool from_client, std::span<const std::uint8_t> payload) {
+  std::size_t off = 0;
+  std::size_t segs_since_ack = 0;
+  while (off < payload.size()) {
+    const std::size_t n = std::min(opt_.mss, payload.size() - off);
+    const auto segment = payload.subspan(off, n);
+    const std::uint32_t seq_before = from_client ? client_seq_ : server_seq_;
+    send_segment(from_client, tcpflag::kAck | (n < opt_.mss ? tcpflag::kPsh : 0), segment);
+    if (from_client) {
+      client_seq_ += static_cast<std::uint32_t>(n);
+      server_acked_ = client_seq_;
+      client_sent_ += n;
+    } else {
+      server_seq_ += static_cast<std::uint32_t>(n);
+      client_acked_ = server_seq_;
+      server_sent_ += n;
+    }
+    maybe_retransmit(from_client, seq_before, segment);
+    now_ += static_cast<double>(n) * 8.0 / opt_.rate_bps;
+    off += n;
+    // Delayed ACK roughly every other segment.
+    if (++segs_since_ack >= 2) {
+      ack_from(!from_client);
+      segs_since_ack = 0;
+    }
+  }
+  if (!payload.empty()) ack_from(!from_client);
+  // Remember the final client byte for keepalive probes.
+  if (from_client && !payload.empty()) {
+    last_client_payload_tail_.assign(payload.end() - 1, payload.end());
+  }
+}
+
+void TcpFlowBuilder::client_message(std::span<const std::uint8_t> payload) {
+  send_data(true, payload);
+}
+
+void TcpFlowBuilder::server_message(std::span<const std::uint8_t> payload) {
+  send_data(false, payload);
+}
+
+void TcpFlowBuilder::client_transfer(std::uint64_t bytes) {
+  // Emit in bounded chunks to avoid one huge allocation.
+  static constexpr std::uint64_t kChunk = 64 * 1024;
+  while (bytes > 0) {
+    const std::uint64_t n = std::min(bytes, kChunk);
+    const auto chunk = filler_payload(static_cast<std::size_t>(n));
+    send_data(true, chunk);
+    bytes -= n;
+    if (now_ >= sink_.window_end()) return;
+  }
+}
+
+void TcpFlowBuilder::server_transfer(std::uint64_t bytes) {
+  static constexpr std::uint64_t kChunk = 64 * 1024;
+  while (bytes > 0) {
+    const std::uint64_t n = std::min(bytes, kChunk);
+    const auto chunk = filler_payload(static_cast<std::size_t>(n));
+    send_data(false, chunk);
+    bytes -= n;
+    if (now_ >= sink_.window_end()) return;
+  }
+}
+
+void TcpFlowBuilder::keepalives(int n, double interval) {
+  if (last_client_payload_tail_.empty()) {
+    // Send one real byte first so there is something to probe with.
+    const std::uint8_t b = '?';
+    send_data(true, std::span<const std::uint8_t>(&b, 1));
+  }
+  for (int i = 0; i < n; ++i) {
+    now_ += interval;
+    if (now_ >= sink_.window_end()) return;
+    client_seq_ -= 1;  // probe re-sends the last byte
+    send_segment(true, tcpflag::kAck,
+                 std::span<const std::uint8_t>(last_client_payload_tail_));
+    client_seq_ += 1;
+    ack_from(false);
+  }
+}
+
+void TcpFlowBuilder::close() {
+  if (closed_) return;
+  send_segment(true, tcpflag::kFin | tcpflag::kAck, {});
+  client_seq_ += 1;
+  now_ += opt_.rtt / 2;
+  server_acked_ = client_seq_;
+  send_segment(false, tcpflag::kFin | tcpflag::kAck, {});
+  server_seq_ += 1;
+  now_ += opt_.rtt / 2;
+  client_acked_ = server_seq_;
+  send_segment(true, tcpflag::kAck, {});
+  closed_ = true;
+}
+
+void TcpFlowBuilder::abort_rst() {
+  if (closed_) return;
+  send_segment(true, tcpflag::kRst | tcpflag::kAck, {});
+  closed_ = true;
+}
+
+}  // namespace entrace

@@ -1,0 +1,100 @@
+// TcpFlowBuilder: emits complete, well-formed TCP conversations (handshake,
+// segmentation, delayed ACKs, FIN/RST teardown, loss-induced
+// retransmissions, and NCP/SSH-style 1-byte keepalive probes) as Ethernet
+// frames into a PacketSink.
+//
+// Every application generator expresses its dialogue through this builder,
+// which keeps the transport-level artifacts the analysis measures —
+// durations ~ RTT, packet counts, retransmission rates — consistent across
+// applications.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/encoder.h"
+#include "synth/model.h"
+#include "synth/sink.h"
+#include "util/rng.h"
+
+namespace entrace {
+
+struct TcpOptions {
+  double rtt = 0.0005;      // enterprise LAN default; WAN sessions use ~30ms+
+  double rate_bps = 100e6;  // serialization pacing for bulk data
+  double loss_rate = 0.0;   // per-data-segment retransmission probability
+  // Chosen so a full segment's frame (14 Ethernet + 20 IP + 20 TCP + MSS)
+  // is exactly 1500 bytes: the datasets captured with snaplen 1500 would
+  // otherwise silently lose 14 payload bytes of every full-MTU frame and
+  // desynchronize payload parsing.
+  std::size_t mss = 1446;
+  std::uint8_t client_ttl = 64;
+  std::uint8_t server_ttl = 64;
+};
+
+class TcpFlowBuilder {
+ public:
+  TcpFlowBuilder(PacketSink& sink, Rng& rng, const HostRef& client, const HostRef& server,
+                 std::uint16_t src_port, std::uint16_t dst_port, double start,
+                 TcpOptions options = {});
+
+  // ---- connection establishment variants ------------------------------------
+  void connect();                        // full 3-way handshake
+  void connect_rejected();               // SYN answered by RST
+  void connect_unanswered(int retries);  // SYNs into the void
+
+  // ---- data ----------------------------------------------------------------
+  // Send an exact application message in one direction (segmented at MSS,
+  // ACKed by the peer).
+  void client_message(std::span<const std::uint8_t> payload);
+  void server_message(std::span<const std::uint8_t> payload);
+  // Bulk filler transfer of the given size.
+  void client_transfer(std::uint64_t bytes);
+  void server_transfer(std::uint64_t bytes);
+
+  // Idle time (think time, poll interval).
+  void advance(double dt) { now_ += dt; }
+
+  // n 1-byte keepalive probes (retransmissions of the last client byte),
+  // spaced `interval` apart, each ACKed.
+  void keepalives(int n, double interval);
+
+  // ---- teardown ---------------------------------------------------------------
+  void close();       // FIN exchange
+  void abort_rst();   // RST from client
+  void abandon() {}   // connection left dangling (common for UDP-era apps)
+
+  double now() const { return now_; }
+  bool connected() const { return connected_; }
+  std::uint64_t client_bytes_sent() const { return client_sent_; }
+  std::uint64_t server_bytes_sent() const { return server_sent_; }
+
+ private:
+  void send_segment(bool from_client, std::uint8_t flags,
+                    std::span<const std::uint8_t> payload);
+  void send_data(bool from_client, std::span<const std::uint8_t> payload);
+  void maybe_retransmit(bool from_client, std::uint32_t seq,
+                        std::span<const std::uint8_t> payload);
+  void ack_from(bool from_client);
+
+  PacketSink& sink_;
+  Rng& rng_;
+  HostRef client_;
+  HostRef server_;
+  std::uint16_t src_port_;
+  std::uint16_t dst_port_;
+  TcpOptions opt_;
+  double now_;
+  bool connected_ = false;
+  bool closed_ = false;
+  std::uint32_t client_seq_;  // next seq to send
+  std::uint32_t server_seq_;
+  std::uint32_t client_acked_ = 0;  // highest seq seen from peer + 1
+  std::uint32_t server_acked_ = 0;
+  std::uint64_t client_sent_ = 0;
+  std::uint64_t server_sent_ = 0;
+  std::vector<std::uint8_t> last_client_payload_tail_;
+};
+
+}  // namespace entrace

@@ -1,0 +1,26 @@
+// UDP / ICMP emission helpers for the trace generator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "synth/model.h"
+#include "synth/sink.h"
+
+namespace entrace {
+
+void send_udp(PacketSink& sink, const HostRef& from, const HostRef& to, std::uint16_t sport,
+              std::uint16_t dport, double ts, std::span<const std::uint8_t> payload);
+
+// Multicast datagram (group address, multicast MAC).
+void send_udp_multicast(PacketSink& sink, const HostRef& from, Ipv4Address group,
+                        std::uint16_t sport, std::uint16_t dport, double ts,
+                        std::size_t payload_len);
+
+void send_icmp_echo(PacketSink& sink, const HostRef& from, const HostRef& to, bool reply,
+                    std::uint16_t id, std::uint16_t seq, double ts,
+                    std::size_t payload_len = 56);
+
+void send_icmp_unreachable(PacketSink& sink, const HostRef& from, const HostRef& to, double ts);
+
+}  // namespace entrace

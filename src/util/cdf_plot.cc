@@ -1,0 +1,101 @@
+#include "util/cdf_plot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace entrace {
+
+CdfPlot::CdfPlot(std::string title, std::string x_label, bool log_x)
+    : title_(std::move(title)), x_label_(std::move(x_label)), log_x_(log_x) {}
+
+void CdfPlot::add_series(std::string label, const EmpiricalCdf& cdf) {
+  series_.push_back({std::move(label), &cdf});
+}
+
+std::vector<double> CdfPlot::x_positions(int num_points) const {
+  double lo = 0.0, hi = 1.0;
+  bool first = true;
+  for (const auto& s : series_) {
+    if (s.cdf->empty()) continue;
+    if (first) {
+      lo = s.cdf->min();
+      hi = s.cdf->max();
+      first = false;
+    } else {
+      lo = std::min(lo, s.cdf->min());
+      hi = std::max(hi, s.cdf->max());
+    }
+  }
+  std::vector<double> xs;
+  if (first || num_points <= 1) return xs;
+  if (log_x_) {
+    lo = std::max(lo, 1e-6);
+    hi = std::max(hi, lo * 1.0001);
+    const double llo = std::log10(lo), lhi = std::log10(hi);
+    for (int i = 0; i < num_points; ++i) {
+      xs.push_back(std::pow(10.0, llo + (lhi - llo) * i / (num_points - 1)));
+    }
+  } else {
+    for (int i = 0; i < num_points; ++i) {
+      xs.push_back(lo + (hi - lo) * i / (num_points - 1));
+    }
+  }
+  return xs;
+}
+
+std::string CdfPlot::render(int num_points) const {
+  const std::vector<double> xs = x_positions(num_points);
+  TextTable table(title_ + "  (x = " + x_label_ + ")");
+  std::vector<std::string> header = {"series", "N", "median", "p90"};
+  for (double x : xs) {
+    header.push_back(x >= 1000 || (x > 0 && x < 0.01) ? format_double(x, 0)
+                                                      : format_double(x, 2));
+  }
+  table.set_header(std::move(header));
+  for (const auto& s : series_) {
+    std::vector<std::string> row = {s.label, std::to_string(s.cdf->count()),
+                                    format_double(s.cdf->median(), 3),
+                                    format_double(s.cdf->quantile(0.9), 3)};
+    for (double x : xs) row.push_back(format_double(s.cdf->fraction_below(x), 2));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string CdfPlot::render_ascii(int width, int height) const {
+  const std::vector<double> xs = x_positions(width);
+  if (xs.empty()) return title_ + ": (no data)\n";
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  static constexpr char kMarks[] = "*o+x#@%&";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const auto& s = series_[si];
+    if (s.cdf->empty()) continue;
+    const char mark = kMarks[si % (sizeof(kMarks) - 1)];
+    for (int col = 0; col < width; ++col) {
+      const double f = s.cdf->fraction_below(xs[static_cast<std::size_t>(col)]);
+      int row = static_cast<int>(std::round((1.0 - f) * (height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = mark;
+    }
+  }
+  std::string out = title_ + "\n";
+  for (int r = 0; r < height; ++r) {
+    const double frac = 1.0 - static_cast<double>(r) / (height - 1);
+    out += format_double(frac, 2) + " |" + grid[static_cast<std::size_t>(r)] + "\n";
+  }
+  out += "      +" + std::string(static_cast<std::size_t>(width), '-') + "\n";
+  out += "       " + x_label_ + (log_x_ ? " (log scale " : " (") +
+         format_double(xs.front(), 2) + " .. " + format_double(xs.back(), 2) + ")\n";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    out += "       ";
+    out += kMarks[si % (sizeof(kMarks) - 1)];
+    out += " = " + series_[si].label + " (N=" + std::to_string(series_[si].cdf->count()) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace entrace

@@ -1,0 +1,41 @@
+// Text rendering of empirical CDFs — the reproduction of the paper's
+// figures.  Each figure bench prints one CdfPlot with one line per series
+// (e.g. "ent:D0", "wan:D3"), sampling the CDF at log- or linear-spaced
+// x positions, exactly the axes the paper uses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace entrace {
+
+struct CdfSeries {
+  std::string label;
+  const EmpiricalCdf* cdf = nullptr;
+};
+
+class CdfPlot {
+ public:
+  CdfPlot(std::string title, std::string x_label, bool log_x);
+
+  void add_series(std::string label, const EmpiricalCdf& cdf);
+
+  // Render a table of CDF values at sampled x positions plus a summary
+  // (N, median, p90) per series.
+  std::string render(int num_points = 9) const;
+
+  // Render an ASCII-art plot (rows = fraction, cols = x position).
+  std::string render_ascii(int width = 64, int height = 16) const;
+
+ private:
+  std::vector<double> x_positions(int num_points) const;
+
+  std::string title_;
+  std::string x_label_;
+  bool log_x_;
+  std::vector<CdfSeries> series_;
+};
+
+}  // namespace entrace

@@ -1,0 +1,125 @@
+// Streaming and empirical statistics used by every analysis module.
+//
+// The paper reports two kinds of statistical summaries: scalar aggregates
+// (counts, fractions, medians) and empirical CDFs (the bulk of its figures).
+// OnlineStats gives O(1)-memory scalar aggregates; EmpiricalCdf stores the
+// samples and answers quantile / fraction-below queries, and can be rendered
+// as a text figure by cdf_plot.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace entrace {
+
+// Welford online mean/variance plus min/max.  No samples retained.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  // Merge another accumulator into this one (parallel-friendly).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Retains samples; sorts lazily on first query.
+class EmpiricalCdf {
+ public:
+  void add(double x);
+  void add_n(double x, std::size_t n);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Quantile in [0, 1]; q=0.5 is the median.  Returns 0 for empty CDFs.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  // Fraction of samples <= x.
+  double fraction_below(double x) const;
+
+  // Evaluate the CDF at the given x positions (for plotting/comparison).
+  std::vector<double> evaluate(std::span<const double> xs) const;
+
+  // Access to the sorted samples.
+  const std::vector<double>& sorted() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Counter keyed by string — used for "breakdown" tables (command mixes,
+// content types, request types ...).  Tracks both an event count and a
+// byte-volume per key, since nearly every paper table reports both.
+class BreakdownCounter {
+ public:
+  void add(const std::string& key, std::uint64_t count = 1, std::uint64_t bytes = 0);
+
+  std::uint64_t count(const std::string& key) const;
+  std::uint64_t bytes(const std::string& key) const;
+  std::uint64_t total_count() const { return total_count_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  double count_fraction(const std::string& key) const;
+  double bytes_fraction(const std::string& key) const;
+
+  // Keys sorted by descending count.
+  std::vector<std::string> keys_by_count() const;
+
+  const std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> entries_;
+  std::uint64_t total_count_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+// Fixed-width time-series binning: accumulates a value (e.g. bits) into
+// interval bins; used by the §6 utilization analysis at 1 s / 10 s / 60 s.
+class IntervalSeries {
+ public:
+  explicit IntervalSeries(double bin_width);
+
+  void add(double t, double value);
+
+  double bin_width() const { return bin_width_; }
+  // Values of all bins between the first and last seen timestamps,
+  // including empty (zero) bins.
+  std::vector<double> values() const;
+  bool empty() const { return bins_.empty(); }
+
+ private:
+  double bin_width_;
+  std::int64_t first_bin_ = 0;
+  std::int64_t last_bin_ = 0;
+  std::map<std::int64_t, double> bins_;
+};
+
+}  // namespace entrace

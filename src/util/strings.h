@@ -1,0 +1,31 @@
+// Small string helpers shared by parsers and report formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace entrace {
+
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+std::string to_lower(std::string_view s);
+
+bool starts_with_icase(std::string_view s, std::string_view prefix);
+
+// "13.12 GB", "64.7M", "443 B" — human-readable magnitudes as the paper
+// prints them.
+std::string format_bytes(std::uint64_t bytes);
+std::string format_count(std::uint64_t n);
+
+// "66%", "0.2%" — fraction rendered as the paper's percentage style.
+std::string format_pct(double fraction);
+
+// Fixed-precision double.
+std::string format_double(double v, int precision);
+
+}  // namespace entrace

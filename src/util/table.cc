@@ -1,0 +1,65 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace entrace {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  // Compute column widths across header and all rows.
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      line += "| ";
+      line += cell;
+      line.append(widths[i] - cell.size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  auto rule = [&widths]() {
+    std::string line;
+    for (std::size_t w : widths) {
+      line += "+";
+      line.append(w + 2, '-');
+    }
+    line += "+\n";
+    return line;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.empty()) {
+      out += rule();
+    } else {
+      out += render_row(r);
+    }
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace entrace

@@ -1,0 +1,186 @@
+// Tests for breakdowns (Tables 2-3, Figure 1), origins and fan analysis
+// (§4), and host-pair outcome accounting (§5).
+#include <gtest/gtest.h>
+
+#include "analysis/breakdown.h"
+#include "analysis/host_pair.h"
+#include "analysis/locality.h"
+#include "net/headers.h"
+#include "proto/registry.h"
+
+namespace entrace {
+namespace {
+
+SiteConfig test_site() {
+  SiteConfig site;
+  site.enterprise_block = Subnet(Ipv4Address(128, 3, 0, 0), 16);
+  for (int i = 0; i < 4; ++i)
+    site.subnets.push_back(Subnet(Ipv4Address(128, 3, static_cast<std::uint8_t>(i + 1), 0), 24));
+  return site;
+}
+
+Connection conn(Ipv4Address src, Ipv4Address dst, std::uint8_t proto, std::uint16_t dport,
+                std::uint64_t orig_bytes, std::uint64_t resp_bytes,
+                AppProtocol app = AppProtocol::kUnknown,
+                ConnState state = ConnState::kEstablished) {
+  Connection c;
+  c.key = {src, dst, 40000, dport, proto};
+  c.orig_bytes = orig_bytes;
+  c.resp_bytes = resp_bytes;
+  c.orig_pkts = 1 + orig_bytes / 1000;
+  c.resp_pkts = 1 + resp_bytes / 1000;
+  c.state = state;
+  c.app_id = static_cast<std::uint16_t>(app);
+  c.multicast = dst.is_multicast() || dst.is_broadcast();
+  return c;
+}
+
+const Ipv4Address kA(128, 3, 1, 10);
+const Ipv4Address kB(128, 3, 2, 10);
+const Ipv4Address kC(128, 3, 3, 10);
+const Ipv4Address kExt(66, 1, 2, 3);
+
+TEST(NetworkLayer, FractionsMatchTable2Semantics) {
+  NetworkLayerBreakdown b;
+  for (int i = 0; i < 96; ++i) b.add(L3Kind::kIpv4);
+  for (int i = 0; i < 3; ++i) b.add(L3Kind::kIpx);
+  b.add(L3Kind::kArp);
+  EXPECT_DOUBLE_EQ(b.ip_fraction(), 0.96);
+  EXPECT_DOUBLE_EQ(b.non_ip_fraction(), 0.04);
+  EXPECT_DOUBLE_EQ(b.ipx_of_non_ip(), 0.75);
+  EXPECT_DOUBLE_EQ(b.arp_of_non_ip(), 0.25);
+  EXPECT_DOUBLE_EQ(b.other_of_non_ip(), 0.0);
+}
+
+TEST(Transport, BytesAndConnsFractions) {
+  std::vector<Connection> conns;
+  conns.push_back(conn(kA, kB, ipproto::kTcp, 80, 1000, 9000));
+  conns.push_back(conn(kA, kB, ipproto::kUdp, 53, 50, 150));
+  conns.push_back(conn(kA, kB, ipproto::kUdp, 137, 60, 40));
+  conns.push_back(conn(kA, kB, ipproto::kIcmp, 0, 56, 56));
+  std::vector<const Connection*> ptrs;
+  for (auto& c : conns) ptrs.push_back(&c);
+  const auto tb = TransportBreakdown::compute(ptrs);
+  EXPECT_EQ(tb.conns, 4u);
+  EXPECT_DOUBLE_EQ(tb.conn_fraction(ipproto::kUdp), 0.5);
+  EXPECT_DOUBLE_EQ(tb.conn_fraction(ipproto::kTcp), 0.25);
+  EXPECT_GT(tb.byte_fraction(ipproto::kTcp), 0.9);
+}
+
+TEST(AppBreakdown, CategoriesAndLocality) {
+  std::vector<Connection> conns;
+  conns.push_back(conn(kA, kB, ipproto::kTcp, 80, 500, 5000, AppProtocol::kHttp));   // ent web
+  conns.push_back(conn(kA, kExt, ipproto::kTcp, 80, 500, 8000, AppProtocol::kHttp)); // wan web
+  conns.push_back(conn(kA, kB, ipproto::kUdp, 53, 60, 120, AppProtocol::kDns));      // ent name
+  conns.push_back(conn(kA, kB, ipproto::kTcp, 9999, 10, 10));                        // other-tcp
+  conns.push_back(conn(kA, kB, ipproto::kUdp, 8888, 10, 10));                        // other-udp
+  conns.push_back(
+      conn(kA, Ipv4Address(239, 1, 1, 1), ipproto::kUdp, 5004, 100000, 0, AppProtocol::kIpVideo));
+  std::vector<const Connection*> ptrs;
+  for (auto& c : conns) ptrs.push_back(&c);
+  const SiteConfig site = test_site();
+  const auto b = AppCategoryBreakdown::compute(ptrs, site);
+
+  EXPECT_EQ(b.unicast[static_cast<std::size_t>(AppCategory::kWeb)][0].conns, 1u);
+  EXPECT_EQ(b.unicast[static_cast<std::size_t>(AppCategory::kWeb)][1].conns, 1u);
+  EXPECT_EQ(b.unicast[static_cast<std::size_t>(AppCategory::kName)][0].conns, 1u);
+  EXPECT_EQ(b.unicast[static_cast<std::size_t>(AppCategory::kOtherTcp)][0].conns, 1u);
+  EXPECT_EQ(b.unicast[static_cast<std::size_t>(AppCategory::kOtherUdp)][0].conns, 1u);
+  // Multicast streaming tracked separately and dominates total bytes.
+  EXPECT_EQ(b.multicast[static_cast<std::size_t>(AppCategory::kStreaming)].conns, 1u);
+  EXPECT_GT(b.multicast_byte_fraction(AppCategory::kStreaming), 0.8);
+  EXPECT_EQ(b.total_unicast_conns, 5u);
+}
+
+TEST(Origins, ClassesSumToTotal) {
+  std::vector<Connection> conns;
+  for (int i = 0; i < 75; ++i) conns.push_back(conn(kA, kB, ipproto::kUdp, 53, 1, 1));
+  for (int i = 0; i < 3; ++i) conns.push_back(conn(kA, kExt, ipproto::kTcp, 80, 1, 1));
+  for (int i = 0; i < 8; ++i) conns.push_back(conn(kExt, kB, ipproto::kTcp, 25, 1, 1));
+  for (int i = 0; i < 9; ++i)
+    conns.push_back(conn(kA, Ipv4Address(239, 1, 1, 1), ipproto::kUdp, 9875, 1, 0));
+  for (int i = 0; i < 5; ++i)
+    conns.push_back(conn(kExt, Ipv4Address(239, 1, 1, 2), ipproto::kUdp, 9875, 1, 0));
+  std::vector<const Connection*> ptrs;
+  for (auto& c : conns) ptrs.push_back(&c);
+  const auto ob = OriginBreakdown::compute(ptrs, test_site());
+  EXPECT_EQ(ob.total, 100u);
+  EXPECT_EQ(ob.ent_to_ent, 75u);
+  EXPECT_EQ(ob.ent_to_wan, 3u);
+  EXPECT_EQ(ob.wan_to_ent, 8u);
+  EXPECT_EQ(ob.multicast_ent_src, 9u);
+  EXPECT_EQ(ob.multicast_wan_src, 5u);
+  EXPECT_DOUBLE_EQ(ob.fraction(ob.ent_to_ent), 0.75);
+}
+
+TEST(Fan, CountsDistinctPeersBySide) {
+  std::vector<Connection> conns;
+  // kA originates to kB, kC, and an external host (twice — dedup).
+  conns.push_back(conn(kA, kB, ipproto::kTcp, 80, 1, 1));
+  conns.push_back(conn(kA, kC, ipproto::kTcp, 80, 1, 1));
+  conns.push_back(conn(kA, kExt, ipproto::kTcp, 80, 1, 1));
+  conns.push_back(conn(kA, kExt, ipproto::kTcp, 443, 1, 1));
+  // kB receives from kC.
+  conns.push_back(conn(kC, kB, ipproto::kTcp, 22, 1, 1));
+  std::vector<const Connection*> ptrs;
+  for (auto& c : conns) ptrs.push_back(&c);
+  const SiteConfig site = test_site();
+  const auto fan =
+      compute_fan(ptrs, site, [&site](Ipv4Address h) { return site.is_internal(h); });
+  // kA fan-out: 2 internal peers, 1 wan peer.
+  EXPECT_EQ(fan.fan_out_ent.count(), 2u);  // kA and kC have internal fan-out
+  EXPECT_DOUBLE_EQ(fan.fan_out_ent.max(), 2.0);
+  EXPECT_EQ(fan.fan_out_wan.count(), 1u);
+  EXPECT_DOUBLE_EQ(fan.fan_out_wan.max(), 1.0);
+  // fan-in: kB has 2 internal originators (kA, kC); kC has 1 (kA).
+  EXPECT_EQ(fan.fan_in_ent.count(), 2u);  // kB and kC (kExt is not monitored)
+  EXPECT_DOUBLE_EQ(fan.fan_in_ent.max(), 2.0);
+  // kC's only peers are internal.
+  EXPECT_GT(fan.only_internal_fan_out, 0.0);
+}
+
+TEST(Fan, AppFanOutSelectsApp) {
+  std::vector<Connection> conns;
+  conns.push_back(conn(kA, kB, ipproto::kTcp, 80, 1, 1, AppProtocol::kHttp));
+  conns.push_back(conn(kA, kExt, ipproto::kTcp, 80, 1, 1, AppProtocol::kHttp));
+  conns.push_back(conn(kA, Ipv4Address(77, 1, 1, 1), ipproto::kTcp, 80, 1, 1,
+                       AppProtocol::kHttp));
+  conns.push_back(conn(kA, kC, ipproto::kTcp, 22, 1, 1, AppProtocol::kSsh));
+  std::vector<const Connection*> ptrs;
+  for (auto& c : conns) ptrs.push_back(&c);
+  const auto fan = compute_app_fanout(ptrs, test_site(), [](const Connection& c) {
+    return static_cast<AppProtocol>(c.app_id) == AppProtocol::kHttp;
+  });
+  EXPECT_EQ(fan.ent.count(), 1u);
+  EXPECT_DOUBLE_EQ(fan.ent.max(), 1.0);
+  EXPECT_DOUBLE_EQ(fan.wan.max(), 2.0);
+}
+
+TEST(HostPair, DominantOutcomeWins) {
+  std::vector<Connection> conns;
+  // Pair 1: one success + one reject -> successful (retry worked).
+  conns.push_back(conn(kA, kB, ipproto::kTcp, 445, 1, 1, AppProtocol::kCifs,
+                       ConnState::kEstablished));
+  conns.push_back(
+      conn(kA, kB, ipproto::kTcp, 445, 0, 0, AppProtocol::kCifs, ConnState::kRejected));
+  // Pair 2: endlessly retried rejects count once.
+  for (int i = 0; i < 50; ++i) {
+    conns.push_back(
+        conn(kA, kC, ipproto::kTcp, 445, 0, 0, AppProtocol::kCifs, ConnState::kRejected));
+  }
+  // Pair 3: unanswered.
+  conns.push_back(
+      conn(kB, kC, ipproto::kTcp, 445, 0, 0, AppProtocol::kCifs, ConnState::kUnanswered));
+  std::vector<const Connection*> ptrs;
+  for (auto& c : conns) ptrs.push_back(&c);
+  const auto outcomes =
+      HostPairOutcomes::compute(ptrs, [](const Connection&) { return true; });
+  EXPECT_EQ(outcomes.pairs, 3u);
+  EXPECT_EQ(outcomes.successful, 1u);
+  EXPECT_EQ(outcomes.rejected, 1u);
+  EXPECT_EQ(outcomes.unanswered, 1u);
+  EXPECT_NEAR(outcomes.success_rate(), 1.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace entrace

@@ -1,0 +1,303 @@
+// Unit tests for net: addresses, checksums, header round-trips, decoding.
+#include <gtest/gtest.h>
+
+#include "net/checksum.h"
+#include "net/decoder.h"
+#include "net/encoder.h"
+#include "net/five_tuple.h"
+#include "net/headers.h"
+
+namespace entrace {
+namespace {
+
+TEST(Ipv4Address, ParseAndPrint) {
+  Ipv4Address a;
+  ASSERT_TRUE(Ipv4Address::try_parse("128.3.2.1", a));
+  EXPECT_EQ(a.to_string(), "128.3.2.1");
+  EXPECT_EQ(a, Ipv4Address(128, 3, 2, 1));
+  EXPECT_FALSE(Ipv4Address::try_parse("300.1.1.1", a));
+  EXPECT_FALSE(Ipv4Address::try_parse("1.2.3", a));
+  EXPECT_FALSE(Ipv4Address::try_parse("1.2.3.4.5", a));
+}
+
+TEST(Ipv4Address, Classification) {
+  EXPECT_TRUE(Ipv4Address(224, 0, 0, 1).is_multicast());
+  EXPECT_TRUE(Ipv4Address(239, 255, 255, 253).is_multicast());
+  EXPECT_FALSE(Ipv4Address(223, 0, 0, 1).is_multicast());
+  EXPECT_TRUE(Ipv4Address(255, 255, 255, 255).is_broadcast());
+  EXPECT_TRUE(Ipv4Address().is_unspecified());
+}
+
+TEST(Subnet, ContainsAndHosts) {
+  const Subnet s(Ipv4Address(128, 3, 5, 0), 24);
+  EXPECT_TRUE(s.contains(Ipv4Address(128, 3, 5, 200)));
+  EXPECT_FALSE(s.contains(Ipv4Address(128, 3, 6, 1)));
+  EXPECT_EQ(s.host(10).to_string(), "128.3.5.10");
+  EXPECT_EQ(Subnet::parse("10.0.0.0/8").prefix_len(), 8);
+  EXPECT_TRUE(Subnet::parse("10.0.0.0/8").contains(Ipv4Address(10, 200, 3, 4)));
+}
+
+TEST(Subnet, BaseIsMasked) {
+  const Subnet s(Ipv4Address(128, 3, 5, 77), 24);
+  EXPECT_EQ(s.base().to_string(), "128.3.5.0");
+}
+
+TEST(MacAddress, StableAndPrintable) {
+  const MacAddress m = MacAddress::from_host_id(0xAABBCCDD);
+  EXPECT_EQ(m, MacAddress::from_host_id(0xAABBCCDD));
+  EXPECT_EQ(m.to_string(), "02:1b:aa:bb:cc:dd");
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_FALSE(m.is_broadcast());
+}
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLength) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03};
+  // Manually: 0x0102 + 0x0300 = 0x0402 -> ~ = 0xfbfd.
+  EXPECT_EQ(internet_checksum(data), 0xfbfd);
+}
+
+TEST(Headers, EthernetRoundTrip) {
+  EthernetHeader h;
+  h.src = MacAddress::from_host_id(1);
+  h.dst = MacAddress::from_host_id(2);
+  h.ethertype = ethertype::kIpv4;
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  h.encode(w);
+  EXPECT_EQ(buf.size(), EthernetHeader::kSize);
+  ByteReader r(buf);
+  auto d = EthernetHeader::decode(r);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src, h.src);
+  EXPECT_EQ(d->dst, h.dst);
+  EXPECT_EQ(d->ethertype, h.ethertype);
+}
+
+TEST(Headers, ArpRoundTrip) {
+  ArpHeader h;
+  h.opcode = ArpHeader::kReply;
+  h.sender_mac = MacAddress::from_host_id(7);
+  h.sender_ip = Ipv4Address(128, 3, 1, 1);
+  h.target_ip = Ipv4Address(128, 3, 1, 2);
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  h.encode(w);
+  ByteReader r(buf);
+  auto d = ArpHeader::decode(r);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->opcode, ArpHeader::kReply);
+  EXPECT_EQ(d->sender_ip, h.sender_ip);
+  EXPECT_EQ(d->target_ip, h.target_ip);
+  EXPECT_EQ(d->sender_mac, h.sender_mac);
+}
+
+TEST(Headers, Ipv4ChecksumValidAndRoundTrip) {
+  Ipv4Header h;
+  h.src = Ipv4Address(10, 0, 0, 1);
+  h.dst = Ipv4Address(10, 0, 0, 2);
+  h.protocol = ipproto::kTcp;
+  h.total_length = 40;
+  h.ttl = 63;
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  h.encode(w);
+  ASSERT_EQ(buf.size(), Ipv4Header::kMinSize);
+  // A correct IPv4 header checksums to zero.
+  EXPECT_EQ(internet_checksum(buf), 0);
+  ByteReader r(buf);
+  auto d = Ipv4Header::decode(r);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->src, h.src);
+  EXPECT_EQ(d->dst, h.dst);
+  EXPECT_EQ(d->protocol, ipproto::kTcp);
+  EXPECT_EQ(d->total_length, 40);
+  EXPECT_EQ(d->ttl, 63);
+}
+
+TEST(Headers, TcpUdpIcmpIpxRoundTrip) {
+  {
+    TcpHeader h{1234, 80, 111, 222, tcpflag::kSyn | tcpflag::kAck, 4096, 0};
+    std::vector<std::uint8_t> buf;
+    ByteWriter w(buf);
+    h.encode(w);
+    ByteReader r(buf);
+    auto d = TcpHeader::decode(r);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->src_port, 1234);
+    EXPECT_EQ(d->dst_port, 80);
+    EXPECT_EQ(d->seq, 111u);
+    EXPECT_EQ(d->ack, 222u);
+    EXPECT_EQ(d->flags, tcpflag::kSyn | tcpflag::kAck);
+  }
+  {
+    UdpHeader h{53, 5353, 20, 0};
+    std::vector<std::uint8_t> buf;
+    ByteWriter w(buf);
+    h.encode(w);
+    ByteReader r(buf);
+    auto d = UdpHeader::decode(r);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->dst_port, 5353);
+    EXPECT_EQ(d->length, 20);
+  }
+  {
+    IcmpHeader h;
+    h.type = IcmpHeader::kEchoRequest;
+    h.identifier = 99;
+    h.sequence = 3;
+    std::vector<std::uint8_t> buf;
+    ByteWriter w(buf);
+    h.encode(w);
+    ByteReader r(buf);
+    auto d = IcmpHeader::decode(r);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->identifier, 99);
+    EXPECT_EQ(d->sequence, 3);
+  }
+  {
+    IpxHeader h;
+    h.packet_type = 4;
+    h.src_socket = 0x452;
+    h.dst_socket = 0x453;
+    h.src_node = MacAddress::from_host_id(5);
+    h.dst_node = MacAddress::broadcast();
+    std::vector<std::uint8_t> buf;
+    ByteWriter w(buf);
+    h.encode(w);
+    ByteReader r(buf);
+    auto d = IpxHeader::decode(r);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->src_socket, 0x452);
+    EXPECT_EQ(d->packet_type, 4);
+  }
+}
+
+TEST(FiveTuple, CanonicalIsDirectionIndependent) {
+  FiveTuple a{Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2), 5000, 80, 6};
+  EXPECT_EQ(a.canonical(), a.reversed().canonical());
+  EXPECT_EQ(std::hash<FiveTuple>{}(a.canonical()),
+            std::hash<FiveTuple>{}(a.reversed().canonical()));
+  EXPECT_NE(a, a.reversed());
+}
+
+TEST(FiveTuple, SameAddressDifferentPorts) {
+  FiveTuple a{Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 1), 9000, 80, 6};
+  EXPECT_EQ(a.canonical(), a.reversed().canonical());
+}
+
+RawPacket to_raw(std::vector<std::uint8_t> frame, double ts = 1.0) {
+  RawPacket pkt;
+  pkt.ts = ts;
+  pkt.wire_len = static_cast<std::uint32_t>(frame.size());
+  pkt.data = std::move(frame);
+  return pkt;
+}
+
+TEST(Decoder, TcpFrameFullDecode) {
+  FrameEndpoints ep{MacAddress::from_host_id(1), MacAddress::from_host_id(2),
+                    Ipv4Address(128, 3, 1, 10), Ipv4Address(8, 8, 8, 8)};
+  const auto payload = filler_payload(100);
+  const auto frame =
+      make_tcp_frame(ep, 5555, 80, 1000, 2000, tcpflag::kAck | tcpflag::kPsh, payload);
+  const auto d = decode_packet(to_raw(frame));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->l3, L3Kind::kIpv4);
+  EXPECT_TRUE(d->is_tcp());
+  ASSERT_TRUE(d->l4_ok);
+  EXPECT_EQ(d->src, ep.src_ip);
+  EXPECT_EQ(d->dst, ep.dst_ip);
+  EXPECT_EQ(d->src_port, 5555);
+  EXPECT_EQ(d->dst_port, 80);
+  EXPECT_EQ(d->tcp_seq, 1000u);
+  EXPECT_EQ(d->payload_wire_len, 100u);
+  ASSERT_EQ(d->payload.size(), 100u);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), d->payload.begin()));
+}
+
+TEST(Decoder, SnaplenTruncationKeepsWireLengths) {
+  FrameEndpoints ep{MacAddress::from_host_id(1), MacAddress::from_host_id(2),
+                    Ipv4Address(128, 3, 1, 10), Ipv4Address(128, 3, 2, 10)};
+  auto frame = make_tcp_frame(ep, 1, 2, 0, 0, tcpflag::kAck, filler_payload(1000));
+  RawPacket pkt = to_raw(frame);
+  pkt.data.resize(68);  // snaplen 68 capture
+  const auto d = decode_packet(pkt);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->l4_ok);
+  EXPECT_EQ(d->payload_wire_len, 1000u);                  // from the IP header
+  EXPECT_EQ(d->payload.size(), 68u - 14u - 20u - 20u);    // captured remainder
+}
+
+TEST(Decoder, UdpAndIcmpAndArpAndIpx) {
+  FrameEndpoints ep{MacAddress::from_host_id(1), MacAddress::from_host_id(2),
+                    Ipv4Address(128, 3, 1, 10), Ipv4Address(128, 3, 2, 10)};
+  {
+    const auto d = decode_packet(to_raw(make_udp_frame(ep, 53, 5353, filler_payload(30))));
+    ASSERT_TRUE(d && d->is_udp());
+    EXPECT_EQ(d->payload_wire_len, 30u);
+  }
+  {
+    const auto d = decode_packet(to_raw(make_icmp_frame(ep, 8, 0, 42, 7, 56)));
+    ASSERT_TRUE(d && d->is_icmp());
+    EXPECT_EQ(d->icmp_type, 8);
+    EXPECT_EQ(d->icmp_id, 42);
+  }
+  {
+    const auto d = decode_packet(to_raw(
+        make_arp_frame(MacAddress::from_host_id(1), ArpHeader::kRequest,
+                       Ipv4Address(128, 3, 1, 10), Ipv4Address(128, 3, 1, 20))));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->l3, L3Kind::kArp);
+  }
+  {
+    const auto d = decode_packet(to_raw(make_ipx_frame(
+        MacAddress::from_host_id(1), MacAddress::broadcast(), 4, 0x452, 0x452, 64)));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->l3, L3Kind::kIpx);
+  }
+}
+
+TEST(Decoder, EthernetPaddingClampedToIpLength) {
+  FrameEndpoints ep{MacAddress::from_host_id(1), MacAddress::from_host_id(2),
+                    Ipv4Address(128, 3, 1, 10), Ipv4Address(128, 3, 2, 10)};
+  auto frame = make_udp_frame(ep, 1, 2, filler_payload(2));
+  frame.resize(64, 0);  // minimum Ethernet frame padding
+  const auto d = decode_packet(to_raw(frame));
+  ASSERT_TRUE(d && d->is_udp());
+  EXPECT_EQ(d->payload.size(), 2u);
+  EXPECT_EQ(d->payload_wire_len, 2u);
+}
+
+TEST(Decoder, GarbageIsRejectedOrOther) {
+  RawPacket pkt;
+  pkt.data = {0x01, 0x02, 0x03};
+  pkt.wire_len = 3;
+  EXPECT_FALSE(decode_packet(pkt).has_value());
+
+  // Unknown ethertype decodes as kOther.
+  std::vector<std::uint8_t> frame(20, 0);
+  frame[12] = 0x88;
+  frame[13] = 0x99;
+  const auto d = decode_packet(to_raw(frame));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->l3, L3Kind::kOther);
+}
+
+TEST(Decoder, RareIpProtocolsKeepPayloadAccounting) {
+  FrameEndpoints ep{MacAddress::from_host_id(1), MacAddress::from_host_id(2),
+                    Ipv4Address(128, 3, 1, 10), Ipv4Address(128, 3, 2, 10)};
+  const auto d = decode_packet(to_raw(make_ip_frame(ep, ipproto::kGre, 120)));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->l3, L3Kind::kIpv4);
+  EXPECT_EQ(d->ip_proto, ipproto::kGre);
+  EXPECT_FALSE(d->l4_ok);
+  EXPECT_EQ(d->payload_wire_len, 120u);
+}
+
+}  // namespace
+}  // namespace entrace

@@ -1,0 +1,157 @@
+// Tests for the pcap file format implementation and trace containers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "net/encoder.h"
+#include "pcap/format.h"
+#include "pcap/reader.h"
+#include "pcap/trace.h"
+#include "pcap/writer.h"
+
+namespace entrace {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+RawPacket sample_packet(double ts, std::size_t payload) {
+  FrameEndpoints ep{MacAddress::from_host_id(1), MacAddress::from_host_id(2),
+                    Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2)};
+  RawPacket pkt;
+  pkt.ts = ts;
+  pkt.data = make_udp_frame(ep, 1000, 2000, filler_payload(payload));
+  pkt.wire_len = static_cast<std::uint32_t>(pkt.data.size());
+  return pkt;
+}
+
+TEST(Pcap, WriteReadRoundTrip) {
+  const std::string path = temp_path("entrace_roundtrip.pcap");
+  {
+    PcapWriter writer(path, 1500);
+    writer.write(sample_packet(1.5, 100));
+    writer.write(sample_packet(2.25, 300));
+    EXPECT_EQ(writer.packets_written(), 2u);
+  }
+  PcapReader reader(path);
+  EXPECT_EQ(reader.snaplen(), 1500u);
+  EXPECT_EQ(reader.link_type(), pcapfmt::kLinkTypeEthernet);
+  auto p1 = reader.next();
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_NEAR(p1->ts, 1.5, 1e-6);
+  EXPECT_EQ(p1->data.size(), sample_packet(0, 100).data.size());
+  auto p2 = reader.next();
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_NEAR(p2->ts, 2.25, 1e-6);
+  EXPECT_FALSE(reader.next().has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, SnaplenTruncatesButKeepsWireLen) {
+  const std::string path = temp_path("entrace_snap.pcap");
+  {
+    PcapWriter writer(path, 68);
+    writer.write(sample_packet(0.0, 1000));
+  }
+  PcapReader reader(path);
+  auto p = reader.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->data.size(), 68u);
+  EXPECT_EQ(p->wire_len, sample_packet(0, 1000).data.size());
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ReaderRejectsBadMagic) {
+  const std::string path = temp_path("entrace_bad.pcap");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[24] = "not a pcap file at all";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_THROW(PcapReader reader(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ReaderHandlesSwappedByteOrder) {
+  const std::string path = temp_path("entrace_swapped.pcap");
+  // Hand-build a big-endian pcap file with one 4-byte record.
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  auto be32 = [&f](std::uint32_t v) {
+    std::uint8_t b[4] = {static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+                         static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+    std::fwrite(b, 1, 4, f);
+  };
+  auto be16 = [&f](std::uint16_t v) {
+    std::uint8_t b[2] = {static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+    std::fwrite(b, 1, 2, f);
+  };
+  be32(pcapfmt::kMagicUsec);  // written big-endian => appears swapped to LE reader
+  be16(2);
+  be16(4);
+  be32(0);
+  be32(0);
+  be32(1500);
+  be32(1);
+  be32(10);  // sec
+  be32(500000);  // usec
+  be32(4);   // caplen
+  be32(4);   // wirelen
+  const std::uint8_t payload[4] = {1, 2, 3, 4};
+  std::fwrite(payload, 1, 4, f);
+  std::fclose(f);
+
+  PcapReader reader(path);
+  EXPECT_EQ(reader.snaplen(), 1500u);
+  auto p = reader.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->ts, 10.5, 1e-6);
+  ASSERT_EQ(p->data.size(), 4u);
+  EXPECT_EQ(p->data[2], 3);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  Trace t;
+  t.name = "unit";
+  t.snaplen = 1500;
+  t.packets.push_back(sample_packet(0.5, 40));
+  t.packets.push_back(sample_packet(1.0, 60));
+  t.start_ts = 0.5;
+  t.duration = 0.5;
+  const std::string path = temp_path("entrace_trace.pcap");
+  t.save(path);
+  const Trace loaded = Trace::load(path, "unit", 3);
+  EXPECT_EQ(loaded.packets.size(), 2u);
+  EXPECT_EQ(loaded.subnet_id, 3);
+  EXPECT_EQ(loaded.snaplen, 1500u);
+  EXPECT_EQ(loaded.total_wire_bytes(), t.total_wire_bytes());
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ApplySnaplen) {
+  Trace t;
+  t.snaplen = 68;
+  t.packets.push_back(sample_packet(0.0, 500));
+  t.apply_snaplen();
+  EXPECT_EQ(t.packets[0].data.size(), 68u);
+  EXPECT_GT(t.packets[0].wire_len, 68u);
+}
+
+TEST(TraceSet, MergedSortsByTimestamp) {
+  TraceSet set;
+  Trace a, b;
+  a.packets.push_back(sample_packet(3.0, 10));
+  a.packets.push_back(sample_packet(1.0, 10));
+  b.packets.push_back(sample_packet(2.0, 10));
+  set.traces.push_back(std::move(a));
+  set.traces.push_back(std::move(b));
+  const auto merged = set.merged();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_LE(merged[0]->ts, merged[1]->ts);
+  EXPECT_LE(merged[1]->ts, merged[2]->ts);
+  EXPECT_EQ(set.total_packets(), 3u);
+}
+
+}  // namespace
+}  // namespace entrace

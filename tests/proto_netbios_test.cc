@@ -1,0 +1,121 @@
+// Tests for Netbios-NS: first-level name encoding, message round-trips,
+// opcode/name-type classification, transaction pairing.
+#include <gtest/gtest.h>
+
+#include "proto/netbios.h"
+
+namespace entrace {
+namespace {
+
+TEST(NbnsName, FirstLevelEncodingRoundTrip) {
+  const std::string encoded = nbns_encode_name("FILESRV", nbns_suffix::kServer);
+  EXPECT_EQ(encoded.size(), 32u);
+  std::string name;
+  std::uint8_t suffix = 0;
+  ASSERT_TRUE(nbns_decode_name(encoded, name, suffix));
+  EXPECT_EQ(name, "FILESRV");
+  EXPECT_EQ(suffix, nbns_suffix::kServer);
+}
+
+TEST(NbnsName, LowercaseIsUppercased) {
+  std::string name;
+  std::uint8_t suffix = 0;
+  ASSERT_TRUE(nbns_decode_name(nbns_encode_name("mixedCase", 0x00), name, suffix));
+  EXPECT_EQ(name, "MIXEDCASE");
+}
+
+TEST(NbnsName, LongNamesTruncatedTo15) {
+  std::string name;
+  std::uint8_t suffix = 0;
+  ASSERT_TRUE(
+      nbns_decode_name(nbns_encode_name("AVERYLONGHOSTNAME-EXTRA", 0x20), name, suffix));
+  EXPECT_EQ(name.size(), 15u);
+}
+
+TEST(NbnsName, BadEncodingRejected) {
+  std::string name;
+  std::uint8_t suffix = 0;
+  EXPECT_FALSE(nbns_decode_name("short", name, suffix));
+  EXPECT_FALSE(nbns_decode_name(std::string(32, 'z'), name, suffix));  // out of nibble range
+}
+
+TEST(NbnsWire, QueryRoundTrip) {
+  NbnsMessage m;
+  m.id = 0xBEEF;
+  m.opcode = nbns_opcode::kQuery;
+  m.name = "WORKSTATION1";
+  m.suffix = nbns_suffix::kWorkstation;
+  const auto d = decode_nbns(encode_nbns(m));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->id, 0xBEEF);
+  EXPECT_FALSE(d->is_response);
+  EXPECT_EQ(d->opcode, nbns_opcode::kQuery);
+  EXPECT_EQ(d->name, "WORKSTATION1");
+  EXPECT_EQ(d->suffix, nbns_suffix::kWorkstation);
+}
+
+TEST(NbnsWire, NegativeResponseRoundTrip) {
+  NbnsMessage m;
+  m.id = 3;
+  m.is_response = true;
+  m.opcode = nbns_opcode::kQuery;
+  m.rcode = 3;  // name error
+  m.name = "OLDHOST";
+  const auto d = decode_nbns(encode_nbns(m));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->is_response);
+  EXPECT_EQ(d->rcode, 3);
+}
+
+TEST(NbnsWire, AllOpcodesRoundTrip) {
+  for (std::uint8_t op : {nbns_opcode::kQuery, nbns_opcode::kRegistration,
+                          nbns_opcode::kRelease, nbns_opcode::kRefresh}) {
+    NbnsMessage m;
+    m.id = op;
+    m.opcode = op;
+    m.name = "N";
+    const auto d = decode_nbns(encode_nbns(m));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->opcode, op);
+  }
+}
+
+TEST(NbnsMapping, NameTypes) {
+  EXPECT_EQ(nbns_name_type(nbns_suffix::kWorkstation), NbnsNameType::kWorkstation);
+  EXPECT_EQ(nbns_name_type(nbns_suffix::kServer), NbnsNameType::kServer);
+  EXPECT_EQ(nbns_name_type(nbns_suffix::kDomainMaster), NbnsNameType::kDomain);
+  EXPECT_EQ(nbns_name_type(nbns_suffix::kDomainGroup), NbnsNameType::kDomain);
+  EXPECT_EQ(nbns_name_type(nbns_suffix::kBrowser), NbnsNameType::kDomain);
+  EXPECT_EQ(nbns_name_type(0x03), NbnsNameType::kOther);
+}
+
+TEST(NbnsMapping, Opcodes) {
+  EXPECT_EQ(nbns_opcode_enum(nbns_opcode::kQuery), NbnsOpcode::kQuery);
+  EXPECT_EQ(nbns_opcode_enum(nbns_opcode::kRefresh), NbnsOpcode::kRefresh);
+  EXPECT_EQ(nbns_opcode_enum(nbns_opcode::kRegistration), NbnsOpcode::kRegistration);
+  EXPECT_EQ(nbns_opcode_enum(nbns_opcode::kRelease), NbnsOpcode::kRelease);
+}
+
+TEST(NbnsParser, PairsAndRecordsRcode) {
+  Connection conn;
+  std::vector<NbnsTransaction> out;
+  NbnsParser parser(out);
+  NbnsMessage q;
+  q.id = 11;
+  q.name = "STALE1";
+  q.suffix = nbns_suffix::kServer;
+  const auto qw = encode_nbns(q);
+  parser.on_data(conn, Direction::kOrigToResp, 5.0, qw);
+  NbnsMessage r = q;
+  r.is_response = true;
+  r.rcode = 3;
+  const auto rw = encode_nbns(r);
+  parser.on_data(conn, Direction::kRespToOrig, 5.001, rw);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rcode, 3);
+  EXPECT_EQ(out[0].name_type, NbnsNameType::kServer);
+  EXPECT_EQ(out[0].opcode, NbnsOpcode::kQuery);
+}
+
+}  // namespace
+}  // namespace entrace

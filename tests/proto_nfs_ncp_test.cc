@@ -1,0 +1,169 @@
+// Tests for SunRPC/NFS and NCP encoding, framing and parsing.
+#include <gtest/gtest.h>
+
+#include "proto/ncp.h"
+#include "proto/nfs.h"
+
+namespace entrace {
+namespace {
+
+TEST(SunRpc, CallRoundTrip) {
+  const auto wire = encode_rpc_call(0xAABB, kNfsProgram, kNfsVersion, nfsproc::kRead, 96);
+  const auto msg = decode_rpc(wire);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->is_call);
+  EXPECT_EQ(msg->xid, 0xAABBu);
+  EXPECT_EQ(msg->prog, kNfsProgram);
+  EXPECT_EQ(msg->vers, kNfsVersion);
+  EXPECT_EQ(msg->proc, nfsproc::kRead);
+  EXPECT_EQ(msg->body_len, wire.size());
+}
+
+TEST(SunRpc, ReplyRoundTrip) {
+  const auto wire = encode_rpc_reply(0xAABB, 0, 8192);
+  const auto msg = decode_rpc(wire);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_FALSE(msg->is_call);
+  EXPECT_EQ(msg->status, 0u);
+  EXPECT_EQ(msg->body_len, wire.size());
+}
+
+TEST(SunRpc, ErrorStatusPreserved) {
+  const auto msg = decode_rpc(encode_rpc_reply(1, 2 /*NFS3ERR_NOENT*/, 24));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->status, 2u);
+}
+
+TEST(SunRpc, GarbageRejected) {
+  std::vector<std::uint8_t> junk(16, 0x5A);
+  EXPECT_FALSE(decode_rpc(junk).has_value());
+  std::vector<std::uint8_t> tiny = {1, 2};
+  EXPECT_FALSE(decode_rpc(tiny).has_value());
+}
+
+TEST(NfsParser, UdpPairsCallsAndReplies) {
+  Connection conn;
+  std::vector<NfsCall> out;
+  NfsParser parser(out, /*is_tcp=*/false);
+  const auto call = encode_rpc_call(1, kNfsProgram, kNfsVersion, nfsproc::kGetAttr, 60);
+  const auto reply = encode_rpc_reply(1, 0, 120);
+  parser.on_data(conn, Direction::kOrigToResp, 1.0, call);
+  parser.on_data(conn, Direction::kRespToOrig, 1.001, reply);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].proc, nfsproc::kGetAttr);
+  EXPECT_TRUE(out[0].has_reply);
+  EXPECT_EQ(out[0].status, 0u);
+  EXPECT_EQ(out[0].req_bytes, call.size());
+  EXPECT_EQ(out[0].resp_bytes, reply.size());
+}
+
+TEST(NfsParser, TcpRecordMarkingReassembled) {
+  Connection conn;
+  std::vector<NfsCall> out;
+  NfsParser parser(out, /*is_tcp=*/true);
+  const auto m1 = rpc_record_mark(encode_rpc_call(7, kNfsProgram, kNfsVersion, nfsproc::kWrite,
+                                                  8192));
+  const auto m2 = rpc_record_mark(encode_rpc_reply(7, 0, 96));
+  // Deliver the 8KB call in small chunks.
+  for (std::size_t off = 0; off < m1.size(); off += 1000) {
+    const std::size_t n = std::min<std::size_t>(1000, m1.size() - off);
+    parser.on_data(conn, Direction::kOrigToResp, 1.0,
+                   std::span<const std::uint8_t>(m1.data() + off, n));
+  }
+  parser.on_data(conn, Direction::kRespToOrig, 1.01, m2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].proc, nfsproc::kWrite);
+  EXPECT_GT(out[0].req_bytes, 8000u);
+}
+
+TEST(NfsParser, NonNfsProgramIgnored) {
+  Connection conn;
+  std::vector<NfsCall> out;
+  NfsParser parser(out, false);
+  const auto call = encode_rpc_call(1, 100005 /*mountd*/, 3, 1, 40);
+  parser.on_data(conn, Direction::kOrigToResp, 1.0, call);
+  parser.on_close(conn);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(NfsParser, UnansweredCallFlushed) {
+  Connection conn;
+  std::vector<NfsCall> out;
+  NfsParser parser(out, false);
+  const auto call = encode_rpc_call(9, kNfsProgram, kNfsVersion, nfsproc::kLookup, 80);
+  parser.on_data(conn, Direction::kOrigToResp, 1.0, call);
+  parser.on_close(conn);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].has_reply);
+}
+
+TEST(Ncp, FunctionMapping) {
+  EXPECT_EQ(ncp_function_enum(ncpfn::kRead), NcpFunction::kRead);
+  EXPECT_EQ(ncp_function_enum(ncpfn::kWrite), NcpFunction::kWrite);
+  EXPECT_EQ(ncp_function_enum(ncpfn::kOpen), NcpFunction::kFileOpenClose);
+  EXPECT_EQ(ncp_function_enum(ncpfn::kClose), NcpFunction::kFileOpenClose);
+  EXPECT_EQ(ncp_function_enum(ncpfn::kGetFileSize), NcpFunction::kFileSize);
+  EXPECT_EQ(ncp_function_enum(ncpfn::kFileDirInfo), NcpFunction::kFileDirInfo);
+  EXPECT_EQ(ncp_function_enum(ncpfn::kSearch), NcpFunction::kFileSearch);
+  EXPECT_EQ(ncp_function_enum(ncpfn::kNds), NcpFunction::kDirectoryService);
+  EXPECT_EQ(ncp_function_enum(200), NcpFunction::kOther);
+}
+
+TEST(NcpParser, RequestReplyPairing) {
+  Connection conn;
+  std::vector<NcpCall> out;
+  NcpParser parser(out);
+  parser.on_data(conn, Direction::kOrigToResp, 1.0, encode_ncp_request(1, ncpfn::kRead, 14));
+  parser.on_data(conn, Direction::kRespToOrig, 1.002, encode_ncp_reply(1, 0, 260));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].function, NcpFunction::kRead);
+  EXPECT_EQ(out[0].completion_code, 0);
+  EXPECT_TRUE(out[0].has_reply);
+}
+
+TEST(NcpParser, FailureCompletionCode) {
+  Connection conn;
+  std::vector<NcpCall> out;
+  NcpParser parser(out);
+  parser.on_data(conn, Direction::kOrigToResp, 1.0,
+                 encode_ncp_request(2, ncpfn::kFileDirInfo, 30));
+  parser.on_data(conn, Direction::kRespToOrig, 1.001, encode_ncp_reply(2, 0x9C, 2));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].completion_code, 0x9C);
+}
+
+TEST(NcpParser, StreamChunksAndMultipleRequests) {
+  Connection conn;
+  std::vector<NcpCall> out;
+  NcpParser parser(out);
+  std::vector<std::uint8_t> stream;
+  for (std::uint8_t seq = 0; seq < 5; ++seq) {
+    const auto req = encode_ncp_request(seq, ncpfn::kWrite, 4096);
+    stream.insert(stream.end(), req.begin(), req.end());
+  }
+  for (std::size_t off = 0; off < stream.size(); off += 333) {
+    const std::size_t n = std::min<std::size_t>(333, stream.size() - off);
+    parser.on_data(conn, Direction::kOrigToResp, 1.0,
+                   std::span<const std::uint8_t>(stream.data() + off, n));
+  }
+  for (std::uint8_t seq = 0; seq < 5; ++seq) {
+    parser.on_data(conn, Direction::kRespToOrig, 2.0, encode_ncp_reply(seq, 0, 2));
+  }
+  EXPECT_EQ(out.size(), 5u);
+  for (const auto& call : out) EXPECT_EQ(call.function, NcpFunction::kWrite);
+}
+
+TEST(NcpParser, ResyncsAfterGarbage) {
+  Connection conn;
+  std::vector<NcpCall> out;
+  NcpParser parser(out);
+  std::vector<std::uint8_t> stream(9, 0xEE);
+  const auto req = encode_ncp_request(1, ncpfn::kRead, 14);
+  stream.insert(stream.end(), req.begin(), req.end());
+  parser.on_data(conn, Direction::kOrigToResp, 1.0, stream);
+  parser.on_data(conn, Direction::kRespToOrig, 1.001, encode_ncp_reply(1, 0, 2));
+  EXPECT_EQ(out.size(), 1u);
+}
+
+}  // namespace
+}  // namespace entrace

@@ -1,0 +1,101 @@
+// Tests for the §3 scanner-identification heuristic.
+#include <gtest/gtest.h>
+
+#include "analysis/scanner.h"
+#include "util/rng.h"
+
+namespace entrace {
+namespace {
+
+Ipv4Address addr(std::uint32_t v) { return Ipv4Address(v); }
+
+TEST(Scanner, AscendingSweepDetected) {
+  ScannerDetector det;
+  const Ipv4Address scanner(0x0A000001);
+  for (std::uint32_t i = 0; i < 60; ++i) det.observe(scanner, addr(0x80030000 + i));
+  EXPECT_TRUE(det.is_scanner(scanner));
+}
+
+TEST(Scanner, DescendingSweepDetected) {
+  ScannerDetector det;
+  const Ipv4Address scanner(0x0A000002);
+  for (std::uint32_t i = 0; i < 60; ++i) det.observe(scanner, addr(0x80030100 - i));
+  EXPECT_TRUE(det.is_scanner(scanner));
+}
+
+TEST(Scanner, FiftyHostsIsNotEnough) {
+  ScannerDetector det;
+  const Ipv4Address src(0x0A000003);
+  for (std::uint32_t i = 0; i < 50; ++i) det.observe(src, addr(0x80030000 + i));
+  // "more than 50 distinct hosts" — exactly 50 must not trigger.
+  EXPECT_FALSE(det.is_scanner(src));
+}
+
+TEST(Scanner, RandomOrderNotDetected) {
+  ScannerDetector det;
+  const Ipv4Address src(0x0A000004);
+  Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    det.observe(src, addr(0x80030000 + static_cast<std::uint32_t>(rng.uniform_int(0, 5000))));
+  }
+  EXPECT_FALSE(det.is_scanner(src));
+}
+
+TEST(Scanner, BusyServerWithManyClientsNotDetected) {
+  ScannerDetector det;
+  // A server *receiving* from many hosts should not flag the clients.
+  const Ipv4Address server(0x80030202);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const Ipv4Address client(0x80030000 + static_cast<std::uint32_t>(rng.uniform_int(0, 255) +
+                                                                     (rng.uniform_int(0, 20)
+                                                                      << 8)));
+    det.observe(client, server);
+  }
+  const auto scanners = det.scanners();
+  EXPECT_TRUE(scanners.empty());
+}
+
+TEST(Scanner, OrderedRunInterruptedResetsCount) {
+  ScannerDetector det;
+  const Ipv4Address src(0x0A000005);
+  // Runs of 30 ascending, then a reset, never reaching 45 in a row.
+  std::uint32_t base = 0x80030000;
+  for (int run = 0; run < 5; ++run) {
+    for (std::uint32_t i = 0; i < 30; ++i) det.observe(src, addr(base + i));
+    base += 0x1000;
+    det.observe(src, addr(0x80020000 + static_cast<std::uint32_t>(run)));  // direction break
+  }
+  EXPECT_FALSE(det.is_scanner(src));
+}
+
+TEST(Scanner, KnownScannersAlwaysIncluded) {
+  ScannerDetector det;
+  const Ipv4Address known(0x80030C02);
+  det.add_known_scanner(known);
+  EXPECT_TRUE(det.is_scanner(known));
+  EXPECT_EQ(det.scanners().count(known), 1u);
+}
+
+TEST(Scanner, DuplicateContactsDoNotInflate) {
+  ScannerDetector det;
+  const Ipv4Address src(0x0A000006);
+  // Contact the same 40 hosts many times, ascending each sweep.
+  for (int sweep = 0; sweep < 10; ++sweep) {
+    for (std::uint32_t i = 0; i < 40; ++i) det.observe(src, addr(0x80030000 + i));
+  }
+  EXPECT_FALSE(det.is_scanner(src));  // still only 40 distinct hosts
+}
+
+TEST(Scanner, ConfigurableThresholds) {
+  ScannerDetector::Config config;
+  config.distinct_host_threshold = 10;
+  config.ordered_run_threshold = 8;
+  ScannerDetector det(config);
+  const Ipv4Address src(0x0A000007);
+  for (std::uint32_t i = 0; i < 12; ++i) det.observe(src, addr(0x80030000 + i));
+  EXPECT_TRUE(det.is_scanner(src));
+}
+
+}  // namespace
+}  // namespace entrace

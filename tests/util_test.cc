@@ -1,0 +1,295 @@
+// Unit tests for util: RNG, distributions, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/cdf_plot.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace entrace {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkedStreamsAreDeterministicAndIndependent) {
+  Rng parent1(7), parent2(7);
+  Rng c1 = parent1.fork(3);
+  Rng c2 = parent2.fork(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+  Rng c3 = parent1.fork(4);
+  EXPECT_NE(c1.next_u64(), c3.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, ParetoStaysInBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.pareto(1.2, 10.0, 1000.0);
+    EXPECT_GE(x, 10.0);
+    EXPECT_LE(x, 1000.0);
+  }
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  Rng rng(13);
+  int above_100 = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.pareto(1.0, 1.0, 1e6) > 100.0) ++above_100;
+  // P(X > 100) ~ 1/100 for alpha=1.
+  EXPECT_GT(above_100, 20);
+  EXPECT_LT(above_100, 500);
+}
+
+TEST(Rng, ZipfFavorsLowRanks) {
+  Rng rng(14);
+  int rank0 = 0, rank_high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t r = rng.zipf(100, 1.0);
+    EXPECT_LT(r, 100u);
+    if (r == 0) ++rank0;
+    if (r >= 50) ++rank_high;
+  }
+  EXPECT_GT(rank0, rank_high / 4);
+  EXPECT_GT(rank0, 300);
+}
+
+TEST(ZipfDist, MatchesInlineZipfStatistically) {
+  Rng rng(15);
+  ZipfDist dist(50, 1.0);
+  int low = 0;
+  for (int i = 0; i < 2000; ++i)
+    if (dist.sample(rng) < 5) ++low;
+  EXPECT_GT(low, 700);  // head-heavy
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(16);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 9000; ++i) ++counts[rng.weighted({1.0, 2.0, 6.0})];
+  EXPECT_GT(counts[2], counts[1]);
+  EXPECT_GT(counts[1], counts[0]);
+  EXPECT_NEAR(counts[2], 6000, 600);
+}
+
+TEST(Rng, WeightedAllZeroReturnsLast) {
+  Rng rng(17);
+  EXPECT_EQ(rng.weighted({0.0, 0.0, 0.0}), 2u);
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeEqualsCombined) {
+  OnlineStats a, b, all;
+  Rng rng(18);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantilesOnKnownData) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 100.0);
+  EXPECT_NEAR(cdf.median(), 50.5, 0.01);
+  EXPECT_NEAR(cdf.quantile(0.25), 25.75, 0.01);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+}
+
+TEST(EmpiricalCdf, FractionBelow) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 10; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, EmptyIsSafe) {
+  EmpiricalCdf cdf;
+  EXPECT_EQ(cdf.count(), 0u);
+  EXPECT_DOUBLE_EQ(cdf.median(), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(1.0), 0.0);
+}
+
+TEST(EmpiricalCdf, AddNWeights) {
+  EmpiricalCdf cdf;
+  cdf.add_n(1.0, 99);
+  cdf.add(100.0);
+  EXPECT_EQ(cdf.count(), 100u);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(1.0), 0.99);
+}
+
+TEST(BreakdownCounter, FractionsAndOrdering) {
+  BreakdownCounter c;
+  c.add("alpha", 10, 100);
+  c.add("beta", 30, 50);
+  c.add("alpha", 5, 25);
+  EXPECT_EQ(c.count("alpha"), 15u);
+  EXPECT_EQ(c.bytes("alpha"), 125u);
+  EXPECT_DOUBLE_EQ(c.count_fraction("beta"), 30.0 / 45.0);
+  EXPECT_DOUBLE_EQ(c.bytes_fraction("alpha"), 125.0 / 175.0);
+  EXPECT_EQ(c.keys_by_count().front(), "beta");
+  EXPECT_EQ(c.count("missing"), 0u);
+}
+
+TEST(IntervalSeries, BinsIncludeEmptyGaps) {
+  IntervalSeries s(1.0);
+  s.add(0.5, 10.0);
+  s.add(0.7, 5.0);
+  s.add(3.2, 1.0);
+  const auto v = s.values();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_DOUBLE_EQ(v[0], 15.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.0);
+  EXPECT_DOUBLE_EQ(v[3], 1.0);
+}
+
+TEST(IntervalSeries, WiderBins) {
+  IntervalSeries s(10.0);
+  s.add(1.0, 1.0);
+  s.add(9.0, 1.0);
+  s.add(11.0, 1.0);
+  const auto v = s.values();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, TrimAndLower) {
+  EXPECT_EQ(trim("  x y \r\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with_icase("Content-Length: 5", "content-length"));
+  EXPECT_FALSE(starts_with_icase("Con", "content"));
+}
+
+TEST(Strings, Formatting) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KB");
+  EXPECT_EQ(format_count(1500000), "1.5M");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_pct(0.66), "66%");
+  EXPECT_EQ(format_pct(0.002), "0.2%");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t("Title");
+  t.set_header({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_rule();
+  t.add_row({"yy", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("| yy"), std::string::npos);
+  // All lines the same width.
+  std::size_t width = 0;
+  std::size_t pos = out.find('\n') + 1;  // skip the title line
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    if (width == 0) width = eol - pos;
+    EXPECT_EQ(eol - pos, width);
+    pos = eol + 1;
+  }
+}
+
+TEST(CdfPlot, RenderIncludesSeries) {
+  EmpiricalCdf a, b;
+  for (int i = 1; i <= 50; ++i) a.add(i);
+  for (int i = 1; i <= 50; ++i) b.add(i * 10);
+  CdfPlot plot("demo", "bytes", true);
+  plot.add_series("small", a);
+  plot.add_series("big", b);
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("small"), std::string::npos);
+  EXPECT_NE(out.find("big"), std::string::npos);
+  const std::string ascii = plot.render_ascii(40, 10);
+  EXPECT_NE(ascii.find("= small"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace entrace
