@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_netfile_reqs.dir/bench_fig07_netfile_reqs.cpp.o"
+  "CMakeFiles/bench_fig07_netfile_reqs.dir/bench_fig07_netfile_reqs.cpp.o.d"
+  "bench_fig07_netfile_reqs"
+  "bench_fig07_netfile_reqs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_netfile_reqs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_netfile_reqs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_retransmission.dir/bench_fig10_retransmission.cpp.o"
+  "CMakeFiles/bench_fig10_retransmission.dir/bench_fig10_retransmission.cpp.o.d"
+  "bench_fig10_retransmission"
+  "bench_fig10_retransmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_retransmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

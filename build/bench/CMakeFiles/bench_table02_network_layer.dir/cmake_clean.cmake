@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table02_network_layer.dir/bench_table02_network_layer.cpp.o"
+  "CMakeFiles/bench_table02_network_layer.dir/bench_table02_network_layer.cpp.o.d"
+  "bench_table02_network_layer"
+  "bench_table02_network_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table02_network_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table03_transport.dir/bench_table03_transport.cpp.o"
+  "CMakeFiles/bench_table03_transport.dir/bench_table03_transport.cpp.o.d"
+  "bench_table03_transport"
+  "bench_table03_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

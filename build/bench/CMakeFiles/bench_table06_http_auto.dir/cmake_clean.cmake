@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table06_http_auto.dir/bench_table06_http_auto.cpp.o"
+  "CMakeFiles/bench_table06_http_auto.dir/bench_table06_http_auto.cpp.o.d"
+  "bench_table06_http_auto"
+  "bench_table06_http_auto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table06_http_auto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table07_http_content.dir/bench_table07_http_content.cpp.o"
+  "CMakeFiles/bench_table07_http_content.dir/bench_table07_http_content.cpp.o.d"
+  "bench_table07_http_content"
+  "bench_table07_http_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_http_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

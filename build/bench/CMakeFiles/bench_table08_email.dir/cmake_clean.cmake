@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table08_email.dir/bench_table08_email.cpp.o"
+  "CMakeFiles/bench_table08_email.dir/bench_table08_email.cpp.o.d"
+  "bench_table08_email"
+  "bench_table08_email.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_email.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

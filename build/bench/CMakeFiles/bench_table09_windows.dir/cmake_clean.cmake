@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table09_windows.dir/bench_table09_windows.cpp.o"
+  "CMakeFiles/bench_table09_windows.dir/bench_table09_windows.cpp.o.d"
+  "bench_table09_windows"
+  "bench_table09_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_cifs.dir/bench_table10_cifs.cpp.o"
+  "CMakeFiles/bench_table10_cifs.dir/bench_table10_cifs.cpp.o.d"
+  "bench_table10_cifs"
+  "bench_table10_cifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_cifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_dcerpc.dir/bench_table11_dcerpc.cpp.o"
+  "CMakeFiles/bench_table11_dcerpc.dir/bench_table11_dcerpc.cpp.o.d"
+  "bench_table11_dcerpc"
+  "bench_table11_dcerpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_dcerpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

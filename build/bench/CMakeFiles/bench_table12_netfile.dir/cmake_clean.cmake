@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_netfile.dir/bench_table12_netfile.cpp.o"
+  "CMakeFiles/bench_table12_netfile.dir/bench_table12_netfile.cpp.o.d"
+  "bench_table12_netfile"
+  "bench_table12_netfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_netfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

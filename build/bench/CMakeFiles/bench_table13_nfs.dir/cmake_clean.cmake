@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_nfs.dir/bench_table13_nfs.cpp.o"
+  "CMakeFiles/bench_table13_nfs.dir/bench_table13_nfs.cpp.o.d"
+  "bench_table13_nfs"
+  "bench_table13_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

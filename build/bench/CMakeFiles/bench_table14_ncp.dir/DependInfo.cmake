@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table14_ncp.cpp" "bench/CMakeFiles/bench_table14_ncp.dir/bench_table14_ncp.cpp.o" "gcc" "bench/CMakeFiles/bench_table14_ncp.dir/bench_table14_ncp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/entrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/entrace_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/entrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/entrace_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/entrace_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/entrace_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/entrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/entrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

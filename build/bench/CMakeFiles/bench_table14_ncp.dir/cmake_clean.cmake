@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table14_ncp.dir/bench_table14_ncp.cpp.o"
+  "CMakeFiles/bench_table14_ncp.dir/bench_table14_ncp.cpp.o.d"
+  "bench_table14_ncp"
+  "bench_table14_ncp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_ncp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

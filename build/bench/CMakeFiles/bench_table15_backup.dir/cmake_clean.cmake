@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table15_backup.dir/bench_table15_backup.cpp.o"
+  "CMakeFiles/bench_table15_backup.dir/bench_table15_backup.cpp.o.d"
+  "bench_table15_backup"
+  "bench_table15_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table15_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_report.dir/enterprise_report.cpp.o"
+  "CMakeFiles/enterprise_report.dir/enterprise_report.cpp.o.d"
+  "enterprise_report"
+  "enterprise_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_hunt.dir/scanner_hunt.cpp.o"
+  "CMakeFiles/scanner_hunt.dir/scanner_hunt.cpp.o.d"
+  "scanner_hunt"
+  "scanner_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

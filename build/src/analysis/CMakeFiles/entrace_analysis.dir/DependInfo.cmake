@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/backup_analysis.cc" "src/analysis/CMakeFiles/entrace_analysis.dir/backup_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/entrace_analysis.dir/backup_analysis.cc.o.d"
+  "/root/repo/src/analysis/breakdown.cc" "src/analysis/CMakeFiles/entrace_analysis.dir/breakdown.cc.o" "gcc" "src/analysis/CMakeFiles/entrace_analysis.dir/breakdown.cc.o.d"
+  "/root/repo/src/analysis/email_analysis.cc" "src/analysis/CMakeFiles/entrace_analysis.dir/email_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/entrace_analysis.dir/email_analysis.cc.o.d"
+  "/root/repo/src/analysis/http_analysis.cc" "src/analysis/CMakeFiles/entrace_analysis.dir/http_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/entrace_analysis.dir/http_analysis.cc.o.d"
+  "/root/repo/src/analysis/load.cc" "src/analysis/CMakeFiles/entrace_analysis.dir/load.cc.o" "gcc" "src/analysis/CMakeFiles/entrace_analysis.dir/load.cc.o.d"
+  "/root/repo/src/analysis/locality.cc" "src/analysis/CMakeFiles/entrace_analysis.dir/locality.cc.o" "gcc" "src/analysis/CMakeFiles/entrace_analysis.dir/locality.cc.o.d"
+  "/root/repo/src/analysis/name_analysis.cc" "src/analysis/CMakeFiles/entrace_analysis.dir/name_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/entrace_analysis.dir/name_analysis.cc.o.d"
+  "/root/repo/src/analysis/netfile_analysis.cc" "src/analysis/CMakeFiles/entrace_analysis.dir/netfile_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/entrace_analysis.dir/netfile_analysis.cc.o.d"
+  "/root/repo/src/analysis/scanner.cc" "src/analysis/CMakeFiles/entrace_analysis.dir/scanner.cc.o" "gcc" "src/analysis/CMakeFiles/entrace_analysis.dir/scanner.cc.o.d"
+  "/root/repo/src/analysis/windows_analysis.cc" "src/analysis/CMakeFiles/entrace_analysis.dir/windows_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/entrace_analysis.dir/windows_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/entrace_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/entrace_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/entrace_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/entrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/entrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

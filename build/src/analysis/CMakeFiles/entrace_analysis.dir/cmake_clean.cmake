@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entrace_analysis.dir/backup_analysis.cc.o"
+  "CMakeFiles/entrace_analysis.dir/backup_analysis.cc.o.d"
+  "CMakeFiles/entrace_analysis.dir/breakdown.cc.o"
+  "CMakeFiles/entrace_analysis.dir/breakdown.cc.o.d"
+  "CMakeFiles/entrace_analysis.dir/email_analysis.cc.o"
+  "CMakeFiles/entrace_analysis.dir/email_analysis.cc.o.d"
+  "CMakeFiles/entrace_analysis.dir/http_analysis.cc.o"
+  "CMakeFiles/entrace_analysis.dir/http_analysis.cc.o.d"
+  "CMakeFiles/entrace_analysis.dir/load.cc.o"
+  "CMakeFiles/entrace_analysis.dir/load.cc.o.d"
+  "CMakeFiles/entrace_analysis.dir/locality.cc.o"
+  "CMakeFiles/entrace_analysis.dir/locality.cc.o.d"
+  "CMakeFiles/entrace_analysis.dir/name_analysis.cc.o"
+  "CMakeFiles/entrace_analysis.dir/name_analysis.cc.o.d"
+  "CMakeFiles/entrace_analysis.dir/netfile_analysis.cc.o"
+  "CMakeFiles/entrace_analysis.dir/netfile_analysis.cc.o.d"
+  "CMakeFiles/entrace_analysis.dir/scanner.cc.o"
+  "CMakeFiles/entrace_analysis.dir/scanner.cc.o.d"
+  "CMakeFiles/entrace_analysis.dir/windows_analysis.cc.o"
+  "CMakeFiles/entrace_analysis.dir/windows_analysis.cc.o.d"
+  "libentrace_analysis.a"
+  "libentrace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entrace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

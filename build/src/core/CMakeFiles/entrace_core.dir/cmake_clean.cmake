@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entrace_core.dir/analyzer.cc.o"
+  "CMakeFiles/entrace_core.dir/analyzer.cc.o.d"
+  "CMakeFiles/entrace_core.dir/report.cc.o"
+  "CMakeFiles/entrace_core.dir/report.cc.o.d"
+  "libentrace_core.a"
+  "libentrace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entrace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

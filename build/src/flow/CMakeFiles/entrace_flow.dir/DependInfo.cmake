@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/connection.cc" "src/flow/CMakeFiles/entrace_flow.dir/connection.cc.o" "gcc" "src/flow/CMakeFiles/entrace_flow.dir/connection.cc.o.d"
+  "/root/repo/src/flow/flow_table.cc" "src/flow/CMakeFiles/entrace_flow.dir/flow_table.cc.o" "gcc" "src/flow/CMakeFiles/entrace_flow.dir/flow_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/entrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/entrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entrace_flow.dir/connection.cc.o"
+  "CMakeFiles/entrace_flow.dir/connection.cc.o.d"
+  "CMakeFiles/entrace_flow.dir/flow_table.cc.o"
+  "CMakeFiles/entrace_flow.dir/flow_table.cc.o.d"
+  "libentrace_flow.a"
+  "libentrace_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entrace_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/entrace_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/entrace_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/decoder.cc" "src/net/CMakeFiles/entrace_net.dir/decoder.cc.o" "gcc" "src/net/CMakeFiles/entrace_net.dir/decoder.cc.o.d"
+  "/root/repo/src/net/encoder.cc" "src/net/CMakeFiles/entrace_net.dir/encoder.cc.o" "gcc" "src/net/CMakeFiles/entrace_net.dir/encoder.cc.o.d"
+  "/root/repo/src/net/five_tuple.cc" "src/net/CMakeFiles/entrace_net.dir/five_tuple.cc.o" "gcc" "src/net/CMakeFiles/entrace_net.dir/five_tuple.cc.o.d"
+  "/root/repo/src/net/headers.cc" "src/net/CMakeFiles/entrace_net.dir/headers.cc.o" "gcc" "src/net/CMakeFiles/entrace_net.dir/headers.cc.o.d"
+  "/root/repo/src/net/ip_address.cc" "src/net/CMakeFiles/entrace_net.dir/ip_address.cc.o" "gcc" "src/net/CMakeFiles/entrace_net.dir/ip_address.cc.o.d"
+  "/root/repo/src/net/mac_address.cc" "src/net/CMakeFiles/entrace_net.dir/mac_address.cc.o" "gcc" "src/net/CMakeFiles/entrace_net.dir/mac_address.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/entrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

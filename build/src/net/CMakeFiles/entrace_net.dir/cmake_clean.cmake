@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entrace_net.dir/checksum.cc.o"
+  "CMakeFiles/entrace_net.dir/checksum.cc.o.d"
+  "CMakeFiles/entrace_net.dir/decoder.cc.o"
+  "CMakeFiles/entrace_net.dir/decoder.cc.o.d"
+  "CMakeFiles/entrace_net.dir/encoder.cc.o"
+  "CMakeFiles/entrace_net.dir/encoder.cc.o.d"
+  "CMakeFiles/entrace_net.dir/five_tuple.cc.o"
+  "CMakeFiles/entrace_net.dir/five_tuple.cc.o.d"
+  "CMakeFiles/entrace_net.dir/headers.cc.o"
+  "CMakeFiles/entrace_net.dir/headers.cc.o.d"
+  "CMakeFiles/entrace_net.dir/ip_address.cc.o"
+  "CMakeFiles/entrace_net.dir/ip_address.cc.o.d"
+  "CMakeFiles/entrace_net.dir/mac_address.cc.o"
+  "CMakeFiles/entrace_net.dir/mac_address.cc.o.d"
+  "libentrace_net.a"
+  "libentrace_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entrace_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcap/reader.cc" "src/pcap/CMakeFiles/entrace_pcap.dir/reader.cc.o" "gcc" "src/pcap/CMakeFiles/entrace_pcap.dir/reader.cc.o.d"
+  "/root/repo/src/pcap/trace.cc" "src/pcap/CMakeFiles/entrace_pcap.dir/trace.cc.o" "gcc" "src/pcap/CMakeFiles/entrace_pcap.dir/trace.cc.o.d"
+  "/root/repo/src/pcap/writer.cc" "src/pcap/CMakeFiles/entrace_pcap.dir/writer.cc.o" "gcc" "src/pcap/CMakeFiles/entrace_pcap.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/entrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/entrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

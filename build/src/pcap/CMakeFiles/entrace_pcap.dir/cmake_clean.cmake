@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entrace_pcap.dir/reader.cc.o"
+  "CMakeFiles/entrace_pcap.dir/reader.cc.o.d"
+  "CMakeFiles/entrace_pcap.dir/trace.cc.o"
+  "CMakeFiles/entrace_pcap.dir/trace.cc.o.d"
+  "CMakeFiles/entrace_pcap.dir/writer.cc.o"
+  "CMakeFiles/entrace_pcap.dir/writer.cc.o.d"
+  "libentrace_pcap.a"
+  "libentrace_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entrace_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

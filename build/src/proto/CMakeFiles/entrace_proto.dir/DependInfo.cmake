@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/cifs.cc" "src/proto/CMakeFiles/entrace_proto.dir/cifs.cc.o" "gcc" "src/proto/CMakeFiles/entrace_proto.dir/cifs.cc.o.d"
+  "/root/repo/src/proto/dcerpc.cc" "src/proto/CMakeFiles/entrace_proto.dir/dcerpc.cc.o" "gcc" "src/proto/CMakeFiles/entrace_proto.dir/dcerpc.cc.o.d"
+  "/root/repo/src/proto/dispatcher.cc" "src/proto/CMakeFiles/entrace_proto.dir/dispatcher.cc.o" "gcc" "src/proto/CMakeFiles/entrace_proto.dir/dispatcher.cc.o.d"
+  "/root/repo/src/proto/dns.cc" "src/proto/CMakeFiles/entrace_proto.dir/dns.cc.o" "gcc" "src/proto/CMakeFiles/entrace_proto.dir/dns.cc.o.d"
+  "/root/repo/src/proto/events.cc" "src/proto/CMakeFiles/entrace_proto.dir/events.cc.o" "gcc" "src/proto/CMakeFiles/entrace_proto.dir/events.cc.o.d"
+  "/root/repo/src/proto/http.cc" "src/proto/CMakeFiles/entrace_proto.dir/http.cc.o" "gcc" "src/proto/CMakeFiles/entrace_proto.dir/http.cc.o.d"
+  "/root/repo/src/proto/ncp.cc" "src/proto/CMakeFiles/entrace_proto.dir/ncp.cc.o" "gcc" "src/proto/CMakeFiles/entrace_proto.dir/ncp.cc.o.d"
+  "/root/repo/src/proto/netbios.cc" "src/proto/CMakeFiles/entrace_proto.dir/netbios.cc.o" "gcc" "src/proto/CMakeFiles/entrace_proto.dir/netbios.cc.o.d"
+  "/root/repo/src/proto/nfs.cc" "src/proto/CMakeFiles/entrace_proto.dir/nfs.cc.o" "gcc" "src/proto/CMakeFiles/entrace_proto.dir/nfs.cc.o.d"
+  "/root/repo/src/proto/registry.cc" "src/proto/CMakeFiles/entrace_proto.dir/registry.cc.o" "gcc" "src/proto/CMakeFiles/entrace_proto.dir/registry.cc.o.d"
+  "/root/repo/src/proto/smtp.cc" "src/proto/CMakeFiles/entrace_proto.dir/smtp.cc.o" "gcc" "src/proto/CMakeFiles/entrace_proto.dir/smtp.cc.o.d"
+  "/root/repo/src/proto/stream_buffer.cc" "src/proto/CMakeFiles/entrace_proto.dir/stream_buffer.cc.o" "gcc" "src/proto/CMakeFiles/entrace_proto.dir/stream_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/entrace_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/entrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/entrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entrace_proto.dir/cifs.cc.o"
+  "CMakeFiles/entrace_proto.dir/cifs.cc.o.d"
+  "CMakeFiles/entrace_proto.dir/dcerpc.cc.o"
+  "CMakeFiles/entrace_proto.dir/dcerpc.cc.o.d"
+  "CMakeFiles/entrace_proto.dir/dispatcher.cc.o"
+  "CMakeFiles/entrace_proto.dir/dispatcher.cc.o.d"
+  "CMakeFiles/entrace_proto.dir/dns.cc.o"
+  "CMakeFiles/entrace_proto.dir/dns.cc.o.d"
+  "CMakeFiles/entrace_proto.dir/events.cc.o"
+  "CMakeFiles/entrace_proto.dir/events.cc.o.d"
+  "CMakeFiles/entrace_proto.dir/http.cc.o"
+  "CMakeFiles/entrace_proto.dir/http.cc.o.d"
+  "CMakeFiles/entrace_proto.dir/ncp.cc.o"
+  "CMakeFiles/entrace_proto.dir/ncp.cc.o.d"
+  "CMakeFiles/entrace_proto.dir/netbios.cc.o"
+  "CMakeFiles/entrace_proto.dir/netbios.cc.o.d"
+  "CMakeFiles/entrace_proto.dir/nfs.cc.o"
+  "CMakeFiles/entrace_proto.dir/nfs.cc.o.d"
+  "CMakeFiles/entrace_proto.dir/registry.cc.o"
+  "CMakeFiles/entrace_proto.dir/registry.cc.o.d"
+  "CMakeFiles/entrace_proto.dir/smtp.cc.o"
+  "CMakeFiles/entrace_proto.dir/smtp.cc.o.d"
+  "CMakeFiles/entrace_proto.dir/stream_buffer.cc.o"
+  "CMakeFiles/entrace_proto.dir/stream_buffer.cc.o.d"
+  "libentrace_proto.a"
+  "libentrace_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entrace_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

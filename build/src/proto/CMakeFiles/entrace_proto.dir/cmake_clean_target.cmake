@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libentrace_proto.a"
+)

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/apps_background.cc" "src/synth/CMakeFiles/entrace_synth.dir/apps_background.cc.o" "gcc" "src/synth/CMakeFiles/entrace_synth.dir/apps_background.cc.o.d"
+  "/root/repo/src/synth/apps_backup.cc" "src/synth/CMakeFiles/entrace_synth.dir/apps_backup.cc.o" "gcc" "src/synth/CMakeFiles/entrace_synth.dir/apps_backup.cc.o.d"
+  "/root/repo/src/synth/apps_email.cc" "src/synth/CMakeFiles/entrace_synth.dir/apps_email.cc.o" "gcc" "src/synth/CMakeFiles/entrace_synth.dir/apps_email.cc.o.d"
+  "/root/repo/src/synth/apps_name.cc" "src/synth/CMakeFiles/entrace_synth.dir/apps_name.cc.o" "gcc" "src/synth/CMakeFiles/entrace_synth.dir/apps_name.cc.o.d"
+  "/root/repo/src/synth/apps_netfile.cc" "src/synth/CMakeFiles/entrace_synth.dir/apps_netfile.cc.o" "gcc" "src/synth/CMakeFiles/entrace_synth.dir/apps_netfile.cc.o.d"
+  "/root/repo/src/synth/apps_other.cc" "src/synth/CMakeFiles/entrace_synth.dir/apps_other.cc.o" "gcc" "src/synth/CMakeFiles/entrace_synth.dir/apps_other.cc.o.d"
+  "/root/repo/src/synth/apps_scanner.cc" "src/synth/CMakeFiles/entrace_synth.dir/apps_scanner.cc.o" "gcc" "src/synth/CMakeFiles/entrace_synth.dir/apps_scanner.cc.o.d"
+  "/root/repo/src/synth/apps_web.cc" "src/synth/CMakeFiles/entrace_synth.dir/apps_web.cc.o" "gcc" "src/synth/CMakeFiles/entrace_synth.dir/apps_web.cc.o.d"
+  "/root/repo/src/synth/apps_windows.cc" "src/synth/CMakeFiles/entrace_synth.dir/apps_windows.cc.o" "gcc" "src/synth/CMakeFiles/entrace_synth.dir/apps_windows.cc.o.d"
+  "/root/repo/src/synth/dataset_spec.cc" "src/synth/CMakeFiles/entrace_synth.dir/dataset_spec.cc.o" "gcc" "src/synth/CMakeFiles/entrace_synth.dir/dataset_spec.cc.o.d"
+  "/root/repo/src/synth/generator.cc" "src/synth/CMakeFiles/entrace_synth.dir/generator.cc.o" "gcc" "src/synth/CMakeFiles/entrace_synth.dir/generator.cc.o.d"
+  "/root/repo/src/synth/model.cc" "src/synth/CMakeFiles/entrace_synth.dir/model.cc.o" "gcc" "src/synth/CMakeFiles/entrace_synth.dir/model.cc.o.d"
+  "/root/repo/src/synth/tcp_builder.cc" "src/synth/CMakeFiles/entrace_synth.dir/tcp_builder.cc.o" "gcc" "src/synth/CMakeFiles/entrace_synth.dir/tcp_builder.cc.o.d"
+  "/root/repo/src/synth/udp_builder.cc" "src/synth/CMakeFiles/entrace_synth.dir/udp_builder.cc.o" "gcc" "src/synth/CMakeFiles/entrace_synth.dir/udp_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/entrace_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/entrace_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/entrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/entrace_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/entrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/entrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entrace_synth.dir/apps_background.cc.o"
+  "CMakeFiles/entrace_synth.dir/apps_background.cc.o.d"
+  "CMakeFiles/entrace_synth.dir/apps_backup.cc.o"
+  "CMakeFiles/entrace_synth.dir/apps_backup.cc.o.d"
+  "CMakeFiles/entrace_synth.dir/apps_email.cc.o"
+  "CMakeFiles/entrace_synth.dir/apps_email.cc.o.d"
+  "CMakeFiles/entrace_synth.dir/apps_name.cc.o"
+  "CMakeFiles/entrace_synth.dir/apps_name.cc.o.d"
+  "CMakeFiles/entrace_synth.dir/apps_netfile.cc.o"
+  "CMakeFiles/entrace_synth.dir/apps_netfile.cc.o.d"
+  "CMakeFiles/entrace_synth.dir/apps_other.cc.o"
+  "CMakeFiles/entrace_synth.dir/apps_other.cc.o.d"
+  "CMakeFiles/entrace_synth.dir/apps_scanner.cc.o"
+  "CMakeFiles/entrace_synth.dir/apps_scanner.cc.o.d"
+  "CMakeFiles/entrace_synth.dir/apps_web.cc.o"
+  "CMakeFiles/entrace_synth.dir/apps_web.cc.o.d"
+  "CMakeFiles/entrace_synth.dir/apps_windows.cc.o"
+  "CMakeFiles/entrace_synth.dir/apps_windows.cc.o.d"
+  "CMakeFiles/entrace_synth.dir/dataset_spec.cc.o"
+  "CMakeFiles/entrace_synth.dir/dataset_spec.cc.o.d"
+  "CMakeFiles/entrace_synth.dir/generator.cc.o"
+  "CMakeFiles/entrace_synth.dir/generator.cc.o.d"
+  "CMakeFiles/entrace_synth.dir/model.cc.o"
+  "CMakeFiles/entrace_synth.dir/model.cc.o.d"
+  "CMakeFiles/entrace_synth.dir/tcp_builder.cc.o"
+  "CMakeFiles/entrace_synth.dir/tcp_builder.cc.o.d"
+  "CMakeFiles/entrace_synth.dir/udp_builder.cc.o"
+  "CMakeFiles/entrace_synth.dir/udp_builder.cc.o.d"
+  "libentrace_synth.a"
+  "libentrace_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entrace_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

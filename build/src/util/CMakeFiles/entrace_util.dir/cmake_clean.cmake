@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entrace_util.dir/cdf_plot.cc.o"
+  "CMakeFiles/entrace_util.dir/cdf_plot.cc.o.d"
+  "CMakeFiles/entrace_util.dir/rng.cc.o"
+  "CMakeFiles/entrace_util.dir/rng.cc.o.d"
+  "CMakeFiles/entrace_util.dir/stats.cc.o"
+  "CMakeFiles/entrace_util.dir/stats.cc.o.d"
+  "CMakeFiles/entrace_util.dir/strings.cc.o"
+  "CMakeFiles/entrace_util.dir/strings.cc.o.d"
+  "CMakeFiles/entrace_util.dir/table.cc.o"
+  "CMakeFiles/entrace_util.dir/table.cc.o.d"
+  "libentrace_util.a"
+  "libentrace_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entrace_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analyzer_integration_test.cc" "tests/CMakeFiles/entrace_tests.dir/analyzer_integration_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/analyzer_integration_test.cc.o.d"
+  "/root/repo/tests/breakdown_locality_test.cc" "tests/CMakeFiles/entrace_tests.dir/breakdown_locality_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/breakdown_locality_test.cc.o.d"
+  "/root/repo/tests/flow_test.cc" "tests/CMakeFiles/entrace_tests.dir/flow_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/flow_test.cc.o.d"
+  "/root/repo/tests/load_test.cc" "tests/CMakeFiles/entrace_tests.dir/load_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/load_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/entrace_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/pcap_test.cc" "tests/CMakeFiles/entrace_tests.dir/pcap_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/pcap_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/entrace_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/proto_cifs_test.cc" "tests/CMakeFiles/entrace_tests.dir/proto_cifs_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/proto_cifs_test.cc.o.d"
+  "/root/repo/tests/proto_dns_test.cc" "tests/CMakeFiles/entrace_tests.dir/proto_dns_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/proto_dns_test.cc.o.d"
+  "/root/repo/tests/proto_http_test.cc" "tests/CMakeFiles/entrace_tests.dir/proto_http_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/proto_http_test.cc.o.d"
+  "/root/repo/tests/proto_netbios_test.cc" "tests/CMakeFiles/entrace_tests.dir/proto_netbios_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/proto_netbios_test.cc.o.d"
+  "/root/repo/tests/proto_nfs_ncp_test.cc" "tests/CMakeFiles/entrace_tests.dir/proto_nfs_ncp_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/proto_nfs_ncp_test.cc.o.d"
+  "/root/repo/tests/registry_test.cc" "tests/CMakeFiles/entrace_tests.dir/registry_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/registry_test.cc.o.d"
+  "/root/repo/tests/report_test.cc" "tests/CMakeFiles/entrace_tests.dir/report_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/report_test.cc.o.d"
+  "/root/repo/tests/scanner_test.cc" "tests/CMakeFiles/entrace_tests.dir/scanner_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/scanner_test.cc.o.d"
+  "/root/repo/tests/stream_dispatcher_test.cc" "tests/CMakeFiles/entrace_tests.dir/stream_dispatcher_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/stream_dispatcher_test.cc.o.d"
+  "/root/repo/tests/synth_test.cc" "tests/CMakeFiles/entrace_tests.dir/synth_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/synth_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/entrace_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/entrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/entrace_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/entrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/entrace_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/entrace_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/entrace_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/entrace_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/entrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
