@@ -6,6 +6,7 @@
 // comparison (recorded in EXPERIMENTS.md).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +17,7 @@
 #include "core/analyzer.h"
 #include "core/report.h"
 #include "synth/generator.h"
+#include "util/thread_pool.h"
 
 namespace entrace::benchutil {
 
@@ -33,23 +35,30 @@ struct Bundle {
 
 class DatasetRunner {
  public:
-  // names: which of D0..D4 to produce.
+  // names: which of D0..D4 to produce.  Datasets generate and analyze
+  // concurrently (one job per dataset, ENTRACE_THREADS-capped); bundles_
+  // keeps the requested order so reports stay deterministic.
   explicit DatasetRunner(std::vector<std::string> names) {
     const double scale = env_scale();
     const AnalyzerConfig config = default_config_for_model(model_.site());
-    for (const auto& name : names) {
+    bundles_.resize(names.size());
+    std::vector<std::uint64_t> packets(names.size(), 0);
+    std::vector<double> elapsed(names.size(), 0.0);
+    ThreadPool pool(std::min(names.size(), ThreadPool::env_thread_count()));
+    pool.for_each_index(names.size(), [&](std::size_t i) {
       const auto start = std::chrono::steady_clock::now();
-      Bundle bundle;
-      bundle.spec = dataset_by_name(name, scale);
+      Bundle& bundle = bundles_[i];
+      bundle.spec = dataset_by_name(names[i], scale);
       TraceSet traces = generate_dataset(bundle.spec, model_);
-      const std::uint64_t packets = traces.total_packets();
+      packets[i] = traces.total_packets();
       bundle.analysis = std::make_unique<DatasetAnalysis>(analyze_dataset(traces, config));
-      const auto elapsed = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - start)
-                               .count();
+      elapsed[i] = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                       .count();
+    });
+    for (std::size_t i = 0; i < names.size(); ++i) {
       std::fprintf(stderr, "[bench] %s: %llu packets generated+analyzed in %.2fs (scale %.3f)\n",
-                   name.c_str(), static_cast<unsigned long long>(packets), elapsed, scale);
-      bundles_.push_back(std::move(bundle));
+                   names[i].c_str(), static_cast<unsigned long long>(packets[i]), elapsed[i],
+                   scale);
     }
     for (const auto& b : bundles_) inputs_.push_back({&b.spec, b.analysis.get()});
   }

@@ -1,10 +1,22 @@
 // Micro-benchmarks (google-benchmark) of the pipeline's hot components:
 // frame decode, flow-table processing, application parsing, pcap I/O, and
-// trace generation throughput.
+// trace generation throughput — plus a pipeline scaling study (run first,
+// before the google-benchmark suite) that measures analyze_dataset at 1, 2
+// and N threads against the seed's two-pass double-decode baseline and
+// writes BENCH_pipeline.json.  Pass --scaling-only to skip the
+// google-benchmark suite.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
 
+#include "bench_common.h"
 #include "core/analyzer.h"
 #include "flow/flow_table.h"
 #include "net/decoder.h"
@@ -14,6 +26,7 @@
 #include "proto/dns.h"
 #include "proto/http.h"
 #include "synth/generator.h"
+#include "util/thread_pool.h"
 
 namespace entrace {
 namespace {
@@ -151,7 +164,177 @@ void BM_DnsEncodeDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_DnsEncodeDecode);
 
+// ---- pipeline scaling study -------------------------------------------------
+
+// The seed's serial two-pass pipeline, preserved here as the baseline: a
+// tally/scanner pass and a flow/app pass, each calling decode_packet —
+// i.e. every packet decoded twice.
+DatasetAnalysis analyze_dataset_twopass_baseline(const TraceSet& traces,
+                                                 const AnalyzerConfig& config) {
+  DatasetAnalysis out;
+  out.name = traces.dataset_name;
+  out.site = config.site;
+
+  ScannerDetector detector(config.scanner);
+  for (Ipv4Address known : config.site.known_scanners) detector.add_known_scanner(known);
+  for (const Trace& trace : traces.traces) {
+    if (trace.subnet_id >= 0) out.monitored_subnets.push_back(trace.subnet_id);
+    for (const RawPacket& pkt : trace.packets) {
+      ++out.total_packets;
+      out.total_wire_bytes += pkt.wire_len;
+      auto decoded = decode_packet(pkt);
+      if (!decoded) continue;
+      out.l3.add(decoded->l3);
+      if (decoded->l3 != L3Kind::kIpv4) continue;
+      ++out.ip_proto_packets[decoded->ip_proto];
+      detector.observe(decoded->src, decoded->dst);
+      for (const Ipv4Address addr : {decoded->src, decoded->dst}) {
+        if (addr.is_multicast() || addr.is_broadcast()) continue;
+        if (config.site.is_internal(addr)) {
+          out.lbnl_hosts.insert(addr.value());
+          if (config.site.subnet_of(addr) == trace.subnet_id)
+            out.monitored_hosts.insert(addr.value());
+        } else {
+          out.remote_hosts.insert(addr.value());
+        }
+      }
+    }
+  }
+  out.scanners = detector.scanners();
+
+  for (const Trace& trace : traces.traces) {
+    const bool payload = config.payload_analysis.value_or(trace.snaplen >= 200);
+    ProtocolDispatcher dispatcher(out.registry, out.events, payload);
+    auto table = std::make_unique<FlowTable>(config.flow, &dispatcher);
+    TraceLoadRaw load;
+    load.trace_name = trace.name;
+    for (const RawPacket& pkt : trace.packets) {
+      auto decoded = decode_packet(pkt);
+      if (!decoded) continue;
+      load.add_packet(pkt.ts, pkt.wire_len);
+      if (decoded->l3 != L3Kind::kIpv4) continue;
+      const PacketVerdict verdict = table->process(*decoded);
+      if (verdict.conn != nullptr && decoded->is_tcp()) {
+        const bool wan = !config.site.is_internal(verdict.conn->key.src) ||
+                         !config.site.is_internal(verdict.conn->key.dst);
+        if (verdict.keepalive_retx) {
+          ++load.keepalive_excluded;
+        } else {
+          auto& pkts = wan ? load.wan_tcp_pkts : load.ent_tcp_pkts;
+          auto& retx = wan ? load.wan_retx : load.ent_retx;
+          ++pkts;
+          if (verdict.tcp_retransmission) ++retx;
+        }
+      }
+    }
+    table->flush();
+    out.load_raw.push_back(std::move(load));
+    out.tables.push_back(std::move(table));
+  }
+  return out;
+}
+
+struct ScalingRun {
+  std::string label;
+  std::size_t threads = 0;
+  std::uint64_t packets = 0;
+  double seconds = 0.0;
+  double pps = 0.0;
+};
+
+template <typename Fn>
+ScalingRun time_run(const std::string& label, std::size_t threads, std::uint64_t packets,
+                    int reps, const Fn& fn) {
+  ScalingRun run{label, threads, packets, 0.0, 0.0};
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (r == 0 || s < best) best = s;
+  }
+  run.seconds = best;
+  run.pps = best > 0 ? static_cast<double>(packets) / best : 0.0;
+  return run;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return fallback;
+  const int v = std::atoi(s);
+  return v > 0 ? v : fallback;
+}
+
+void run_pipeline_scaling() {
+  const double scale = benchutil::env_scale();
+  const int reps = env_int("ENTRACE_BENCH_REPS", 3);
+  EnterpriseModel model;
+  const DatasetSpec spec = dataset_by_name("D3", scale);
+  const TraceSet set = generate_dataset(spec, model);
+  const std::uint64_t packets = set.total_packets();
+  AnalyzerConfig config = default_config_for_model(model.site());
+
+  std::printf("---- pipeline scaling (D3, scale %.3f, %llu packets over %zu traces, best of %d) ----\n",
+              scale, static_cast<unsigned long long>(packets), set.traces.size(), reps);
+
+  // Serial win first: seed two-pass double-decode vs fused single-decode.
+  const ScalingRun baseline = time_run("twopass-serial", 1, packets, reps, [&] {
+    const DatasetAnalysis a = analyze_dataset_twopass_baseline(set, config);
+    benchmark::DoNotOptimize(a.total_packets);
+  });
+  std::printf("  %-16s %8.3fs  %12.0f pps  (seed baseline: 2 decode passes)\n",
+              baseline.label.c_str(), baseline.seconds, baseline.pps);
+
+  std::set<std::size_t> counts = {1, 2, 4, ThreadPool::env_thread_count()};
+  std::vector<ScalingRun> runs;
+  for (const std::size_t t : counts) {
+    config.threads = t;
+    runs.push_back(time_run("fused@" + std::to_string(t), t, packets, reps, [&] {
+      const DatasetAnalysis a = analyze_dataset(set, config);
+      benchmark::DoNotOptimize(a.total_packets);
+    }));
+    const ScalingRun& r = runs.back();
+    std::printf("  %-16s %8.3fs  %12.0f pps  (%.2fx vs baseline)\n", r.label.c_str(),
+                r.seconds, r.pps, baseline.seconds / r.seconds);
+  }
+  std::printf("  single-decode fusion speedup (1 thread): %.2fx\n",
+              baseline.seconds / runs.front().seconds);
+
+  FILE* json = std::fopen("BENCH_pipeline.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"benchmark\": \"pipeline_scaling\",\n");
+    std::fprintf(json, "  \"dataset\": \"D3\",\n  \"scale\": %.4f,\n  \"reps\": %d,\n", scale,
+                 reps);
+    std::fprintf(json,
+                 "  \"baseline_twopass\": {\"threads\": 1, \"packets\": %llu, \"seconds\": "
+                 "%.6f, \"pps\": %.1f},\n",
+                 static_cast<unsigned long long>(baseline.packets), baseline.seconds,
+                 baseline.pps);
+    std::fprintf(json, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"threads\": %zu, \"packets\": %llu, \"seconds\": %.6f, \"pps\": %.1f}%s\n",
+                   runs[i].threads, static_cast<unsigned long long>(runs[i].packets),
+                   runs[i].seconds, runs[i].pps, i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("  wrote BENCH_pipeline.json\n");
+  }
+}
+
 }  // namespace
 }  // namespace entrace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  entrace::run_pipeline_scaling();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scaling-only") == 0) return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

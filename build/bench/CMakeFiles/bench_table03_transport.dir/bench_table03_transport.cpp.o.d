@@ -151,7 +151,12 @@ bench/CMakeFiles/bench_table03_transport.dir/bench_table03_transport.cpp.o: \
  /root/repo/src/proto/registry.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/util/stats.h \
- /root/repo/bench/bench_common.h /usr/include/c++/12/chrono \
+ /root/repo/bench/bench_common.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime /usr/include/time.h \
  /usr/include/x86_64-linux-gnu/bits/time.h \
@@ -222,11 +227,10 @@ bench/CMakeFiles/bench_table03_transport.dir/bench_table03_transport.cpp.o: \
  /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/analyzer.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/core/analyzer.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/analysis/load.h \
  /root/repo/src/analysis/scanner.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
@@ -236,4 +240,14 @@ bench/CMakeFiles/bench_table03_transport.dir/bench_table03_transport.cpp.o: \
  /root/repo/src/proto/events.h /root/repo/src/proto/parser.h \
  /root/repo/src/core/report.h /root/repo/src/synth/dataset_spec.h \
  /root/repo/src/synth/generator.h /root/repo/src/synth/model.h \
+ /root/repo/src/util/thread_pool.h /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
  /root/repo/src/util/strings.h /root/repo/src/util/table.h

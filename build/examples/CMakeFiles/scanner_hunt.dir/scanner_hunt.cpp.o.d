@@ -67,6 +67,7 @@ examples/CMakeFiles/scanner_hunt.dir/scanner_hunt.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/range_access.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/analyzer.h \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -205,8 +206,7 @@ examples/CMakeFiles/scanner_hunt.dir/scanner_hunt.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/analysis/breakdown.h \
- /usr/include/c++/12/array /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/analysis/site.h \
+ /usr/include/c++/12/span /root/repo/src/analysis/site.h \
  /root/repo/src/net/ip_address.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

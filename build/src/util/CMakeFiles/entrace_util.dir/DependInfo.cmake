@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/entrace_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/entrace_util.dir/stats.cc.o.d"
   "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/entrace_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/entrace_util.dir/strings.cc.o.d"
   "/root/repo/src/util/table.cc" "src/util/CMakeFiles/entrace_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/entrace_util.dir/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/entrace_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/entrace_util.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/entrace_util.dir/strings.cc.o.d"
   "CMakeFiles/entrace_util.dir/table.cc.o"
   "CMakeFiles/entrace_util.dir/table.cc.o.d"
+  "CMakeFiles/entrace_util.dir/thread_pool.cc.o"
+  "CMakeFiles/entrace_util.dir/thread_pool.cc.o.d"
   "libentrace_util.a"
   "libentrace_util.pdb"
 )

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/flow_test.cc" "tests/CMakeFiles/entrace_tests.dir/flow_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/flow_test.cc.o.d"
   "/root/repo/tests/load_test.cc" "tests/CMakeFiles/entrace_tests.dir/load_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/load_test.cc.o.d"
   "/root/repo/tests/net_test.cc" "tests/CMakeFiles/entrace_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/parallel_analyzer_test.cc" "tests/CMakeFiles/entrace_tests.dir/parallel_analyzer_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/parallel_analyzer_test.cc.o.d"
   "/root/repo/tests/pcap_test.cc" "tests/CMakeFiles/entrace_tests.dir/pcap_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/pcap_test.cc.o.d"
   "/root/repo/tests/property_test.cc" "tests/CMakeFiles/entrace_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/property_test.cc.o.d"
   "/root/repo/tests/proto_cifs_test.cc" "tests/CMakeFiles/entrace_tests.dir/proto_cifs_test.cc.o" "gcc" "tests/CMakeFiles/entrace_tests.dir/proto_cifs_test.cc.o.d"

@@ -22,6 +22,14 @@ void NetworkLayerBreakdown::add(L3Kind kind) {
   }
 }
 
+void NetworkLayerBreakdown::merge(const NetworkLayerBreakdown& o) {
+  total += o.total;
+  ip += o.ip;
+  arp += o.arp;
+  ipx += o.ipx;
+  other += o.other;
+}
+
 TransportBreakdown TransportBreakdown::compute(std::span<const Connection* const> connections) {
   TransportBreakdown out;
   for (const Connection* c : connections) {

@@ -23,6 +23,7 @@ struct NetworkLayerBreakdown {
   std::uint64_t other = 0;
 
   void add(L3Kind kind);
+  void merge(const NetworkLayerBreakdown& other);
 
   double ip_fraction() const { return frac(ip); }
   // The paper reports ARP/IPX/other as fractions of the *non-IP* packets.

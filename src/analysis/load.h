@@ -33,6 +33,19 @@ struct TraceLoadRaw {
     bits_10s.add(ts, bits);
     bits_60s.add(ts, bits);
   }
+
+  // Fold another shard of the same trace (sub-trace parallelism); the
+  // utilization bins sum and the retransmission tallies add.
+  void merge(const TraceLoadRaw& other) {
+    bits_1s.merge(other.bits_1s);
+    bits_10s.merge(other.bits_10s);
+    bits_60s.merge(other.bits_60s);
+    ent_tcp_pkts += other.ent_tcp_pkts;
+    ent_retx += other.ent_retx;
+    wan_tcp_pkts += other.wan_tcp_pkts;
+    wan_retx += other.wan_retx;
+    keepalive_excluded += other.keepalive_excluded;
+  }
 };
 
 struct LoadAnalysis {

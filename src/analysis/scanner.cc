@@ -21,6 +21,22 @@ void ScannerDetector::add_known_scanner(Ipv4Address addr) {
   cache_valid_ = false;
 }
 
+void ScannerDetector::merge(const ScannerDetector& other) {
+  for (const auto& [src, theirs] : other.sources_) {
+    auto& mine = sources_[src];
+    for (const std::uint32_t dst : theirs.order) {
+      if (mine.seen.insert(dst).second && mine.order.size() < 4096) {
+        mine.order.push_back(dst);
+      }
+    }
+    // Destinations past the other detector's order cap still count toward
+    // the distinct-host threshold.
+    for (const std::uint32_t dst : theirs.seen) mine.seen.insert(dst);
+  }
+  known_.insert(other.known_.begin(), other.known_.end());
+  cache_valid_ = false;
+}
+
 bool ScannerDetector::is_ordered_probe(const SourceState& s, const Config& config) {
   if (s.seen.size() <= config.distinct_host_threshold) return false;
   // Count the longest run of consecutive first-contacts moving in one

@@ -32,6 +32,13 @@ class ScannerDetector {
 
   void add_known_scanner(Ipv4Address addr);
 
+  // Fold another detector's observations into this one.  Merging per-trace
+  // detectors in trace-index order reproduces the exact per-source
+  // first-contact order of a serial pass over the same traces: for each
+  // source, `other`'s first contacts are appended except for destinations
+  // this detector already saw.  The two detectors must share a Config.
+  void merge(const ScannerDetector& other);
+
   // Evaluate the heuristic over everything observed so far.
   std::set<Ipv4Address> scanners() const;
 

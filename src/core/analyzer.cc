@@ -1,6 +1,9 @@
 #include "core/analyzer.h"
 
+#include <algorithm>
+
 #include "net/decoder.h"
+#include "util/thread_pool.h"
 
 namespace entrace {
 
@@ -16,76 +19,122 @@ AnalyzerConfig default_config_for_model(const SiteConfig& site) {
   return config;
 }
 
+namespace {
+
+// Everything one per-trace job produces.  Shards are private to their job
+// and folded into the DatasetAnalysis on the caller's thread in
+// trace-index order, so results are identical for every thread count.
+struct TraceShard {
+  explicit TraceShard(const ScannerDetector::Config& scanner_config)
+      : detector(scanner_config) {}
+
+  int subnet_id = -1;
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_wire_bytes = 0;
+  NetworkLayerBreakdown l3;
+  IpProtoCounts ip_proto_packets;
+  std::set<std::uint32_t> monitored_hosts;
+  std::set<std::uint32_t> lbnl_hosts;
+  std::set<std::uint32_t> remote_hosts;
+  ScannerDetector detector;
+  AppRegistry registry;
+  AppEvents events;
+  std::unique_ptr<FlowTable> table;
+  TraceLoadRaw load;
+};
+
+// One fused pass over a trace: decode -> tallies -> scanner observation ->
+// flow table -> protocol dispatch, with a single decode_packet call per
+// packet (the seed pipeline decoded every packet twice).
+void analyze_trace(const Trace& trace, const AnalyzerConfig& config, TraceShard& shard) {
+  shard.subnet_id = trace.subnet_id;
+  const bool payload = config.payload_analysis.value_or(trace.snaplen >= 200);
+  ProtocolDispatcher dispatcher(shard.registry, shard.events, payload);
+  shard.table = std::make_unique<FlowTable>(config.flow, &dispatcher);
+  shard.load.trace_name = trace.name;
+
+  for (const RawPacket& pkt : trace.packets) {
+    ++shard.total_packets;
+    shard.total_wire_bytes += pkt.wire_len;
+    const auto decoded = decode_packet(pkt);
+    if (!decoded) continue;
+    shard.l3.add(decoded->l3);
+    shard.load.add_packet(pkt.ts, pkt.wire_len);
+    if (decoded->l3 != L3Kind::kIpv4) continue;
+    ++shard.ip_proto_packets[decoded->ip_proto];
+    shard.detector.observe(decoded->src, decoded->dst);
+    for (const Ipv4Address addr : {decoded->src, decoded->dst}) {
+      if (addr.is_multicast() || addr.is_broadcast()) continue;
+      if (config.site.is_internal(addr)) {
+        shard.lbnl_hosts.insert(addr.value());
+        if (config.site.subnet_of(addr) == trace.subnet_id) {
+          shard.monitored_hosts.insert(addr.value());
+        }
+      } else {
+        shard.remote_hosts.insert(addr.value());
+      }
+    }
+    const PacketVerdict verdict = shard.table->process(*decoded);
+    if (verdict.conn != nullptr && decoded->is_tcp()) {
+      const bool wan = !config.site.is_internal(verdict.conn->key.src) ||
+                       !config.site.is_internal(verdict.conn->key.dst);
+      if (verdict.keepalive_retx) {
+        // §6 excludes 1-byte keepalive retransmissions from the loss proxy.
+        ++shard.load.keepalive_excluded;
+      } else {
+        auto& pkts = wan ? shard.load.wan_tcp_pkts : shard.load.ent_tcp_pkts;
+        auto& retx = wan ? shard.load.wan_retx : shard.load.ent_retx;
+        ++pkts;
+        if (verdict.tcp_retransmission) ++retx;
+      }
+    }
+  }
+  shard.table->flush();
+  // Dispatcher can be dropped; events and registry outlive it.
+}
+
+}  // namespace
+
 DatasetAnalysis analyze_dataset(const TraceSet& traces, const AnalyzerConfig& config) {
   DatasetAnalysis out;
   out.name = traces.dataset_name;
   out.site = config.site;
 
-  // ---- pass 1: packet tallies + scanner identification ---------------------
+  // ---- per-trace jobs: fused decode/tally/scanner/flow/app pass ------------
+  const std::size_t n = traces.traces.size();
+  std::vector<TraceShard> shards;
+  shards.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) shards.emplace_back(config.scanner);
+
+  const std::size_t threads =
+      config.threads != 0 ? config.threads : ThreadPool::env_thread_count();
+  ThreadPool pool(std::min(threads, n > 0 ? n : std::size_t{1}));
+  pool.for_each_index(
+      n, [&](std::size_t i) { analyze_trace(traces.traces[i], config, shards[i]); });
+
+  // ---- deterministic fold, in trace-index order ----------------------------
   ScannerDetector detector(config.scanner);
   for (Ipv4Address known : config.site.known_scanners) detector.add_known_scanner(known);
 
-  for (const Trace& trace : traces.traces) {
-    if (trace.subnet_id >= 0) out.monitored_subnets.push_back(trace.subnet_id);
-    for (const RawPacket& pkt : trace.packets) {
-      ++out.total_packets;
-      out.total_wire_bytes += pkt.wire_len;
-      auto decoded = decode_packet(pkt);
-      if (!decoded) continue;
-      out.l3.add(decoded->l3);
-      if (decoded->l3 != L3Kind::kIpv4) continue;
-      ++out.ip_proto_packets[decoded->ip_proto];
-      detector.observe(decoded->src, decoded->dst);
-      for (const Ipv4Address addr : {decoded->src, decoded->dst}) {
-        if (addr.is_multicast() || addr.is_broadcast()) continue;
-        if (config.site.is_internal(addr)) {
-          out.lbnl_hosts.insert(addr.value());
-          if (config.site.subnet_of(addr) == trace.subnet_id) {
-            out.monitored_hosts.insert(addr.value());
-          }
-        } else {
-          out.remote_hosts.insert(addr.value());
-        }
-      }
-    }
+  for (TraceShard& shard : shards) {
+    if (shard.subnet_id >= 0) out.monitored_subnets.push_back(shard.subnet_id);
+    out.total_packets += shard.total_packets;
+    out.total_wire_bytes += shard.total_wire_bytes;
+    out.l3.merge(shard.l3);
+    out.ip_proto_packets.merge(shard.ip_proto_packets);
+    detector.merge(shard.detector);
+    out.monitored_hosts.insert(shard.monitored_hosts.begin(), shard.monitored_hosts.end());
+    out.lbnl_hosts.insert(shard.lbnl_hosts.begin(), shard.lbnl_hosts.end());
+    out.remote_hosts.insert(shard.remote_hosts.begin(), shard.remote_hosts.end());
+    out.registry.merge_dynamic_endpoints(shard.registry);
+    out.events.merge(std::move(shard.events));
+    out.load_raw.push_back(std::move(shard.load));
+    out.tables.push_back(std::move(shard.table));
   }
+  // Scanner identification is global: only the merged detector has seen a
+  // source's contacts across all traces, so the removal filter runs here,
+  // post-merge, exactly as in the serial two-pass pipeline.
   out.scanners = detector.scanners();
-
-  // ---- pass 2: flows, application parsing, load ------------------------------
-  for (const Trace& trace : traces.traces) {
-    const bool payload =
-        config.payload_analysis.value_or(trace.snaplen >= 200);
-    auto dispatcher =
-        std::make_unique<ProtocolDispatcher>(out.registry, out.events, payload);
-    auto table = std::make_unique<FlowTable>(config.flow, dispatcher.get());
-
-    TraceLoadRaw load;
-    load.trace_name = trace.name;
-    for (const RawPacket& pkt : trace.packets) {
-      auto decoded = decode_packet(pkt);
-      if (!decoded) continue;
-      load.add_packet(pkt.ts, pkt.wire_len);
-      if (decoded->l3 != L3Kind::kIpv4) continue;
-      const PacketVerdict verdict = table->process(*decoded);
-      if (verdict.conn != nullptr && decoded->is_tcp()) {
-        const bool wan = !config.site.is_internal(verdict.conn->key.src) ||
-                         !config.site.is_internal(verdict.conn->key.dst);
-        if (verdict.keepalive_retx) {
-          // §6 excludes 1-byte keepalive retransmissions from the loss proxy.
-          ++load.keepalive_excluded;
-        } else {
-          auto& pkts = wan ? load.wan_tcp_pkts : load.ent_tcp_pkts;
-          auto& retx = wan ? load.wan_retx : load.ent_retx;
-          ++pkts;
-          if (verdict.tcp_retransmission) ++retx;
-        }
-      }
-    }
-    table->flush();
-    out.load_raw.push_back(std::move(load));
-    out.tables.push_back(std::move(table));
-    // Dispatcher can be dropped; events and registry outlive it.
-  }
 
   // ---- assemble connection lists, remove scanner traffic ---------------------
   for (const auto& table : out.tables) {

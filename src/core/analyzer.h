@@ -7,8 +7,21 @@
 // analyze_dataset() consumes one TraceSet (one of D0-D4) and produces a
 // DatasetAnalysis holding connection summaries, application events, load
 // statistics and everything the report/benches need.
+//
+// The datasets are sets of independently captured per-subnet traces, so
+// the pipeline shards at trace granularity: each trace runs the whole
+// decode -> tallies -> scanner-observation -> flow -> application chain as
+// one fused job (a single decode per packet) with private state, and the
+// shards fold on the caller's thread in trace-index order — results are
+// bit-identical for every thread count.  Scanner *identification* needs
+// the global cross-trace view, so the scanner-removal filter runs after
+// the fold.  Dynamic DCE/RPC endpoints learned from Endpoint Mapper
+// traffic apply within the trace that observed them (EPM mappings and the
+// ephemeral-port connections they describe share a subnet trace).
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <optional>
@@ -35,6 +48,36 @@ struct AnalyzerConfig {
   bool remove_scanners = true;
   // Override the per-trace snaplen-based payload-analysis decision.
   std::optional<bool> payload_analysis;
+  // Worker threads for the per-trace analysis jobs.  0 = auto: honour
+  // ENTRACE_THREADS, else hardware_concurrency.  Results are bit-identical
+  // for every thread count (shards fold in trace-index order).
+  std::size_t threads = 0;
+};
+
+// IP packets tallied by transport protocol number.  A flat 256-entry array
+// instead of a std::map: the increment sits in the per-packet hot loop and
+// must not pay red-black-tree costs.  as_map() keeps the old map-like view
+// for report code.
+class IpProtoCounts {
+ public:
+  std::uint64_t& operator[](std::uint8_t proto) { return counts_[proto]; }
+  std::uint64_t operator[](std::uint8_t proto) const { return counts_[proto]; }
+
+  void merge(const IpProtoCounts& other) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  }
+
+  // Nonzero entries ordered by protocol number (the old std::map interface).
+  std::map<std::uint8_t, std::uint64_t> as_map() const {
+    std::map<std::uint8_t, std::uint64_t> out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] != 0) out.emplace(static_cast<std::uint8_t>(i), counts_[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::array<std::uint64_t, 256> counts_{};
 };
 
 class DatasetAnalysis {
@@ -48,7 +91,7 @@ class DatasetAnalysis {
   std::uint64_t total_wire_bytes = 0;
   NetworkLayerBreakdown l3;
   // IP packets by transport protocol number (rare transports of §3).
-  std::map<std::uint8_t, std::uint64_t> ip_proto_packets;
+  IpProtoCounts ip_proto_packets;
   std::set<std::uint32_t> monitored_hosts;  // hosts in monitored subnets
   std::set<std::uint32_t> lbnl_hosts;
   std::set<std::uint32_t> remote_hosts;

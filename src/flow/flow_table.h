@@ -3,6 +3,12 @@
 // (retransmission) detection, and in-order stream delivery to an observer.
 //
 // This is our stand-in for the Bro connection engine the paper relied on.
+//
+// Thread-compatibility: FlowTable holds no static or global state — every
+// instance is fully self-contained — so distinct instances may be driven
+// from distinct threads concurrently with no synchronization, which is what
+// the parallel per-trace analyzer does.  A single instance is not
+// thread-safe.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,7 @@
 #include "proto/events.h"
 
+#include <iterator>
+
 namespace entrace {
 
 const char* to_string(CifsCategory c) {
@@ -24,6 +26,24 @@ const char* to_string(DceIface i) {
     case DceIface::kOther: return "Other";
   }
   return "?";
+}
+
+void AppEvents::merge(AppEvents&& other) {
+  const auto append = [](auto& dst, auto& src) {
+    dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+               std::make_move_iterator(src.end()));
+    src.clear();
+  };
+  append(http, other.http);
+  append(smtp, other.smtp);
+  append(dns, other.dns);
+  append(nbns, other.nbns);
+  append(nbss, other.nbss);
+  append(cifs, other.cifs);
+  append(dcerpc, other.dcerpc);
+  append(epm, other.epm);
+  append(nfs, other.nfs);
+  append(ncp, other.ncp);
 }
 
 const char* to_string(NcpFunction f) {

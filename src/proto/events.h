@@ -193,6 +193,10 @@ struct AppEvents {
     return http.size() + smtp.size() + dns.size() + nbns.size() + nbss.size() + cifs.size() +
            dcerpc.size() + epm.size() + nfs.size() + ncp.size();
   }
+
+  // Append another shard's events (moved from).  Folding per-trace shards
+  // in trace-index order reproduces the event order of a serial pass.
+  void merge(AppEvents&& other);
 };
 
 }  // namespace entrace

@@ -165,6 +165,10 @@ class AppRegistry {
   bool is_dcerpc_endpoint(Ipv4Address server, std::uint16_t port) const;
   std::size_t dynamic_endpoint_count() const { return dcerpc_endpoints_.size(); }
 
+  // Fold the dynamic endpoints learned by another (per-trace) registry into
+  // this one.  The static port table is identical in every registry.
+  void merge_dynamic_endpoints(const AppRegistry& other);
+
  private:
   AppProtocol lookup(std::uint8_t proto, std::uint16_t port) const;
 

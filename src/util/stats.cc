@@ -163,6 +163,18 @@ void IntervalSeries::add(double t, double value) {
   bins_[bin] += value;
 }
 
+void IntervalSeries::merge(const IntervalSeries& other) {
+  if (other.bins_.empty()) return;
+  if (bins_.empty()) {
+    first_bin_ = other.first_bin_;
+    last_bin_ = other.last_bin_;
+  } else {
+    first_bin_ = std::min(first_bin_, other.first_bin_);
+    last_bin_ = std::max(last_bin_, other.last_bin_);
+  }
+  for (const auto& [bin, value] : other.bins_) bins_[bin] += value;
+}
+
 std::vector<double> IntervalSeries::values() const {
   std::vector<double> out;
   if (bins_.empty()) return out;

@@ -109,6 +109,10 @@ class IntervalSeries {
 
   void add(double t, double value);
 
+  // Fold another series of the same bin width into this one (bins sum;
+  // the covered range is the union of both ranges).
+  void merge(const IntervalSeries& other);
+
   double bin_width() const { return bin_width_; }
   // Values of all bins between the first and last seen timestamps,
   // including empty (zero) bins.

@@ -1,0 +1,80 @@
+// A small fixed-size worker pool for trace-level parallelism.
+//
+// The paper's datasets are sets of independently captured per-subnet
+// traces, so the analysis pipeline shards naturally: one job per trace,
+// private per-shard state, deterministic fold on the caller's thread.
+// ThreadPool is the scheduling half of that pattern.
+//
+// Sizing: an explicit count, or env_thread_count() which honours the
+// ENTRACE_THREADS environment variable and falls back to
+// hardware_concurrency.  A pool of 0 or 1 threads spawns no workers at
+// all and runs every task inline on the submitting thread — the serial
+// path and the parallel path are the same code, which is what makes the
+// ENTRACE_THREADS=1 vs =N determinism guarantee testable.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace entrace {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Number of threads that execute tasks (1 in inline mode).
+  std::size_t thread_count() const { return workers_.empty() ? 1 : workers_.size(); }
+
+  // Schedule fn and return a future for its result.  Exceptions thrown by
+  // fn surface from future::get().  In inline mode the task runs before
+  // submit() returns.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return future;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  // Run fn(0) .. fn(n-1) across the pool and wait for all of them.  If any
+  // invocation throws, every task still runs to completion and then the
+  // exception from the lowest index is rethrown (deterministic regardless
+  // of scheduling).
+  void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // ENTRACE_THREADS if set to a positive integer, else
+  // std::thread::hardware_concurrency (at least 1).
+  static std::size_t env_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace entrace
