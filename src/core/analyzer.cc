@@ -41,6 +41,7 @@ struct TraceShard {
   AppEvents events;
   std::unique_ptr<FlowTable> table;
   TraceLoadRaw load;
+  CaptureQuality quality;
 };
 
 // One fused pass over a trace: decode -> tallies -> scanner observation ->
@@ -49,15 +50,31 @@ struct TraceShard {
 void analyze_trace(const Trace& trace, const AnalyzerConfig& config, TraceShard& shard) {
   shard.subnet_id = trace.subnet_id;
   const bool payload = config.payload_analysis.value_or(trace.snaplen >= 200);
-  ProtocolDispatcher dispatcher(shard.registry, shard.events, payload);
+  ProtocolDispatcher dispatcher(shard.registry, shard.events, payload,
+                                &shard.quality.anomalies);
   shard.table = std::make_unique<FlowTable>(config.flow, &dispatcher);
   shard.load.trace_name = trace.name;
+  // pcap-record-layer anomalies observed when the trace was loaded from disk.
+  shard.quality.anomalies.merge(trace.file_anomalies);
 
   for (const RawPacket& pkt : trace.packets) {
     ++shard.total_packets;
     shard.total_wire_bytes += pkt.wire_len;
-    const auto decoded = decode_packet(pkt);
-    if (!decoded) continue;
+    ++shard.quality.packets_seen;
+    const auto decoded = decode_packet(pkt, &shard.quality.anomalies);
+    if (!decoded) {
+      // Not even the Ethernet header was captured; nothing to attribute.
+      ++shard.quality.packets_dropped;
+      continue;
+    }
+    if (decoded->checksum_bad()) {
+      // Header bytes are demonstrably corrupt: addresses/ports can't be
+      // trusted, so the packet is excluded from all traffic accounting
+      // (Bro's checksum handling on the paper's traces behaves the same).
+      ++shard.quality.packets_dropped;
+      continue;
+    }
+    ++shard.quality.packets_ok;
     shard.l3.add(decoded->l3);
     shard.load.add_packet(pkt.ts, pkt.wire_len);
     if (decoded->l3 != L3Kind::kIpv4) continue;
@@ -128,6 +145,7 @@ DatasetAnalysis analyze_dataset(const TraceSet& traces, const AnalyzerConfig& co
     out.remote_hosts.insert(shard.remote_hosts.begin(), shard.remote_hosts.end());
     out.registry.merge_dynamic_endpoints(shard.registry);
     out.events.merge(std::move(shard.events));
+    out.quality.merge(shard.quality);
     out.load_raw.push_back(std::move(shard.load));
     out.tables.push_back(std::move(shard.table));
   }

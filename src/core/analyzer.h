@@ -34,6 +34,7 @@
 #include "analysis/scanner.h"
 #include "analysis/site.h"
 #include "flow/flow_table.h"
+#include "net/anomaly.h"
 #include "pcap/trace.h"
 #include "proto/dispatcher.h"
 #include "proto/events.h"
@@ -95,6 +96,15 @@ class DatasetAnalysis {
   std::set<std::uint32_t> monitored_hosts;  // hosts in monitored subnets
   std::set<std::uint32_t> lbnl_hosts;
   std::set<std::uint32_t> remote_hosts;
+
+  // ---- capture quality -------------------------------------------------------
+  // Every packet of every trace is accounted for here:
+  //   packets_seen == packets_ok + packets_dropped.
+  // Dropped packets (empty/Ethernet-truncated captures, checksum failures)
+  // are excluded from the tallies above and from flow/application analysis;
+  // anomalies classifies both the drops and the informational flags
+  // (snaplen clipping, partial L3/L4 decodes, parser bails).
+  CaptureQuality quality;
 
   // ---- connections -----------------------------------------------------------
   // Flow state (owns the Connection objects everything else points into).

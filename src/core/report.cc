@@ -69,6 +69,32 @@ std::string table1_datasets(Inputs in) {
   return t.render();
 }
 
+std::string capture_quality(Inputs in) {
+  TextTable t("Capture quality: per-dataset packet accounting "
+              "(seen == decoded + dropped) and anomaly kinds");
+  t.set_header(names_row(in, ""));
+  auto row = [&t, &in](const std::string& label, auto getter) {
+    std::vector<std::string> r{label};
+    for (const auto& i : in) r.push_back(getter(i.analysis->quality));
+    t.add_row(std::move(r));
+  };
+  row("Seen", [](const CaptureQuality& q) { return format_count(q.packets_seen); });
+  row("Decoded", [](const CaptureQuality& q) { return format_count(q.packets_ok); });
+  row("Dropped", [](const CaptureQuality& q) { return format_count(q.packets_dropped); });
+  t.add_rule();
+  // One row per anomaly kind that is non-zero in at least one dataset.
+  for (std::size_t k = 0; k < kAnomalyKindCount; ++k) {
+    const AnomalyKind kind = static_cast<AnomalyKind>(k);
+    bool any = false;
+    for (const auto& i : in) any = any || i.analysis->quality.anomalies[kind] != 0;
+    if (!any) continue;
+    std::vector<std::string> r{to_string(kind)};
+    for (const auto& i : in) r.push_back(format_count(i.analysis->quality.anomalies[kind]));
+    t.add_row(std::move(r));
+  }
+  return t.render();
+}
+
 std::string table2_network_layer(Inputs in) {
   TextTable t("Table 2: Network-layer protocol mix (IP as % of all packets; "
               "ARP/IPX/Other as % of non-IP)");
@@ -840,6 +866,7 @@ std::string full_report(Inputs in) {
 
   std::string out;
   out += table1_datasets(in);
+  out += "\n" + capture_quality(in);
   out += "\n" + table2_network_layer(in);
   out += "\n" + table3_transport(in);
   out += "\n" + figure1_app_breakdown(in);

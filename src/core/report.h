@@ -19,6 +19,11 @@ struct ReportInput {
 using Inputs = std::span<const ReportInput>;
 
 std::string table1_datasets(Inputs in);
+// Measurement-artifact accounting per dataset: packets seen / decoded /
+// dropped, plus the non-zero anomaly kinds (truncation, checksum failures,
+// parse errors).  Not a paper table — real captures need it (§2 discusses
+// the LBNL traces' own artifacts) and the fault-injection tests assert it.
+std::string capture_quality(Inputs in);
 std::string table2_network_layer(Inputs in);
 std::string table3_transport(Inputs in);        // includes scanner-removal row
 std::string figure1_app_breakdown(Inputs in);   // bytes + connections, ent/wan

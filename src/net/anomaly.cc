@@ -1,0 +1,41 @@
+#include "net/anomaly.h"
+
+namespace entrace {
+
+const char* to_string(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kPcapShortRecordHeader: return "pcap-short-record-header";
+    case AnomalyKind::kPcapTruncatedRecord: return "pcap-truncated-record";
+    case AnomalyKind::kPcapOversizedRecord: return "pcap-oversized-record";
+    case AnomalyKind::kCaptureEmpty: return "capture-empty";
+    case AnomalyKind::kEthTruncated: return "eth-truncated";
+    case AnomalyKind::kIpHeaderTruncated: return "ip-header-truncated";
+    case AnomalyKind::kIpBadVersion: return "ip-bad-version";
+    case AnomalyKind::kIpBadHeaderLen: return "ip-bad-header-len";
+    case AnomalyKind::kIpBadTotalLen: return "ip-bad-total-len";
+    case AnomalyKind::kIpChecksumBad: return "ip-checksum-bad";
+    case AnomalyKind::kTcpHeaderTruncated: return "tcp-header-truncated";
+    case AnomalyKind::kTcpBadDataOffset: return "tcp-bad-data-offset";
+    case AnomalyKind::kTcpChecksumBad: return "tcp-checksum-bad";
+    case AnomalyKind::kUdpHeaderTruncated: return "udp-header-truncated";
+    case AnomalyKind::kUdpBadLength: return "udp-bad-length";
+    case AnomalyKind::kUdpChecksumBad: return "udp-checksum-bad";
+    case AnomalyKind::kIcmpTruncated: return "icmp-truncated";
+    case AnomalyKind::kIcmpChecksumBad: return "icmp-checksum-bad";
+    case AnomalyKind::kSnapTruncated: return "snap-truncated";
+    case AnomalyKind::kPortZero: return "port-zero";
+    case AnomalyKind::kAppParseError: return "app-parse-error";
+    case AnomalyKind::kCount: break;
+  }
+  return "unknown";
+}
+
+std::map<std::string, std::uint64_t> AnomalyCounts::as_map() const {
+  std::map<std::string, std::uint64_t> out;
+  for (std::size_t i = 0; i < kAnomalyKindCount; ++i) {
+    if (counts_[i] != 0) out[to_string(static_cast<AnomalyKind>(i))] = counts_[i];
+  }
+  return out;
+}
+
+}  // namespace entrace

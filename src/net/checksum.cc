@@ -20,4 +20,16 @@ std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
   return checksum_finish(checksum_partial(data));
 }
 
+std::uint32_t pseudo_header_sum(std::uint32_t src_ip, std::uint32_t dst_ip, std::uint8_t protocol,
+                                std::uint16_t l4_len) {
+  std::uint32_t sum = 0;
+  sum += src_ip >> 16;
+  sum += src_ip & 0xFFFF;
+  sum += dst_ip >> 16;
+  sum += dst_ip & 0xFFFF;
+  sum += protocol;
+  sum += l4_len;
+  return sum;
+}
+
 }  // namespace entrace

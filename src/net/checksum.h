@@ -16,4 +16,9 @@ std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
 // Finish a partial sum into the complemented checksum.
 std::uint16_t checksum_finish(std::uint32_t sum);
 
+// Partial sum of the TCP/UDP pseudo-header (src, dst, zero, protocol,
+// transport length), to be continued over the transport segment bytes.
+std::uint32_t pseudo_header_sum(std::uint32_t src_ip, std::uint32_t dst_ip, std::uint8_t protocol,
+                                std::uint16_t l4_len);
+
 }  // namespace entrace

@@ -1,11 +1,37 @@
 #include "net/decoder.h"
 
-namespace entrace {
+#include "net/checksum.h"
 
-std::optional<DecodedPacket> decode_packet(const RawPacket& pkt) {
+namespace entrace {
+namespace {
+
+// Verify the transport checksum of a fully captured IPv4 segment.
+// `l4` spans the transport header + payload as claimed by the IP/UDP length
+// fields; the caller guarantees those bytes were captured.
+bool l4_checksum_ok(const Ipv4Header& ip, std::span<const std::uint8_t> l4) {
+  std::uint32_t sum = pseudo_header_sum(ip.src.value(), ip.dst.value(), ip.protocol,
+                                        static_cast<std::uint16_t>(l4.size()));
+  return checksum_finish(checksum_partial(l4, sum)) == 0;
+}
+
+}  // namespace
+
+std::optional<DecodedPacket> decode_packet(const RawPacket& pkt, AnomalyCounts* anomalies) {
+  const auto note = [anomalies](AnomalyKind k) {
+    if (anomalies) anomalies->add(k);
+  };
+
+  if (pkt.data.empty()) {
+    note(AnomalyKind::kCaptureEmpty);
+    return std::nullopt;
+  }
+
   ByteReader r(pkt.data);
   auto eth = EthernetHeader::decode(r);
-  if (!eth) return std::nullopt;
+  if (!eth) {
+    note(AnomalyKind::kEthTruncated);
+    return std::nullopt;
+  }
 
   DecodedPacket d;
   d.ts = pkt.ts;
@@ -14,6 +40,10 @@ std::optional<DecodedPacket> decode_packet(const RawPacket& pkt) {
   d.eth_src = eth->src;
   d.eth_dst = eth->dst;
   d.ethertype = eth->ethertype;
+  if (d.cap_len < d.wire_len) {
+    d.snap_truncated = true;
+    note(AnomalyKind::kSnapTruncated);
+  }
 
   switch (eth->ethertype) {
     case ethertype::kArp:
@@ -29,8 +59,36 @@ std::optional<DecodedPacket> decode_packet(const RawPacket& pkt) {
       return d;
   }
 
+  // Classify IPv4 header problems precisely before decoding: truncation
+  // (capture ends inside the header) vs. malformed fields.  These packets
+  // keep l3 == kOther, matching the pre-taxonomy tallies.
+  const std::span<const std::uint8_t> ip_bytes(pkt.data.data() + EthernetHeader::kSize,
+                                               pkt.data.size() - EthernetHeader::kSize);
+  if (ip_bytes.empty()) {
+    note(AnomalyKind::kIpHeaderTruncated);
+    d.l3 = L3Kind::kOther;
+    return d;
+  }
+  if ((ip_bytes[0] >> 4) != 4) {
+    note(AnomalyKind::kIpBadVersion);
+    d.l3 = L3Kind::kOther;
+    return d;
+  }
+  const std::size_t ihl = static_cast<std::size_t>(ip_bytes[0] & 0x0F) * 4;
+  if (ihl < Ipv4Header::kMinSize) {
+    note(AnomalyKind::kIpBadHeaderLen);
+    d.l3 = L3Kind::kOther;
+    return d;
+  }
+  if (ip_bytes.size() < ihl) {
+    note(AnomalyKind::kIpHeaderTruncated);
+    d.l3 = L3Kind::kOther;
+    return d;
+  }
+
   auto ip = Ipv4Header::decode(r);
-  if (!ip) {
+  if (!ip) {  // unreachable after the checks above, but stay defensive
+    note(AnomalyKind::kIpHeaderTruncated);
     d.l3 = L3Kind::kOther;
     return d;
   }
@@ -41,6 +99,13 @@ std::optional<DecodedPacket> decode_packet(const RawPacket& pkt) {
   d.ttl = ip->ttl;
   d.ip_total_len = ip->total_length;
 
+  // The full header was captured, so its checksum is verifiable.
+  if (internet_checksum(ip_bytes.first(ihl)) != 0) {
+    d.ip_checksum_bad = true;
+    note(AnomalyKind::kIpChecksumBad);
+  }
+  if (ip->total_length < ihl) note(AnomalyKind::kIpBadTotalLen);
+
   // Wire-truth payload length from the IP header, independent of snaplen.
   const std::size_t ip_header_len = r.position() - EthernetHeader::kSize;
   const std::uint32_t ip_payload_wire =
@@ -48,10 +113,32 @@ std::optional<DecodedPacket> decode_packet(const RawPacket& pkt) {
           ? static_cast<std::uint32_t>(ip->total_length - ip_header_len)
           : 0;
 
+  // Transport checksums are verified only when the whole segment claimed by
+  // the IP total length was captured; a corrupt total_length just shrinks or
+  // voids the verifiable window (never reads out of bounds).
+  const std::size_t l4_wire_len = ip->total_length >= ihl ? ip->total_length - ihl : 0;
+  const bool l4_fully_captured = l4_wire_len > 0 && ip_bytes.size() >= ihl + l4_wire_len;
+  const std::span<const std::uint8_t> l4_bytes =
+      l4_fully_captured ? ip_bytes.subspan(ihl, l4_wire_len) : std::span<const std::uint8_t>{};
+
   switch (ip->protocol) {
     case ipproto::kTcp: {
+      if (r.remaining() < TcpHeader::kMinSize) {
+        note(AnomalyKind::kTcpHeaderTruncated);
+        return d;
+      }
       auto tcp = TcpHeader::decode(r);
-      if (!tcp) return d;
+      if (!tcp) {
+        // 20 bytes were available, so decode only fails on the data offset:
+        // either malformed (< 20) or options running past the capture.
+        const std::uint8_t off = pkt.data[EthernetHeader::kSize + ihl + 12];
+        if (static_cast<std::size_t>(off >> 4) * 4 < TcpHeader::kMinSize) {
+          note(AnomalyKind::kTcpBadDataOffset);
+        } else {
+          note(AnomalyKind::kTcpHeaderTruncated);
+        }
+        return d;
+      }
       d.l4_ok = true;
       d.src_port = tcp->src_port;
       d.dst_port = tcp->dst_port;
@@ -63,24 +150,47 @@ std::optional<DecodedPacket> decode_packet(const RawPacket& pkt) {
               ? ip_payload_wire - static_cast<std::uint32_t>(TcpHeader::kMinSize)
               : 0;
       d.payload = r.rest();
+      if (l4_fully_captured && l4_wire_len >= TcpHeader::kMinSize &&
+          !l4_checksum_ok(*ip, l4_bytes)) {
+        d.l4_checksum_bad = true;
+        note(AnomalyKind::kTcpChecksumBad);
+      }
       break;
     }
     case ipproto::kUdp: {
       auto udp = UdpHeader::decode(r);
-      if (!udp) return d;
+      if (!udp) {
+        note(AnomalyKind::kUdpHeaderTruncated);
+        return d;
+      }
       d.l4_ok = true;
       d.src_port = udp->src_port;
       d.dst_port = udp->dst_port;
+      if (udp->length < UdpHeader::kSize) note(AnomalyKind::kUdpBadLength);
       d.payload_wire_len =
           udp->length >= UdpHeader::kSize
               ? static_cast<std::uint32_t>(udp->length - UdpHeader::kSize)
               : 0;
       d.payload = r.rest();
+      // RFC 768: checksum zero means "not computed by the sender".
+      if (udp->checksum != 0 && udp->length >= UdpHeader::kSize &&
+          ip_bytes.size() >= ihl + udp->length) {
+        const auto datagram = ip_bytes.subspan(ihl, udp->length);
+        std::uint32_t sum = pseudo_header_sum(ip->src.value(), ip->dst.value(), ipproto::kUdp,
+                                              udp->length);
+        if (checksum_finish(checksum_partial(datagram, sum)) != 0) {
+          d.l4_checksum_bad = true;
+          note(AnomalyKind::kUdpChecksumBad);
+        }
+      }
       break;
     }
     case ipproto::kIcmp: {
       auto icmp = IcmpHeader::decode(r);
-      if (!icmp) return d;
+      if (!icmp) {
+        note(AnomalyKind::kIcmpTruncated);
+        return d;
+      }
       d.l4_ok = true;
       d.icmp_type = icmp->type;
       d.icmp_code = icmp->code;
@@ -91,12 +201,23 @@ std::optional<DecodedPacket> decode_packet(const RawPacket& pkt) {
               ? ip_payload_wire - static_cast<std::uint32_t>(IcmpHeader::kSize)
               : 0;
       d.payload = r.rest();
+      // ICMP checksums cover only the ICMP message, no pseudo-header.
+      if (l4_fully_captured && l4_wire_len >= IcmpHeader::kSize &&
+          internet_checksum(l4_bytes) != 0) {
+        d.l4_checksum_bad = true;
+        note(AnomalyKind::kIcmpChecksumBad);
+      }
       break;
     }
     default:
       d.payload_wire_len = ip_payload_wire;
       d.payload = r.rest();
       break;
+  }
+
+  if (d.l4_ok && (d.ip_proto == ipproto::kTcp || d.ip_proto == ipproto::kUdp) &&
+      (d.src_port == 0 || d.dst_port == 0)) {
+    note(AnomalyKind::kPortZero);
   }
 
   // Clamp captured payload to the wire payload (Ethernet minimum-frame

@@ -11,6 +11,7 @@
 #include <optional>
 #include <span>
 
+#include "net/anomaly.h"
 #include "net/five_tuple.h"
 #include "net/headers.h"
 #include "net/packet.h"
@@ -53,6 +54,18 @@ struct DecodedPacket {
   std::span<const std::uint8_t> payload;
   std::uint32_t payload_wire_len = 0;
 
+  // Anomaly flags.  snap_truncated marks snaplen clipping (informational:
+  // the packet is still analyzable via wire-length accounting).  The
+  // checksum flags mark packets whose header/segment bytes were fully
+  // captured but failed verification — their content cannot be trusted, and
+  // the analyzer drops them from traffic accounting (Bro behaves the same
+  // way on the paper's traces).
+  bool snap_truncated = false;
+  bool ip_checksum_bad = false;
+  bool l4_checksum_bad = false;
+
+  bool checksum_bad() const { return ip_checksum_bad || l4_checksum_bad; }
+
   bool is_tcp() const { return l3 == L3Kind::kIpv4 && ip_proto == ipproto::kTcp; }
   bool is_udp() const { return l3 == L3Kind::kIpv4 && ip_proto == ipproto::kUdp; }
   bool is_icmp() const { return l3 == L3Kind::kIpv4 && ip_proto == ipproto::kIcmp; }
@@ -61,9 +74,21 @@ struct DecodedPacket {
 };
 
 // Decode an Ethernet frame.  Returns nullopt only if even the Ethernet
-// header is truncated; unknown ethertypes decode to l3 == kOther.
-// The returned payload span aliases `pkt.data` — the RawPacket must outlive
-// the DecodedPacket.
-std::optional<DecodedPacket> decode_packet(const RawPacket& pkt);
+// header is truncated (or the capture is empty); unknown ethertypes decode
+// to l3 == kOther.  The returned payload span aliases `pkt.data` — the
+// RawPacket must outlive the DecodedPacket.
+//
+// When `anomalies` is non-null, every early-out and every anomaly flag is
+// classified into it: a nullopt return always reports kCaptureEmpty or
+// kEthTruncated; a partial L3/L4 decode reports which layer failed and why
+// (truncation vs. malformed field); checksum verification failures report
+// k{Ip,Tcp,Udp,Icmp}ChecksumBad.  Checksums are only verified when the
+// covered bytes were fully captured — a snaplen-clipped segment is never
+// misreported as checksum-bad.
+std::optional<DecodedPacket> decode_packet(const RawPacket& pkt, AnomalyCounts* anomalies);
+
+inline std::optional<DecodedPacket> decode_packet(const RawPacket& pkt) {
+  return decode_packet(pkt, nullptr);
+}
 
 }  // namespace entrace

@@ -44,6 +44,7 @@ std::vector<std::uint8_t> make_tcp_frame(const FrameEndpoints& ep, std::uint16_t
   tcp.flags = flags;
   tcp.encode(w);
   w.bytes(payload);
+  fix_l4_checksum(frame);
   return frame;
 }
 
@@ -61,6 +62,7 @@ std::vector<std::uint8_t> make_udp_frame(const FrameEndpoints& ep, std::uint16_t
   udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
   udp.encode(w);
   w.bytes(payload);
+  fix_l4_checksum(frame);
   return frame;
 }
 
@@ -137,6 +139,46 @@ std::vector<std::uint8_t> filler_payload(std::size_t len) {
   std::vector<std::uint8_t> out(len);
   for (std::size_t i = 0; i < len; ++i) out[i] = static_cast<std::uint8_t>(0x20 + (i % 0x5F));
   return out;
+}
+
+void fix_l4_checksum(std::vector<std::uint8_t>& frame) {
+  constexpr std::size_t kEth = EthernetHeader::kSize;
+  if (frame.size() < kEth + Ipv4Header::kMinSize) return;
+  if ((frame[12] != 0x08) || (frame[13] != 0x00)) return;  // not IPv4
+  if ((frame[kEth] >> 4) != 4) return;
+  const std::size_t ihl = static_cast<std::size_t>(frame[kEth] & 0x0F) * 4;
+  if (ihl < Ipv4Header::kMinSize || frame.size() < kEth + ihl) return;
+  const std::uint16_t total_len =
+      static_cast<std::uint16_t>(frame[kEth + 2]) << 8 | frame[kEth + 3];
+  if (total_len < ihl || frame.size() < kEth + total_len) return;
+  const std::uint16_t l4_len = static_cast<std::uint16_t>(total_len - ihl);
+  const std::uint8_t proto = frame[kEth + 9];
+  const std::size_t l4_start = kEth + ihl;
+
+  std::size_t csum_off;
+  if (proto == ipproto::kTcp && l4_len >= TcpHeader::kMinSize) {
+    csum_off = l4_start + 16;
+  } else if (proto == ipproto::kUdp && l4_len >= UdpHeader::kSize) {
+    csum_off = l4_start + 6;
+  } else {
+    return;
+  }
+
+  frame[csum_off] = 0;
+  frame[csum_off + 1] = 0;
+  const std::uint32_t src = static_cast<std::uint32_t>(frame[kEth + 12]) << 24 |
+                            static_cast<std::uint32_t>(frame[kEth + 13]) << 16 |
+                            static_cast<std::uint32_t>(frame[kEth + 14]) << 8 | frame[kEth + 15];
+  const std::uint32_t dst = static_cast<std::uint32_t>(frame[kEth + 16]) << 24 |
+                            static_cast<std::uint32_t>(frame[kEth + 17]) << 16 |
+                            static_cast<std::uint32_t>(frame[kEth + 18]) << 8 | frame[kEth + 19];
+  std::uint32_t sum = pseudo_header_sum(src, dst, proto, l4_len);
+  sum = checksum_partial(std::span<const std::uint8_t>(frame.data() + l4_start, l4_len), sum);
+  std::uint16_t csum = checksum_finish(sum);
+  // RFC 768: a computed UDP checksum of zero is transmitted as all ones.
+  if (proto == ipproto::kUdp && csum == 0) csum = 0xFFFF;
+  frame[csum_off] = static_cast<std::uint8_t>(csum >> 8);
+  frame[csum_off + 1] = static_cast<std::uint8_t>(csum);
 }
 
 }  // namespace entrace

@@ -49,4 +49,11 @@ std::vector<std::uint8_t> make_ipx_frame(const MacAddress& src_node, const MacAd
 // nothing in the analysis depends on payload entropy).
 std::vector<std::uint8_t> filler_payload(std::size_t len);
 
+// Recompute the TCP or UDP checksum of a complete Ethernet+IPv4 frame in
+// place (pseudo-header per RFC 793/768).  No-op for non-TCP/UDP frames or
+// frames too short to carry the transport header.  Used by the frame
+// builders above and by the fault injector when it rewrites header fields
+// but wants the checksum to stay valid.
+void fix_l4_checksum(std::vector<std::uint8_t>& frame);
+
 }  // namespace entrace

@@ -1,17 +1,55 @@
 #include "pcap/reader.h"
 
 #include <array>
+#include <cstdio>
 #include <stdexcept>
 
 #include "pcap/format.h"
 
 namespace entrace {
+namespace {
 
-PcapReader::PcapReader(const std::string& path) : file_(std::fopen(path.c_str(), "rb")) {
-  if (!file_) throw std::runtime_error("PcapReader: cannot open " + path);
+// Sanity cap on caplen: no sane Ethernet capture has records this large, so
+// a bigger value means the record header itself is garbage and the stream
+// position can no longer be trusted.
+constexpr std::uint32_t kMaxCapLen = 256 * 1024;
+
+std::string hex32(std::uint32_t v) {
+  char buf[11];
+  std::snprintf(buf, sizeof(buf), "0x%08X", v);
+  return buf;
+}
+
+}  // namespace
+
+PcapReader::PcapReader(const std::string& path) {
+  const std::string err = init(path);
+  if (!err.empty()) throw std::runtime_error(err);
+}
+
+PcapReader::~PcapReader() = default;
+
+std::unique_ptr<PcapReader> PcapReader::open(const std::string& path, std::string* error) {
+  std::unique_ptr<PcapReader> reader(new PcapReader());
+  reader->recover_ = true;
+  const std::string err = reader->init(path);
+  if (!err.empty()) {
+    if (error) *error = err;
+    return nullptr;
+  }
+  return reader;
+}
+
+std::string PcapReader::init(const std::string& path) {
+  file_.reset(std::fopen(path.c_str(), "rb"));
+  if (!file_) return "PcapReader: cannot open " + path;
   std::array<std::uint8_t, pcapfmt::kGlobalHeaderSize> hdr;
-  if (std::fread(hdr.data(), 1, hdr.size(), file_.get()) != hdr.size())
-    throw std::runtime_error("PcapReader: short global header in " + path);
+  const std::size_t got = std::fread(hdr.data(), 1, hdr.size(), file_.get());
+  if (got == 0) return "PcapReader: " + path + " is empty (no pcap global header)";
+  if (got < hdr.size()) {
+    return "PcapReader: short global header in " + path + " (got " + std::to_string(got) +
+           " of " + std::to_string(hdr.size()) + " bytes)";
+  }
   // Magic read little-endian first.
   const std::uint32_t magic_le = static_cast<std::uint32_t>(hdr[0]) |
                                  static_cast<std::uint32_t>(hdr[1]) << 8 |
@@ -22,13 +60,15 @@ PcapReader::PcapReader(const std::string& path) : file_(std::fopen(path.c_str(),
   } else if (magic_le == pcapfmt::kMagicUsecSwap) {
     swapped_ = true;
   } else {
-    throw std::runtime_error("PcapReader: bad magic in " + path);
+    return "PcapReader: bad magic " + hex32(magic_le) + " at offset 0 in " + path +
+           " (expected " + hex32(pcapfmt::kMagicUsec) + " or " + hex32(pcapfmt::kMagicUsecSwap) +
+           ")";
   }
   snaplen_ = read_u32(hdr.data() + 16);
   link_type_ = read_u32(hdr.data() + 20);
+  offset_ = hdr.size();
+  return "";
 }
-
-PcapReader::~PcapReader() = default;
 
 std::uint32_t PcapReader::read_u32(const std::uint8_t* p) const {
   if (!swapped_) {
@@ -40,20 +80,39 @@ std::uint32_t PcapReader::read_u32(const std::uint8_t* p) const {
 }
 
 std::optional<RawPacket> PcapReader::next() {
+  if (!file_) return std::nullopt;
   std::array<std::uint8_t, pcapfmt::kRecordHeaderSize> rec;
-  if (std::fread(rec.data(), 1, rec.size(), file_.get()) != rec.size()) return std::nullopt;
+  const std::size_t hdr_got = std::fread(rec.data(), 1, rec.size(), file_.get());
+  offset_ += hdr_got;
+  if (hdr_got < rec.size()) {
+    // A clean EOF lands exactly on a record boundary; leftover bytes mean
+    // the file was cut mid-header.
+    if (hdr_got > 0) anomalies_.add(AnomalyKind::kPcapShortRecordHeader);
+    return std::nullopt;
+  }
   const std::uint32_t sec = read_u32(rec.data());
   const std::uint32_t usec = read_u32(rec.data() + 4);
   const std::uint32_t caplen = read_u32(rec.data() + 8);
   const std::uint32_t wirelen = read_u32(rec.data() + 12);
-  // Guard against absurd record lengths from corrupt files.
-  if (caplen > 256 * 1024) return std::nullopt;
+  // Guard against absurd record lengths from corrupt files.  The stream
+  // position cannot be trusted past this point, so reading stops here.
+  if (caplen > kMaxCapLen) {
+    anomalies_.add(AnomalyKind::kPcapOversizedRecord);
+    return std::nullopt;
+  }
 
   RawPacket pkt;
   pkt.ts = static_cast<double>(sec) + static_cast<double>(usec) * 1e-6;
   pkt.wire_len = wirelen;
   pkt.data.resize(caplen);
-  if (std::fread(pkt.data.data(), 1, caplen, file_.get()) != caplen) return std::nullopt;
+  const std::size_t body_got = std::fread(pkt.data.data(), 1, caplen, file_.get());
+  offset_ += body_got;
+  if (body_got < caplen) {
+    anomalies_.add(AnomalyKind::kPcapTruncatedRecord);
+    if (!recover_ || body_got == 0) return std::nullopt;
+    // Salvage the partial capture; downstream sees it as extra truncation.
+    pkt.data.resize(body_got);
+  }
   return pkt;
 }
 

@@ -1,4 +1,15 @@
 // pcap capture-file reader; handles both byte orders.
+//
+// Two error-handling modes:
+//  - The throwing constructor (legacy): std::runtime_error on open failure
+//    or a malformed global header; truncated trailing records are dropped
+//    and treated as EOF (as tcpdump does).
+//  - PcapReader::open(): returns nullptr + a descriptive error instead of
+//    throwing, and next() runs in recoverable mode — a record whose body is
+//    cut off by EOF is salvaged (the partial bytes are returned as a
+//    snap-style truncated capture) and counted in anomalies().
+// In both modes every corrupt-record condition is classified into
+// anomalies() so callers can account for what the file actually contained.
 #pragma once
 
 #include <cstdio>
@@ -6,27 +17,43 @@
 #include <optional>
 #include <string>
 
+#include "net/anomaly.h"
 #include "net/packet.h"
 
 namespace entrace {
 
 class PcapReader {
  public:
-  // Throws std::runtime_error on open failure or bad magic.
+  // Throws std::runtime_error on open failure or a bad global header.
+  // Error messages name the file, the byte offset, and (for bad magic) the
+  // observed magic value.
   explicit PcapReader(const std::string& path);
   ~PcapReader();
 
   PcapReader(const PcapReader&) = delete;
   PcapReader& operator=(const PcapReader&) = delete;
 
-  // Next packet, or nullopt at end of file.  Truncated trailing records
-  // are treated as EOF (as tcpdump does).
+  // Non-throwing factory: returns nullptr and fills *error on failure.
+  // The returned reader salvages partially captured trailing records
+  // instead of dropping them.
+  static std::unique_ptr<PcapReader> open(const std::string& path, std::string* error);
+
+  // Next packet, or nullopt at end of file.  Corrupt-record conditions
+  // (short record header, truncated body, absurd caplen) are counted in
+  // anomalies(); see the class comment for per-mode recovery behavior.
   std::optional<RawPacket> next();
 
   std::uint32_t snaplen() const { return snaplen_; }
   std::uint32_t link_type() const { return link_type_; }
 
+  // File-level anomalies observed so far (pcap record layer only).
+  const AnomalyCounts& anomalies() const { return anomalies_; }
+
  private:
+  PcapReader() = default;  // used by open()
+
+  // Opens and validates the global header; returns an error message or "".
+  std::string init(const std::string& path);
   std::uint32_t read_u32(const std::uint8_t* p) const;
 
   struct FileCloser {
@@ -36,8 +63,11 @@ class PcapReader {
   };
   std::unique_ptr<std::FILE, FileCloser> file_;
   bool swapped_ = false;
+  bool recover_ = false;
   std::uint32_t snaplen_ = 0;
   std::uint32_t link_type_ = 0;
+  std::uint64_t offset_ = 0;  // file offset of the next unread byte
+  AnomalyCounts anomalies_;
 };
 
 }  // namespace entrace

@@ -24,18 +24,35 @@ void Trace::save(const std::string& path) const {
   for (const auto& p : packets) writer.write(p);
 }
 
-Trace Trace::load(const std::string& path, const std::string& name, int subnet_id) {
-  PcapReader reader(path);
+namespace {
+
+Trace drain_reader(PcapReader& reader, const std::string& path, const std::string& name,
+                   int subnet_id) {
   Trace t;
   t.name = name.empty() ? path : name;
   t.subnet_id = subnet_id;
   t.snaplen = reader.snaplen();
   while (auto pkt = reader.next()) t.packets.push_back(std::move(*pkt));
+  t.file_anomalies = reader.anomalies();
   if (!t.packets.empty()) {
     t.start_ts = t.packets.front().ts;
     t.duration = t.packets.back().ts - t.packets.front().ts;
   }
   return t;
+}
+
+}  // namespace
+
+Trace Trace::load(const std::string& path, const std::string& name, int subnet_id) {
+  PcapReader reader(path);
+  return drain_reader(reader, path, name, subnet_id);
+}
+
+std::optional<Trace> Trace::try_load(const std::string& path, const std::string& name,
+                                     int subnet_id, std::string* error) {
+  auto reader = PcapReader::open(path, error);
+  if (!reader) return std::nullopt;
+  return drain_reader(*reader, path, name, subnet_id);
 }
 
 std::uint64_t TraceSet::total_packets() const {

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "net/anomaly.h"
 #include "net/packet.h"
 
 namespace entrace {
@@ -22,6 +24,9 @@ struct Trace {
   double start_ts = 0.0;   // capture window start (trace epoch seconds)
   double duration = 0.0;   // capture window length
   std::vector<RawPacket> packets;
+  // pcap-record-layer anomalies observed while loading this trace from a
+  // file (empty for generated traces).
+  AnomalyCounts file_anomalies;
 
   std::uint64_t total_wire_bytes() const;
   // Apply snaplen truncation in place (models the capture filter; the
@@ -31,6 +36,13 @@ struct Trace {
   // Round-trip through the pcap file format.
   void save(const std::string& path) const;
   static Trace load(const std::string& path, const std::string& name = "", int subnet_id = -1);
+
+  // Non-throwing load in the reader's recoverable mode: corrupt trailing
+  // records are salvaged/skipped and counted in file_anomalies.  Returns
+  // nullopt and fills *error when the file itself cannot be opened or has a
+  // malformed global header.
+  static std::optional<Trace> try_load(const std::string& path, const std::string& name = "",
+                                       int subnet_id = -1, std::string* error = nullptr);
 };
 
 struct TraceSet {

@@ -155,6 +155,7 @@ void CifsParser::on_data(Connection& conn, Direction dir, double ts,
   buf.append(data);
   if (buf.overflowed()) {
     broken_ = true;
+    note_anomaly(AnomalyKind::kAppParseError);
     return;
   }
   parse_stream(conn, dir, ts, buf);
@@ -183,7 +184,9 @@ void CifsParser::parse_stream(Connection& conn, Direction dir, double ts, Stream
         handle_smb(conn, dir, ts, payload, len + 4);
         break;
       default:
+        // Unknown NBSS frame type: the framing is lost, bail on the stream.
         broken_ = true;
+        note_anomaly(AnomalyKind::kAppParseError);
         return;
     }
     buf.consume(4 + len);
@@ -206,6 +209,7 @@ void CifsParser::handle_smb(Connection& conn, Direction dir, double ts,
   ByteReader r(smb);
   if (r.u8() != 0xFF || r.string(3) != "SMB") {
     broken_ = true;
+    note_anomaly(AnomalyKind::kAppParseError);
     return;
   }
   const std::uint8_t cmd = r.u8();
@@ -223,7 +227,11 @@ void CifsParser::handle_smb(Connection& conn, Direction dir, double ts,
   auto words = r.bytes(static_cast<std::size_t>(word_count) * 2);
   const std::uint16_t byte_count = r.u16le();
   auto bytes = r.bytes(byte_count);
-  if (!r.ok()) return;
+  if (!r.ok()) {
+    // SMB message shorter than its own word/byte counts claim.
+    note_anomaly(AnomalyKind::kAppParseError);
+    return;
+  }
 
   auto word_u16 = [&words](std::size_t idx) -> std::uint16_t {
     if (words.size() < (idx + 1) * 2) return 0;
@@ -264,9 +272,9 @@ void CifsParser::handle_smb(Connection& conn, Direction dir, double ts,
         PipeState& ps = pipe_state(fid);
         std::vector<DcePdu> pdus;
         if (cmd == smbcmd::kWriteAndX && dir == Direction::kOrigToResp) {
-          ps.to_server.feed(bytes, pdus);
+          ps.to_server.feed(bytes, pdus, anomaly_sink());
         } else if (cmd == smbcmd::kReadAndX && dir == Direction::kRespToOrig) {
-          ps.to_client.feed(bytes, pdus);
+          ps.to_client.feed(bytes, pdus, anomaly_sink());
         }
         for (const auto& pdu : pdus) ps.session->handle_pdu(conn, ts, pdu);
       }

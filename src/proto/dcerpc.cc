@@ -232,14 +232,21 @@ std::optional<DcePdu> decode_dce_pdu(std::span<const std::uint8_t> data) {
   return pdu;
 }
 
-void DceRpcStream::feed(std::span<const std::uint8_t> data, std::vector<DcePdu>& out) {
+void DceRpcStream::feed(std::span<const std::uint8_t> data, std::vector<DcePdu>& out,
+                        AnomalyCounts* anomalies) {
   buf_.append(data);
-  if (buf_.overflowed()) return;
+  if (buf_.overflowed()) {
+    if (anomalies && !overflow_noted_) anomalies->add(AnomalyKind::kAppParseError);
+    overflow_noted_ = true;
+    return;
+  }
+  bool resynced = false;  // count a contiguous resync run once, not per byte
   for (;;) {
     auto avail = buf_.data();
-    if (avail.size() < kPduHeaderSize) return;
+    if (avail.size() < kPduHeaderSize) break;
     // Resync on garbage: a PDU must start with version 5 and a known ptype.
     if (avail[0] != 5 || avail[2] > 13) {
+      resynced = true;
       buf_.consume(1);
       continue;
     }
@@ -247,13 +254,19 @@ void DceRpcStream::feed(std::span<const std::uint8_t> data, std::vector<DcePdu>&
     const std::uint16_t frag_len = static_cast<std::uint16_t>(avail[8]) |
                                    static_cast<std::uint16_t>(avail[9]) << 8;
     if (frag_len < kPduHeaderSize) {  // malformed: resync by dropping a byte
+      resynced = true;
       buf_.consume(1);
       continue;
     }
-    if (avail.size() < frag_len) return;
-    if (auto pdu = decode_dce_pdu(avail.first(frag_len))) out.push_back(std::move(*pdu));
+    if (avail.size() < frag_len) break;
+    if (auto pdu = decode_dce_pdu(avail.first(frag_len))) {
+      out.push_back(std::move(*pdu));
+    } else {
+      resynced = true;  // header looked sane but the PDU body was malformed
+    }
     buf_.consume(frag_len);
   }
+  if (resynced && anomalies) anomalies->add(AnomalyKind::kAppParseError);
 }
 
 DceRpcSession::DceRpcSession(std::vector<DceRpcCall>& calls, std::vector<EpmMapping>& mappings,
@@ -317,7 +330,7 @@ DceRpcParser::DceRpcParser(std::vector<DceRpcCall>& calls, std::vector<EpmMappin
 void DceRpcParser::on_data(Connection& conn, Direction dir, double ts,
                            std::span<const std::uint8_t> data) {
   std::vector<DcePdu> pdus;
-  (dir == Direction::kOrigToResp ? orig_stream_ : resp_stream_).feed(data, pdus);
+  (dir == Direction::kOrigToResp ? orig_stream_ : resp_stream_).feed(data, pdus, anomaly_sink());
   for (const auto& pdu : pdus) session_.handle_pdu(conn, ts, pdu);
 }
 

@@ -67,11 +67,15 @@ std::optional<DcePdu> decode_dce_pdu(std::span<const std::uint8_t> data);
 // Reassembles a byte stream into PDUs.
 class DceRpcStream {
  public:
-  // Feed data; complete PDUs are appended to `out`.
-  void feed(std::span<const std::uint8_t> data, std::vector<DcePdu>& out);
+  // Feed data; complete PDUs are appended to `out`.  When `anomalies` is
+  // non-null, garbage-byte resyncs (once per contiguous run) and buffer
+  // overflow (once per stream) are counted as kAppParseError.
+  void feed(std::span<const std::uint8_t> data, std::vector<DcePdu>& out,
+            AnomalyCounts* anomalies = nullptr);
 
  private:
   StreamBuffer buf_;
+  bool overflow_noted_ = false;
 };
 
 // Sink shared by the stand-alone parser and the CIFS pipe path: translates

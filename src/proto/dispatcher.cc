@@ -13,14 +13,20 @@
 namespace entrace {
 
 ProtocolDispatcher::ProtocolDispatcher(AppRegistry& registry, AppEvents& events,
-                                       bool payload_analysis)
-    : registry_(registry), events_(events), payload_analysis_(payload_analysis) {}
+                                       bool payload_analysis, AnomalyCounts* anomalies)
+    : registry_(registry),
+      events_(events),
+      payload_analysis_(payload_analysis),
+      anomalies_(anomalies) {}
 
 void ProtocolDispatcher::on_new_connection(Connection& conn) {
   const AppProtocol app = registry_.identify(conn);
   conn.app_id = static_cast<std::uint16_t>(app);
   if (!payload_analysis_) return;
-  if (auto parser = make_parser(conn, app)) parsers_[&conn] = std::move(parser);
+  if (auto parser = make_parser(conn, app)) {
+    parser->set_anomaly_sink(anomalies_);
+    parsers_[&conn] = std::move(parser);
+  }
 }
 
 std::unique_ptr<AppParser> ProtocolDispatcher::make_parser(const Connection& conn,

@@ -20,7 +20,10 @@ class ProtocolDispatcher : public FlowObserver {
  public:
   // payload_analysis=false (header-only snaplen datasets D1/D2) identifies
   // connections but runs no payload parsers, as in the paper.
-  ProtocolDispatcher(AppRegistry& registry, AppEvents& events, bool payload_analysis);
+  // `anomalies` (optional) receives kAppParseError counts from the stream
+  // parsers; it must outlive the dispatcher.
+  ProtocolDispatcher(AppRegistry& registry, AppEvents& events, bool payload_analysis,
+                     AnomalyCounts* anomalies = nullptr);
 
   void on_new_connection(Connection& conn) override;
   void on_data(Connection& conn, Direction dir, double ts, std::span<const std::uint8_t> data,
@@ -34,6 +37,7 @@ class ProtocolDispatcher : public FlowObserver {
   AppRegistry& registry_;
   AppEvents& events_;
   bool payload_analysis_;
+  AnomalyCounts* anomalies_;
   std::unordered_map<const Connection*, std::unique_ptr<AppParser>> parsers_;
   std::size_t registered_epm_ = 0;
 };

@@ -109,7 +109,10 @@ void DnsParser::on_data(Connection& conn, Direction dir, double ts,
   // dominates the traces.
   (void)dir;
   auto msg = decode_dns(data);
-  if (!msg) return;
+  if (!msg) {
+    note_anomaly(AnomalyKind::kAppParseError);
+    return;
+  }
   if (!msg->is_response) {
     DnsTransaction txn;
     txn.conn = &conn;

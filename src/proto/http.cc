@@ -58,6 +58,7 @@ void HttpParser::on_data(Connection& conn, Direction dir, double ts,
     client_buf_.append(data);
     if (client_buf_.overflowed()) {
       client_broken_ = true;
+      note_anomaly(AnomalyKind::kAppParseError);
       return;
     }
     parse_requests(conn, ts);
@@ -66,6 +67,7 @@ void HttpParser::on_data(Connection& conn, Direction dir, double ts,
     server_buf_.append(data);
     if (server_buf_.overflowed()) {
       server_broken_ = true;
+      note_anomaly(AnomalyKind::kAppParseError);
       return;
     }
     parse_responses(conn, ts);
@@ -83,6 +85,7 @@ void HttpParser::parse_requests(Connection& conn, double ts) {
     if (parts.size() < 3 || !parts[2].starts_with("HTTP/")) {
       // Not HTTP after all; stop parsing this connection.
       client_broken_ = true;
+      note_anomaly(AnomalyKind::kAppParseError);
       return;
     }
     HttpTransaction txn;
@@ -111,6 +114,7 @@ void HttpParser::parse_responses(Connection& conn, double ts) {
         line_end == std::string_view::npos ? block : block.substr(0, line_end);
     if (!status_line.starts_with("HTTP/")) {
       server_broken_ = true;
+      note_anomaly(AnomalyKind::kAppParseError);
       return;
     }
     const auto parts = split(status_line, ' ');

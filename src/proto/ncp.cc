@@ -66,19 +66,26 @@ NcpParser::NcpParser(std::vector<NcpCall>& out) : out_(out) {}
 void NcpParser::on_data(Connection& conn, Direction dir, double ts,
                         std::span<const std::uint8_t> data) {
   StreamBuffer& buf = dir == Direction::kOrigToResp ? orig_buf_ : resp_buf_;
+  if (broken_) return;
   buf.append(data);
-  if (buf.overflowed()) return;
+  if (buf.overflowed()) {
+    broken_ = true;
+    note_anomaly(AnomalyKind::kAppParseError);
+    return;
+  }
+  bool resynced = false;  // count a contiguous resync run once, not per byte
   for (;;) {
     auto avail = buf.data();
-    if (avail.size() < kFrameHeader + kNcpHeader) return;
+    if (avail.size() < kFrameHeader + kNcpHeader) break;
     ByteReader r(avail);
     const std::uint32_t sig = r.u32be();
     const std::uint32_t total = r.u32be();
     if (sig != kNcpSignature || total < kFrameHeader + kNcpHeader || total > 1 << 20) {
+      resynced = true;
       buf.consume(1);  // resync
       continue;
     }
-    if (avail.size() < total) return;
+    if (avail.size() < total) break;
     NcpMessage msg;
     const std::uint16_t type = r.u16be();
     msg.is_request = type == 0x2222;
@@ -96,6 +103,7 @@ void NcpParser::on_data(Connection& conn, Direction dir, double ts,
     handle_message(conn, ts, msg);
     buf.consume(total);
   }
+  if (resynced) note_anomaly(AnomalyKind::kAppParseError);
 }
 
 void NcpParser::handle_message(Connection& conn, double ts, const NcpMessage& msg) {

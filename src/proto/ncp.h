@@ -59,6 +59,7 @@ class NcpParser : public AppParser {
   void handle_message(Connection& conn, double ts, const NcpMessage& msg);
 
   std::vector<NcpCall>& out_;
+  bool broken_ = false;  // a stream buffer overflowed; stop parsing
   StreamBuffer orig_buf_;
   StreamBuffer resp_buf_;
   std::map<std::uint8_t, NcpCall> pending_;

@@ -121,7 +121,10 @@ void NbnsParser::on_data(Connection& conn, Direction dir, double ts,
                          std::span<const std::uint8_t> data) {
   (void)dir;
   auto msg = decode_nbns(data);
-  if (!msg) return;
+  if (!msg) {
+    note_anomaly(AnomalyKind::kAppParseError);
+    return;
+  }
   if (!msg->is_response) {
     NbnsTransaction txn;
     txn.conn = &conn;

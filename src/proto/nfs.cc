@@ -105,29 +105,40 @@ void NfsParser::on_data(Connection& conn, Direction dir, double ts,
     return;
   }
   StreamBuffer& buf = dir == Direction::kOrigToResp ? orig_buf_ : resp_buf_;
+  if (broken_) return;
   buf.append(data);
-  if (buf.overflowed()) return;
+  if (buf.overflowed()) {
+    broken_ = true;
+    note_anomaly(AnomalyKind::kAppParseError);
+    return;
+  }
+  bool resynced = false;  // count a contiguous resync run once, not per byte
   for (;;) {
     auto avail = buf.data();
-    if (avail.size() < 4) return;
+    if (avail.size() < 4) break;
     const std::uint32_t mark = (static_cast<std::uint32_t>(avail[0]) << 24) |
                                (static_cast<std::uint32_t>(avail[1]) << 16) |
                                (static_cast<std::uint32_t>(avail[2]) << 8) | avail[3];
     const std::uint32_t len = mark & 0x7FFFFFFF;
     if (len > 1 << 20) {  // implausible: resync
+      resynced = true;
       buf.consume(1);
       continue;
     }
-    if (avail.size() < 4 + len) return;
+    if (avail.size() < 4 + len) break;
     handle_message(conn, ts, avail.subspan(4, len), len);
     buf.consume(4 + len);
   }
+  if (resynced) note_anomaly(AnomalyKind::kAppParseError);
 }
 
 void NfsParser::handle_message(Connection& conn, double ts, std::span<const std::uint8_t> msg,
                                std::uint32_t wire_len) {
   auto rpc = decode_rpc(msg);
-  if (!rpc) return;
+  if (!rpc) {
+    note_anomaly(AnomalyKind::kAppParseError);
+    return;
+  }
   const std::uint32_t size = std::max(wire_len, rpc->body_len);
   if (rpc->is_call) {
     if (rpc->prog != kNfsProgram) return;

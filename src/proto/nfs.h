@@ -61,6 +61,7 @@ class NfsParser : public AppParser {
 
   std::vector<NfsCall>& out_;
   bool is_tcp_;
+  bool broken_ = false;  // a stream buffer overflowed; stop parsing
   StreamBuffer orig_buf_;
   StreamBuffer resp_buf_;
   std::map<std::uint32_t, NfsCall> pending_;

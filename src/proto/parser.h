@@ -6,12 +6,18 @@
 #include <span>
 
 #include "flow/connection.h"
+#include "net/anomaly.h"
 
 namespace entrace {
 
 class AppParser {
  public:
   virtual ~AppParser() = default;
+
+  // Where parse anomalies (bails, resyncs on garbage bytes) are counted.
+  // The dispatcher installs the per-shard sink right after construction;
+  // parsers without a sink simply don't count.
+  void set_anomaly_sink(AnomalyCounts* sink) { anomaly_sink_ = sink; }
   virtual void on_data(Connection& conn, Direction dir, double ts,
                        std::span<const std::uint8_t> data) = 0;
   // UDP datagrams additionally carry the wire length, which can exceed the
@@ -22,6 +28,15 @@ class AppParser {
     on_data(conn, dir, ts, data);
   }
   virtual void on_close(Connection& conn) { (void)conn; }
+
+ protected:
+  void note_anomaly(AnomalyKind kind) {
+    if (anomaly_sink_) anomaly_sink_->add(kind);
+  }
+  AnomalyCounts* anomaly_sink() const { return anomaly_sink_; }
+
+ private:
+  AnomalyCounts* anomaly_sink_ = nullptr;
 };
 
 }  // namespace entrace

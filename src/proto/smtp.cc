@@ -11,8 +11,13 @@ SmtpParser::SmtpParser(std::vector<SmtpCommand>& out) : out_(out) {}
 void SmtpParser::on_data(Connection& conn, Direction dir, double ts,
                          std::span<const std::uint8_t> data) {
   if (dir != Direction::kOrigToResp) return;  // only command stream
+  if (broken_) return;
   client_buf_.append(data);
-  if (client_buf_.overflowed()) return;
+  if (client_buf_.overflowed()) {
+    broken_ = true;
+    note_anomaly(AnomalyKind::kAppParseError);
+    return;
+  }
   for (;;) {
     const std::string_view buf(reinterpret_cast<const char*>(client_buf_.data().data()),
                                client_buf_.data().size());

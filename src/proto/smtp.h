@@ -23,6 +23,7 @@ class SmtpParser : public AppParser {
   std::vector<SmtpCommand>& out_;
   StreamBuffer client_buf_;
   bool in_data_ = false;  // between DATA and the dot terminator
+  bool broken_ = false;   // command buffer overflowed; stop parsing
 };
 
 }  // namespace entrace

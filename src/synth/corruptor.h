@@ -1,0 +1,89 @@
+// Wire-level fault injector: takes a clean synthetic trace and
+// deterministically (seeded Rng) injects the measurement artifacts real
+// captures exhibit — truncated captures and snaplen clipping, flipped bytes
+// in L2/L3/L4 headers and application payloads, bad IP/TCP/UDP checksums,
+// garbage IP/TCP options, duplicated and reordered segments, mid-stream
+// loss, and zero-length / port-0 packets.
+//
+// The injector is the test harness for the anomaly taxonomy (net/anomaly.h):
+// corruption_test.cc drives every synthetic application's traffic through
+// corrupted traces and asserts the pipeline never crashes, accounts for
+// every packet, and degrades gracefully.
+//
+// Corruption is a pure function of (clean trace bytes, config): each trace
+// is corrupted with an Rng forked from config.seed by trace index, so a
+// corrupted TraceSet is bit-identical regardless of how many threads later
+// analyze it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "pcap/trace.h"
+#include "util/rng.h"
+
+namespace entrace {
+
+enum class FaultKind : std::uint8_t {
+  kTruncateCapture,   // clip captured bytes at a random offset (wire_len kept)
+  kZeroCapture,       // capture reduced to zero bytes
+  kFlipL2,            // flip a byte in the Ethernet header [0, 14)
+  kFlipL3,            // flip a byte in the IP header [14, 34)
+  kFlipL4,            // flip a byte in the transport header [34, 54)
+  kFlipPayload,       // flip a byte in the application payload [54, ...)
+  kBadIpChecksum,     // corrupt the IPv4 header checksum field only
+  kBadL4Checksum,     // corrupt the TCP/UDP checksum field only
+  kGarbageIpOptions,  // raise the IHL nibble so bogus "options" appear
+  kGarbageTcpOptions, // rewrite the TCP data-offset nibble
+  kDuplicate,         // emit the segment twice back to back
+  kReorder,           // swap the segment with its predecessor
+  kDrop,              // remove the segment (mid-stream loss)
+  kPortZero,          // rewrite src or dst port to 0 (checksum re-fixed)
+  kCount
+};
+
+inline constexpr std::size_t kFaultKindCount = static_cast<std::size_t>(FaultKind::kCount);
+
+const char* to_string(FaultKind kind);
+
+struct CorruptionConfig {
+  std::uint64_t seed = 1;
+  // Per-packet probability of injecting one fault.
+  double rate = 0.01;
+  // Relative weights of the fault kinds, indexed by FaultKind.  Zero a kind
+  // to disable it.  Defaults to uniform.
+  std::array<double, kFaultKindCount> weights = [] {
+    std::array<double, kFaultKindCount> w;
+    w.fill(1.0);
+    return w;
+  }();
+};
+
+// Tally of faults actually applied (a selected fault can fall back to a
+// byte flip when the packet is too short for it; the tally records what was
+// done, not what was drawn).
+struct CorruptionSummary {
+  std::array<std::uint64_t, kFaultKindCount> applied{};
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto c : applied) sum += c;
+    return sum;
+  }
+  void merge(const CorruptionSummary& other) {
+    for (std::size_t i = 0; i < kFaultKindCount; ++i) applied[i] += other.applied[i];
+  }
+  std::map<std::string, std::uint64_t> as_map() const;
+};
+
+// Corrupt one trace in place with the given Rng stream.
+CorruptionSummary corrupt_trace(Trace& trace, const CorruptionConfig& config, Rng rng);
+
+// Corrupt every trace of a dataset in place; trace i uses the Rng stream
+// forked from config.seed by i, so the result does not depend on traversal
+// or analysis threading.
+CorruptionSummary corrupt_dataset(TraceSet& traces, const CorruptionConfig& config);
+
+}  // namespace entrace

@@ -111,6 +111,165 @@ TEST(Pcap, ReaderHandlesSwappedByteOrder) {
   std::remove(path.c_str());
 }
 
+TEST(Pcap, EmptyFileErrorIsDistinctFromBadMagic) {
+  const std::string path = temp_path("entrace_empty.pcap");
+  std::fclose(std::fopen(path.c_str(), "wb"));
+  try {
+    PcapReader reader(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("empty"), std::string::npos) << what;
+    EXPECT_EQ(what.find("bad magic"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ShortGlobalHeaderErrorNamesByteCount) {
+  const std::string path = temp_path("entrace_shorthdr.pcap");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const std::uint8_t magic[4] = {0xD4, 0xC3, 0xB2, 0xA1};
+  std::fwrite(magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  try {
+    PcapReader reader(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("short global header"), std::string::npos) << what;
+    EXPECT_NE(what.find("4"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, BadMagicErrorNamesOffsetAndObservedValue) {
+  const std::string path = temp_path("entrace_badmagic.pcap");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[24] = "not a pcap file at all";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  try {
+    PcapReader reader(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad magic"), std::string::npos) << what;
+    // 'n','o','t',' ' read little-endian is 0x20746F6E.
+    EXPECT_NE(what.find("0x20746F6E"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset 0"), std::string::npos) << what;
+  }
+  // The non-throwing factory reports the same message instead of throwing.
+  std::string error;
+  EXPECT_EQ(PcapReader::open(path, &error), nullptr);
+  EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+// A capture cut off mid-record (tracer killed, disk full): the throwing
+// reader drops the partial trailing record as EOF; the recoverable reader
+// salvages the bytes it got.  Both classify the damage.
+class PcapTruncationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = temp_path("entrace_midrec.pcap");
+    {
+      // Scoped: the writer must flush and close before the file is cut.
+      PcapWriter writer(path_, 1500);
+      writer.write(sample_packet(1.0, 100));  // frame: 14+20+8+100 = 142 bytes
+      writer.write(sample_packet(2.0, 300));  // frame: 342 bytes
+    }
+    // Global header 24 + (16 + 142) + 16 record header + 100 of 342 body.
+    std::filesystem::resize_file(path_, 24 + 16 + 142 + 16 + 100);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(PcapTruncationTest, ThrowingReaderDropsPartialTrailingRecord) {
+  PcapReader reader(path_);
+  auto p1 = reader.next();
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->data.size(), 142u);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.anomalies()[AnomalyKind::kPcapTruncatedRecord], 1u);
+}
+
+TEST_F(PcapTruncationTest, RecoverableReaderSalvagesPartialBody) {
+  std::string error;
+  auto reader = PcapReader::open(path_, &error);
+  ASSERT_NE(reader, nullptr) << error;
+  auto p1 = reader->next();
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->data.size(), 142u);
+  auto p2 = reader->next();
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->data.size(), 100u);   // the bytes that made it to disk
+  EXPECT_EQ(p2->wire_len, 342u);      // original length is still known
+  EXPECT_FALSE(reader->next().has_value());
+  EXPECT_EQ(reader->anomalies()[AnomalyKind::kPcapTruncatedRecord], 1u);
+}
+
+TEST_F(PcapTruncationTest, TryLoadSalvagesAndRecordsFileAnomalies) {
+  std::string error;
+  const auto trace = Trace::try_load(path_, "cut", 7, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  ASSERT_EQ(trace->packets.size(), 2u);
+  EXPECT_EQ(trace->packets[1].data.size(), 100u);
+  EXPECT_EQ(trace->file_anomalies[AnomalyKind::kPcapTruncatedRecord], 1u);
+}
+
+TEST(Pcap, TryLoadReportsUnopenableFile) {
+  std::string error;
+  const auto trace = Trace::try_load(temp_path("entrace_does_not_exist.pcap"),
+                                     "missing", -1, &error);
+  EXPECT_FALSE(trace.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Pcap, SwappedByteOrderMultiRecordWithShortTrailer) {
+  const std::string path = temp_path("entrace_swapped_multi.pcap");
+  // Hand-build a big-endian pcap file: two records plus 8 stray trailing
+  // bytes (too short even for a record header).
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  auto be32 = [&f](std::uint32_t v) {
+    std::uint8_t b[4] = {static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+                         static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+    std::fwrite(b, 1, 4, f);
+  };
+  auto be16 = [&f](std::uint16_t v) {
+    std::uint8_t b[2] = {static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+    std::fwrite(b, 1, 2, f);
+  };
+  be32(pcapfmt::kMagicUsec);
+  be16(2);
+  be16(4);
+  be32(0);
+  be32(0);
+  be32(1500);
+  be32(1);
+  const std::uint8_t payload[6] = {1, 2, 3, 4, 5, 6};
+  be32(10); be32(250000); be32(4); be32(4);
+  std::fwrite(payload, 1, 4, f);
+  be32(11); be32(750000); be32(6); be32(6);
+  std::fwrite(payload, 1, 6, f);
+  be32(99); be32(0);  // 8 orphan bytes: a record header needs 16
+  std::fclose(f);
+
+  PcapReader reader(path);
+  auto p1 = reader.next();
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_NEAR(p1->ts, 10.25, 1e-6);
+  ASSERT_EQ(p1->data.size(), 4u);
+  auto p2 = reader.next();
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_NEAR(p2->ts, 11.75, 1e-6);
+  ASSERT_EQ(p2->data.size(), 6u);
+  EXPECT_EQ(p2->data[5], 6);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.anomalies()[AnomalyKind::kPcapShortRecordHeader], 1u);
+  std::remove(path.c_str());
+}
+
 TEST(Trace, SaveLoadRoundTrip) {
   Trace t;
   t.name = "unit";
