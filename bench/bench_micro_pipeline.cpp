@@ -1,10 +1,20 @@
 // Micro-benchmarks (google-benchmark) of the pipeline's hot components:
 // frame decode, flow-table processing, application parsing, pcap I/O, and
-// trace generation throughput — plus a pipeline scaling study (run first,
-// before the google-benchmark suite) that measures analyze_dataset at 1, 2
-// and N threads against the seed's two-pass double-decode baseline and
-// writes BENCH_pipeline.json.  Pass --scaling-only to skip the
-// google-benchmark suite.
+// trace generation throughput — plus two studies that run first, before the
+// google-benchmark suite:
+//
+//   1. a peak-memory study comparing materialize-then-analyze against the
+//      streaming SyntheticTraceSourceSet path on a scaled-up D1 (each
+//      measurement in a fork()ed child so getrusage's lifetime ru_maxrss
+//      high-water mark is per-workload, not per-process),
+//   2. a pipeline scaling study measuring analyze_dataset at 1, 2 and N
+//      threads against the seed's two-pass double-decode baseline.
+//
+// Both write into BENCH_pipeline.json (the scaling study holds the pen).
+// Pass --scaling-only to skip the google-benchmark suite, --memory-only to
+// stop right after the memory study.  Knobs: ENTRACE_MEM_SCALE (D1 scale
+// for the memory study), ENTRACE_MEM_SLICES (regeneration slices),
+// ENTRACE_BENCH_REPS.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -16,6 +26,12 @@
 #include <string>
 #include <vector>
 
+#ifdef __unix__
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 #include "bench_common.h"
 #include "core/analyzer.h"
 #include "flow/flow_table.h"
@@ -26,6 +42,7 @@
 #include "proto/dns.h"
 #include "proto/http.h"
 #include "synth/generator.h"
+#include "synth/synth_source.h"
 #include "util/thread_pool.h"
 
 namespace entrace {
@@ -266,6 +283,128 @@ int env_int(const char* name, int fallback) {
   return v > 0 ? v : fallback;
 }
 
+double env_double(const char* name, double fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return fallback;
+  const double v = std::atof(s);
+  return v > 0 ? v : fallback;
+}
+
+// ---- peak-memory study ------------------------------------------------------
+
+struct MemoryRun {
+  std::string label;
+  std::uint64_t packets = 0;
+  double seconds = 0.0;
+  std::uint64_t peak_rss_kb = 0;
+  bool ok = false;
+};
+
+std::vector<MemoryRun> g_memory_runs;  // picked up by the JSON writer
+
+#ifdef __unix__
+// Run `workload` in a fork()ed child and report its wall time, packet count
+// and peak RSS.  ru_maxrss is a process-lifetime high-water mark, so the
+// only way to measure two workloads independently is to give each its own
+// process; fork happens before any thread is created in this binary.
+template <typename Fn>
+MemoryRun measure_in_child(const std::string& label, const Fn& workload) {
+  MemoryRun run;
+  run.label = label;
+  int fds[2];
+  if (pipe(fds) != 0) return run;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return run;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t packets = workload();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    const std::uint64_t report[3] = {
+        packets, static_cast<std::uint64_t>(seconds * 1e6),
+        static_cast<std::uint64_t>(usage.ru_maxrss)};  // KB on Linux
+    ssize_t written = write(fds[1], report, sizeof(report));
+    (void)written;
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  std::uint64_t report[3] = {0, 0, 0};
+  const ssize_t got = read(fds[0], report, sizeof(report));
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (got == sizeof(report) && WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+    run.packets = report[0];
+    run.seconds = static_cast<double>(report[1]) / 1e6;
+    run.peak_rss_kb = report[2];
+    run.ok = true;
+  }
+  return run;
+}
+#endif  // __unix__
+
+// Materialized vs streaming peak RSS on a scaled-up D1 (68-byte snaplen:
+// the paper's biggest dataset by packet count).  The materialized path is
+// what the seed pipeline did — generate the whole TraceSet, then analyze;
+// the streaming path never holds more than one regeneration slice per
+// analysis thread.
+void run_memory_study() {
+#ifdef __unix__
+  // 0.05 puts D1 at ~4.5M packets: big enough that the materialized
+  // TraceSet dominates RSS (a few GB) without risking the box.
+  const double scale = env_double("ENTRACE_MEM_SCALE", 0.05);
+  const int slices = env_int("ENTRACE_MEM_SLICES", 8);
+  std::printf("---- peak memory: materialized vs streaming (D1, scale %.3f, %d slices) ----\n",
+              scale, slices);
+
+  const MemoryRun materialized = measure_in_child("materialized", [&]() -> std::uint64_t {
+    EnterpriseModel model;
+    const DatasetSpec spec = dataset_by_name("D1", scale);
+    const AnalyzerConfig config = default_config_for_model(model.site());
+    const TraceSet set = generate_dataset(spec, model);
+    const DatasetAnalysis a = analyze_dataset(set, config);
+    benchmark::DoNotOptimize(a.total_packets);
+    return a.quality.packets_seen;
+  });
+  const MemoryRun streaming = measure_in_child("streaming", [&]() -> std::uint64_t {
+    EnterpriseModel model;
+    const DatasetSpec spec = dataset_by_name("D1", scale);
+    const AnalyzerConfig config = default_config_for_model(model.site());
+    const SyntheticTraceSourceSet sources(spec, model,
+                                          {env_int("ENTRACE_MEM_SLICES", 8)});
+    const DatasetAnalysis a = analyze_dataset(sources, config);
+    benchmark::DoNotOptimize(a.total_packets);
+    return a.quality.packets_seen;
+  });
+
+  for (const MemoryRun& r : {materialized, streaming}) {
+    if (!r.ok) {
+      std::printf("  %-14s measurement failed\n", r.label.c_str());
+      continue;
+    }
+    std::printf("  %-14s %10llu packets  %8.2fs  %10llu KB peak RSS\n", r.label.c_str(),
+                static_cast<unsigned long long>(r.packets), r.seconds,
+                static_cast<unsigned long long>(r.peak_rss_kb));
+  }
+  if (materialized.ok && streaming.ok && streaming.peak_rss_kb > 0) {
+    std::printf("  streaming peak RSS reduction: %.2fx\n",
+                static_cast<double>(materialized.peak_rss_kb) /
+                    static_cast<double>(streaming.peak_rss_kb));
+  }
+  g_memory_runs = {materialized, streaming};
+#else
+  std::printf("---- peak memory study skipped (no fork/getrusage) ----\n");
+#endif
+}
+
 void run_pipeline_scaling() {
   const double scale = benchutil::env_scale();
   const int reps = env_int("ENTRACE_BENCH_REPS", 3);
@@ -318,7 +457,27 @@ void run_pipeline_scaling() {
                    runs[i].threads, static_cast<unsigned long long>(runs[i].packets),
                    runs[i].seconds, runs[i].pps, i + 1 < runs.size() ? "," : "");
     }
-    std::fprintf(json, "  ]\n}\n");
+    std::fprintf(json, "  ],\n");
+    // Peak-RSS study results (see run_memory_study; empty on platforms
+    // without fork/getrusage).
+    std::fprintf(json, "  \"memory\": [\n");
+    for (std::size_t i = 0; i < g_memory_runs.size(); ++i) {
+      const MemoryRun& r = g_memory_runs[i];
+      std::fprintf(
+          json,
+          "    {\"label\": \"%s\", \"packets\": %llu, \"seconds\": %.3f, \"peak_rss_kb\": %llu}%s\n",
+          r.label.c_str(), static_cast<unsigned long long>(r.packets), r.seconds,
+          static_cast<unsigned long long>(r.peak_rss_kb),
+          i + 1 < g_memory_runs.size() ? "," : "");
+    }
+    if (g_memory_runs.size() == 2 && g_memory_runs[0].ok && g_memory_runs[1].ok &&
+        g_memory_runs[1].peak_rss_kb > 0) {
+      std::fprintf(json, "  ],\n  \"memory_rss_reduction\": %.2f\n}\n",
+                   static_cast<double>(g_memory_runs[0].peak_rss_kb) /
+                       static_cast<double>(g_memory_runs[1].peak_rss_kb));
+    } else {
+      std::fprintf(json, "  ]\n}\n");
+    }
     std::fclose(json);
     std::printf("  wrote BENCH_pipeline.json\n");
   }
@@ -328,6 +487,12 @@ void run_pipeline_scaling() {
 }  // namespace entrace
 
 int main(int argc, char** argv) {
+  // The memory study must run before anything creates a thread: each
+  // measurement forks, and fork() from a multi-threaded parent is unsafe.
+  entrace::run_memory_study();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--memory-only") == 0) return 0;
+  }
   entrace::run_pipeline_scaling();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scaling-only") == 0) return 0;

@@ -7,7 +7,7 @@
 #include "analysis/load.h"
 #include "core/analyzer.h"
 #include "core/report.h"
-#include "synth/generator.h"
+#include "synth/synth_source.h"
 
 int main(int argc, char** argv) {
   using namespace entrace;
@@ -15,9 +15,11 @@ int main(int argc, char** argv) {
 
   EnterpriseModel model;
   DatasetSpec spec = dataset_d4(scale);
-  const TraceSet traces = generate_dataset(spec, model);
+  // Stream the dataset instead of materializing it; the load series are
+  // accumulated per trace inside the analyzer either way.
+  const SyntheticTraceSourceSet sources(spec, model);
   const DatasetAnalysis analysis =
-      analyze_dataset(traces, default_config_for_model(model.site()));
+      analyze_dataset(sources, default_config_for_model(model.site()));
   const LoadAnalysis load = LoadAnalysis::compute(analysis.load_raw);
 
   std::printf("%-14s %10s %10s %10s %12s %12s\n", "trace", "peak1s", "peak10s", "peak60s",

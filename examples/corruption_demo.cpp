@@ -20,6 +20,9 @@ int main(int argc, char** argv) {
 
   EnterpriseModel model;
   DatasetSpec spec = dataset_d0(0.02);
+  // This demo deliberately keeps the materialized path: the fault injector
+  // mutates packets in place, so the dataset must exist in memory before
+  // each corruption pass (the streaming sources regenerate pristine bytes).
   const TraceSet clean = generate_dataset(spec, model);
   std::printf("D0: %llu packets across %zu traces\n\n",
               static_cast<unsigned long long>(clean.total_packets()), clean.traces.size());

@@ -8,7 +8,7 @@
 
 #include "core/analyzer.h"
 #include "core/report.h"
-#include "synth/generator.h"
+#include "synth/synth_source.h"
 
 int main(int argc, char** argv) {
   using namespace entrace;
@@ -17,13 +17,16 @@ int main(int argc, char** argv) {
 
   EnterpriseModel model;
   const DatasetSpec spec = dataset_by_name(name, scale);
-  std::fprintf(stderr, "generating %s at scale %.3f (%d subnets x %d)...\n", name.c_str(),
+  std::fprintf(stderr, "streaming %s at scale %.3f (%d subnets x %d)...\n", name.c_str(),
                scale, spec.num_subnets, spec.traces_per_subnet);
-  const TraceSet traces = generate_dataset(spec, model);
-  std::fprintf(stderr, "analyzing %llu packets...\n",
-               static_cast<unsigned long long>(traces.total_packets()));
+  // Generation and analysis are fused: each per-trace job regenerates its
+  // packets in bounded slices, so even a full-scale dataset streams through
+  // without ever being held in memory.
+  const SyntheticTraceSourceSet sources(spec, model);
   const DatasetAnalysis analysis =
-      analyze_dataset(traces, default_config_for_model(model.site()));
+      analyze_dataset(sources, default_config_for_model(model.site()));
+  std::fprintf(stderr, "analyzed %llu packets\n",
+               static_cast<unsigned long long>(analysis.quality.packets_seen));
 
   const report::ReportInput input{&spec, &analysis};
   const std::vector<report::ReportInput> inputs{input};

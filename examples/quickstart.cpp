@@ -1,17 +1,17 @@
-// Quickstart: generate a small synthetic enterprise dataset, run the full
-// analysis pipeline, and print the headline results.
+// Quickstart: stream a small synthetic enterprise dataset through the full
+// analysis pipeline and print the headline results.
 //
 //   $ ./quickstart [scale]
 //
 // This exercises the whole public API in ~40 lines: EnterpriseModel +
-// DatasetSpec -> generate_dataset -> analyze_dataset -> report.
+// DatasetSpec -> SyntheticTraceSourceSet -> analyze_dataset -> report.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "core/analyzer.h"
 #include "core/report.h"
-#include "synth/generator.h"
+#include "synth/synth_source.h"
 
 int main(int argc, char** argv) {
   using namespace entrace;
@@ -24,17 +24,18 @@ int main(int argc, char** argv) {
   // Keep the quickstart quick: monitor only six subnets.
   spec.monitored_subnets = {4, 5, 15, 16, 17, 20};
 
-  // 2. Generate the packet traces (one per monitored subnet, as captured
-  //    by the paper's rotating tap).
-  const TraceSet traces = generate_dataset(spec, model);
-  std::printf("generated %llu packets across %zu traces (%.1f MB on the wire)\n\n",
-              static_cast<unsigned long long>(traces.total_packets()), traces.traces.size(),
-              static_cast<double>(traces.total_wire_bytes()) / 1e6);
-
-  // 3. Analyze: decode -> scanner filtering -> connections -> app parsing.
+  // 2+3. Stream the traces straight into the analyzer: each per-trace job
+  //    regenerates its packets incrementally (one per monitored subnet, as
+  //    captured by the paper's rotating tap), so the dataset is never
+  //    materialized in memory.  Decode -> scanner filtering -> connections
+  //    -> app parsing run as one fused pass per packet.
+  const SyntheticTraceSourceSet sources(spec, model);
   const AnalyzerConfig config = default_config_for_model(model.site());
-  const DatasetAnalysis analysis = analyze_dataset(traces, config);
+  const DatasetAnalysis analysis = analyze_dataset(sources, config);
 
+  std::printf("streamed %llu packets across %zu traces (%.1f MB on the wire)\n\n",
+              static_cast<unsigned long long>(analysis.quality.packets_seen), sources.size(),
+              static_cast<double>(analysis.total_wire_bytes) / 1e6);
   std::printf("connections: %zu (%zu removed as scanner traffic, %zu scanners)\n",
               analysis.connections.size(), analysis.scanner_conns_removed,
               analysis.scanners.size());

@@ -5,7 +5,7 @@
 #include <map>
 
 #include "core/analyzer.h"
-#include "synth/generator.h"
+#include "synth/synth_source.h"
 
 int main(int argc, char** argv) {
   using namespace entrace;
@@ -14,15 +14,17 @@ int main(int argc, char** argv) {
   EnterpriseModel model;
   DatasetSpec spec = dataset_d4(scale);
   spec.monitored_subnets = {5, 8, 12, 15, 16, 19};
-  const TraceSet traces = generate_dataset(spec, model);
+  // Regeneration is deterministic, so the ablation can stream the same
+  // dataset twice instead of holding a materialized copy for both runs.
+  const SyntheticTraceSourceSet sources(spec, model);
 
   // Run with and without scanner removal to show the ablation.
   AnalyzerConfig with = default_config_for_model(model.site());
   AnalyzerConfig without = with;
   without.remove_scanners = false;
 
-  const DatasetAnalysis filtered = analyze_dataset(traces, with);
-  const DatasetAnalysis unfiltered = analyze_dataset(traces, without);
+  const DatasetAnalysis filtered = analyze_dataset(sources, with);
+  const DatasetAnalysis unfiltered = analyze_dataset(sources, without);
 
   std::printf("scanner sources detected: %zu\n", filtered.scanners.size());
   for (const Ipv4Address addr : filtered.scanners) {

@@ -1,6 +1,8 @@
-// trace_inspector: a conn.log-style tool over pcap files — read a capture
+// trace_inspector: a conn.log-style tool over pcap files — stream a capture
 // (or generate a demo one), print per-connection summaries and per-app
-// tallies.  Demonstrates using the library on externally captured traces.
+// tallies.  Demonstrates using the library on externally captured traces:
+// the file is analyzed straight off disk through PcapFileSource, one packet
+// in memory at a time, so captures far bigger than RAM inspect fine.
 //
 //   $ ./trace_inspector file.pcap          # inspect an existing pcap
 //   $ ./trace_inspector --demo out.pcap    # write + inspect a demo capture
@@ -10,7 +12,9 @@
 #include <string>
 
 #include "core/analyzer.h"
-#include "synth/generator.h"
+#include "pcap/packet_source.h"
+#include "pcap/writer.h"
+#include "synth/synth_source.h"
 #include "util/strings.h"
 
 using namespace entrace;
@@ -22,8 +26,11 @@ int main(int argc, char** argv) {
     path = argv[2];
     DatasetSpec spec = dataset_d0(0.003);
     spec.monitored_subnets = {2};
-    const TraceSet set = generate_dataset(spec, model);
-    set.traces.front().save(path);
+    // Stream the generated packets straight into the file — the demo
+    // capture never exists in memory either.
+    SyntheticTraceSource source(spec, model, plan_dataset(spec).front());
+    PcapWriter writer(path, source.meta().snaplen);
+    while (const RawPacket* pkt = source.next()) writer.write(*pkt);
     std::printf("wrote demo capture to %s\n", path.c_str());
   } else if (argc >= 2) {
     path = argv[1];
@@ -32,15 +39,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  TraceSet set;
-  set.dataset_name = "pcap";
-  set.traces.push_back(Trace::load(path));
-  const Trace& trace = set.traces.front();
-  std::printf("%s: %zu packets, snaplen %u, %.1f seconds\n\n", path.c_str(),
-              trace.packets.size(), trace.snaplen, trace.duration);
+  const PcapFileSourceSet sources("pcap", {{path, path, -1}});
+  const std::uint32_t snaplen = sources.open(0)->meta().snaplen;
 
   AnalyzerConfig config = default_config_for_model(model.site());
-  const DatasetAnalysis analysis = analyze_dataset(set, config);
+  const DatasetAnalysis analysis = analyze_dataset(sources, config);
+  std::printf("%s: %llu packets, snaplen %u, ~%zu seconds spanned\n\n", path.c_str(),
+              static_cast<unsigned long long>(analysis.quality.packets_seen), snaplen,
+              analysis.load_raw.front().bits_1s.values().size());
 
   // Top connections by volume.
   std::vector<const Connection*> conns = analysis.all_connections;

@@ -44,22 +44,22 @@ struct TraceShard {
   CaptureQuality quality;
 };
 
-// One fused pass over a trace: decode -> tallies -> scanner observation ->
-// flow table -> protocol dispatch, with a single decode_packet call per
-// packet (the seed pipeline decoded every packet twice).
-void analyze_trace(const Trace& trace, const AnalyzerConfig& config, TraceShard& shard) {
-  shard.subnet_id = trace.subnet_id;
-  const bool payload = config.payload_analysis.value_or(trace.snaplen >= 200);
+// One fused streaming pass over a trace source: pull -> decode -> tallies
+// -> scanner observation -> flow table -> protocol dispatch, with a single
+// decode_packet call per packet and only the source's own buffer (one
+// packet for files, one slice for synthetic regeneration, zero copies for
+// in-memory traces) between disk and results.
+void analyze_trace(PacketSource& source, const AnalyzerConfig& config, TraceShard& shard) {
+  const TraceMeta& meta = source.meta();
+  shard.subnet_id = meta.subnet_id;
+  const bool payload = config.payload_analysis.value_or(meta.snaplen >= 200);
   ProtocolDispatcher dispatcher(shard.registry, shard.events, payload,
                                 &shard.quality.anomalies);
   shard.table = std::make_unique<FlowTable>(config.flow, &dispatcher);
-  shard.load.trace_name = trace.name;
-  // pcap-record-layer anomalies observed when the trace was loaded from disk.
-  shard.quality.anomalies.merge(trace.file_anomalies);
+  shard.load.trace_name = meta.name;
 
-  for (const RawPacket& pkt : trace.packets) {
-    ++shard.total_packets;
-    shard.total_wire_bytes += pkt.wire_len;
+  while (const RawPacket* pulled = source.next()) {
+    const RawPacket& pkt = *pulled;
     ++shard.quality.packets_seen;
     const auto decoded = decode_packet(pkt, &shard.quality.anomalies);
     if (!decoded) {
@@ -74,7 +74,11 @@ void analyze_trace(const Trace& trace, const AnalyzerConfig& config, TraceShard&
       ++shard.quality.packets_dropped;
       continue;
     }
+    // Headline tallies count analyzed packets only (see the accounting
+    // rule in analyzer.h): total_packets == packets_ok == l3.total.
     ++shard.quality.packets_ok;
+    ++shard.total_packets;
+    shard.total_wire_bytes += pkt.wire_len;
     shard.l3.add(decoded->l3);
     shard.load.add_packet(pkt.ts, pkt.wire_len);
     if (decoded->l3 != L3Kind::kIpv4) continue;
@@ -84,7 +88,7 @@ void analyze_trace(const Trace& trace, const AnalyzerConfig& config, TraceShard&
       if (addr.is_multicast() || addr.is_broadcast()) continue;
       if (config.site.is_internal(addr)) {
         shard.lbnl_hosts.insert(addr.value());
-        if (config.site.subnet_of(addr) == trace.subnet_id) {
+        if (config.site.subnet_of(addr) == meta.subnet_id) {
           shard.monitored_hosts.insert(addr.value());
         }
       } else {
@@ -107,18 +111,24 @@ void analyze_trace(const Trace& trace, const AnalyzerConfig& config, TraceShard&
     }
   }
   shard.table->flush();
+  // Source-layer anomalies (pcap record damage, salvaged truncations) are
+  // complete once the stream is drained; fold them into the shard so the
+  // dataset's anomaly accounting covers the file layer too.
+  shard.quality.anomalies.merge(source.anomalies());
   // Dispatcher can be dropped; events and registry outlive it.
 }
 
 }  // namespace
 
-DatasetAnalysis analyze_dataset(const TraceSet& traces, const AnalyzerConfig& config) {
+DatasetAnalysis analyze_dataset(const TraceSourceSet& sources, const AnalyzerConfig& config) {
   DatasetAnalysis out;
-  out.name = traces.dataset_name;
+  out.name = sources.dataset_name();
   out.site = config.site;
 
   // ---- per-trace jobs: fused decode/tally/scanner/flow/app pass ------------
-  const std::size_t n = traces.traces.size();
+  // Each job opens its own source, so streams never share state across
+  // threads and a trace's packets live only inside its job.
+  const std::size_t n = sources.size();
   std::vector<TraceShard> shards;
   shards.reserve(n);
   for (std::size_t i = 0; i < n; ++i) shards.emplace_back(config.scanner);
@@ -126,8 +136,10 @@ DatasetAnalysis analyze_dataset(const TraceSet& traces, const AnalyzerConfig& co
   const std::size_t threads =
       config.threads != 0 ? config.threads : ThreadPool::env_thread_count();
   ThreadPool pool(std::min(threads, n > 0 ? n : std::size_t{1}));
-  pool.for_each_index(
-      n, [&](std::size_t i) { analyze_trace(traces.traces[i], config, shards[i]); });
+  pool.for_each_index(n, [&](std::size_t i) {
+    const std::unique_ptr<PacketSource> source = sources.open(i);
+    analyze_trace(*source, config, shards[i]);
+  });
 
   // ---- deterministic fold, in trace-index order ----------------------------
   ScannerDetector detector(config.scanner);
@@ -167,6 +179,10 @@ DatasetAnalysis analyze_dataset(const TraceSet& traces, const AnalyzerConfig& co
     }
   }
   return out;
+}
+
+DatasetAnalysis analyze_dataset(const TraceSet& traces, const AnalyzerConfig& config) {
+  return analyze_dataset(MemoryTraceSourceSet(traces), config);
 }
 
 }  // namespace entrace

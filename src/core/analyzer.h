@@ -4,20 +4,27 @@
 //     -> connection summaries (flow table)  -> application parsing
 //     -> per-section analyses (§3-§6)
 //
-// analyze_dataset() consumes one TraceSet (one of D0-D4) and produces a
+// analyze_dataset() consumes one dataset (one of D0-D4) and produces a
 // DatasetAnalysis holding connection summaries, application events, load
-// statistics and everything the report/benches need.
+// statistics and everything the report/benches need.  The primary input is
+// a TraceSourceSet — a factory of streaming per-trace PacketSources (pcap
+// file, in-memory trace, or incremental synthetic generator), so analysis
+// memory is bounded by per-trace buffers plus result state, never by the
+// dataset's packet count.  A thin TraceSet overload adapts materialized
+// traces through MemoryTraceSource for existing callers.
 //
 // The datasets are sets of independently captured per-subnet traces, so
-// the pipeline shards at trace granularity: each trace runs the whole
-// decode -> tallies -> scanner-observation -> flow -> application chain as
-// one fused job (a single decode per packet) with private state, and the
-// shards fold on the caller's thread in trace-index order — results are
-// bit-identical for every thread count.  Scanner *identification* needs
-// the global cross-trace view, so the scanner-removal filter runs after
-// the fold.  Dynamic DCE/RPC endpoints learned from Endpoint Mapper
-// traffic apply within the trace that observed them (EPM mappings and the
-// ephemeral-port connections they describe share a subnet trace).
+// the pipeline shards at trace granularity: each thread-pool job opens its
+// own source and runs the whole decode -> tallies -> scanner-observation
+// -> flow -> application chain as one fused pass (a single decode per
+// packet) with private state, and the shards fold on the caller's thread
+// in trace-index order — results are bit-identical for every thread count
+// and for every source kind that yields the same packet stream.  Scanner
+// *identification* needs the global cross-trace view, so the
+// scanner-removal filter runs after the fold.  Dynamic DCE/RPC endpoints
+// learned from Endpoint Mapper traffic apply within the trace that
+// observed them (EPM mappings and the ephemeral-port connections they
+// describe share a subnet trace).
 #pragma once
 
 #include <array>
@@ -35,6 +42,7 @@
 #include "analysis/site.h"
 #include "flow/flow_table.h"
 #include "net/anomaly.h"
+#include "pcap/packet_source.h"
 #include "pcap/trace.h"
 #include "proto/dispatcher.h"
 #include "proto/events.h"
@@ -88,6 +96,15 @@ class DatasetAnalysis {
   std::vector<int> monitored_subnets;
 
   // ---- packet-level tallies (Tables 1-2) ----------------------------------
+  // Accounting rule: every headline tally — total_packets, total_wire_bytes,
+  // l3, ip_proto_packets, the host sets and the load series — counts only
+  // packets that survived decode and checksum verification, i.e. exactly
+  // quality.packets_ok.  Packets dropped for undecodable or demonstrably
+  // corrupt headers are accounted solely in `quality`
+  // (packets_seen == packets_ok + packets_dropped), so the invariant
+  //   total_packets == quality.packets_ok == l3.total
+  // holds for every dataset and every source kind (asserted by the
+  // corruption and streaming test suites).
   std::uint64_t total_packets = 0;
   std::uint64_t total_wire_bytes = 0;
   NetworkLayerBreakdown l3;
@@ -133,6 +150,12 @@ class DatasetAnalysis {
   std::uint64_t payload_bytes() const;
 };
 
+// Streaming entry point: each per-trace job opens its own PacketSource
+// from the set, so whole traces are never materialized by the analyzer.
+DatasetAnalysis analyze_dataset(const TraceSourceSet& sources, const AnalyzerConfig& config);
+
+// Materialized adapter: analyzes an in-memory TraceSet through
+// MemoryTraceSource, bit-identical to the streaming path.
 DatasetAnalysis analyze_dataset(const TraceSet& traces, const AnalyzerConfig& config);
 
 // Convenience: the AnalyzerConfig matching the synthetic EnterpriseModel.

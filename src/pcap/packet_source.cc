@@ -1,0 +1,91 @@
+#include "pcap/packet_source.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "pcap/reader.h"
+
+namespace entrace {
+
+PacketSource::~PacketSource() = default;
+TraceSourceSet::~TraceSourceSet() = default;
+
+// ---- MemoryTraceSource ------------------------------------------------------
+
+MemoryTraceSource::MemoryTraceSource(const Trace& trace) : trace_(&trace) {
+  meta_.name = trace.name;
+  meta_.subnet_id = trace.subnet_id;
+  meta_.snaplen = trace.snaplen;
+  meta_.start_ts = trace.start_ts;
+  meta_.duration = trace.duration;
+}
+
+std::unique_ptr<PacketSource> MemoryTraceSourceSet::open(std::size_t index) const {
+  return std::make_unique<MemoryTraceSource>(traces_->traces.at(index));
+}
+
+// ---- PcapFileSource ---------------------------------------------------------
+
+PcapFileSource::PcapFileSource(const std::string& path, std::string name, int subnet_id) {
+  std::string error;
+  reader_ = PcapReader::open(path, &error);
+  if (reader_ == nullptr) throw std::runtime_error(error);
+  meta_.name = name.empty() ? path : std::move(name);
+  meta_.subnet_id = subnet_id;
+  meta_.snaplen = reader_->snaplen();
+}
+
+PcapFileSource::~PcapFileSource() = default;
+
+const RawPacket* PcapFileSource::next() {
+  auto pkt = reader_->next();
+  if (!pkt) return nullptr;
+  if (pkt->data.size() > meta_.snaplen) pkt->data.resize(meta_.snaplen);
+  current_ = std::move(*pkt);
+  return &current_;
+}
+
+const AnomalyCounts& PcapFileSource::anomalies() const { return reader_->anomalies(); }
+
+std::unique_ptr<PacketSource> PcapFileSourceSet::open(std::size_t index) const {
+  const PcapTraceSpec& spec = files_.at(index);
+  return std::make_unique<PcapFileSource>(spec.path, spec.name, spec.subnet_id);
+}
+
+// ---- MergedPacketStream -----------------------------------------------------
+
+MergedPacketStream::MergedPacketStream(std::vector<std::unique_ptr<PacketSource>> sources)
+    : sources_(std::move(sources)) {
+  heap_.reserve(sources_.size());
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    if (const RawPacket* pkt = sources_[i]->next()) heap_.push_back({pkt, i});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
+const RawPacket* MergedPacketStream::next() {
+  if (pending_ != SIZE_MAX) {
+    // The previously returned packet is dead now; its source can advance.
+    if (const RawPacket* pkt = sources_[pending_]->next()) {
+      heap_.push_back({pkt, pending_});
+      std::push_heap(heap_.begin(), heap_.end(), later);
+    }
+    pending_ = SIZE_MAX;
+  }
+  if (heap_.empty()) return nullptr;
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const Head head = heap_.back();
+  heap_.pop_back();
+  pending_ = head.index;
+  return head.pkt;
+}
+
+MergedPacketStream merged_stream(const TraceSet& traces) {
+  std::vector<std::unique_ptr<PacketSource>> sources;
+  sources.reserve(traces.traces.size());
+  for (const Trace& t : traces.traces) sources.push_back(std::make_unique<MemoryTraceSource>(t));
+  return MergedPacketStream(std::move(sources));
+}
+
+}  // namespace entrace

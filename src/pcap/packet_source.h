@@ -1,0 +1,185 @@
+// Pull-based packet sources: the streaming ingest layer of the pipeline.
+//
+// The paper's datasets are 17-65M packets each; materializing a whole
+// TraceSet before analysis caps dataset size by RAM instead of disk/CPU.
+// A PacketSource yields one RawPacket at a time plus the trace metadata
+// the analyzer needs up front (name, subnet, snaplen, capture window) and
+// the source-layer anomalies accumulated while reading, so the analyzer
+// can run the fused single-decode pass without ever holding a trace in
+// memory.  Three implementations exist:
+//
+//   - MemoryTraceSource    adapts an in-memory Trace (zero-copy; keeps
+//                          every existing TraceSet caller working),
+//   - PcapFileSource       streams straight off disk through PcapReader's
+//                          recoverable mode, applying snaplen and record-
+//                          level anomaly accounting inline,
+//   - SyntheticTraceSource (src/synth/synth_source.h) regenerates the
+//                          trace in bounded time slices.
+//
+// A TraceSourceSet is the per-dataset factory: analyze_dataset's thread-
+// pool jobs each open() their own source, so per-trace streams never share
+// state and results stay bit-identical for every thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/anomaly.h"
+#include "net/packet.h"
+#include "pcap/trace.h"
+
+namespace entrace {
+
+// Trace-level metadata a source knows before the first packet is pulled.
+// File-backed sources that cannot know the capture window up front leave
+// start_ts/duration at 0.
+struct TraceMeta {
+  std::string name;
+  int subnet_id = -1;
+  std::uint32_t snaplen = 1500;
+  double start_ts = 0.0;
+  double duration = 0.0;
+};
+
+class PacketSource {
+ public:
+  virtual ~PacketSource();
+
+  virtual const TraceMeta& meta() const = 0;
+
+  // Next packet, or nullptr at end of stream.  The pointee is owned by the
+  // source and stays valid only until the next call to next().
+  virtual const RawPacket* next() = 0;
+
+  // Source-layer anomalies (pcap record damage, salvaged truncations)
+  // accumulated so far; complete once next() has returned nullptr.
+  virtual const AnomalyCounts& anomalies() const = 0;
+};
+
+// Factory of per-trace sources for one dataset.  open() may be called
+// concurrently from different threads for different indices (each
+// analyze_dataset job opens its own trace), so implementations must not
+// mutate shared state in open().
+class TraceSourceSet {
+ public:
+  virtual ~TraceSourceSet();
+
+  virtual const std::string& dataset_name() const = 0;
+  virtual std::size_t size() const = 0;
+  virtual std::unique_ptr<PacketSource> open(std::size_t index) const = 0;
+};
+
+// ---- in-memory adapters -----------------------------------------------------
+
+// Streams an existing Trace without copying packets; the Trace must outlive
+// the source.
+class MemoryTraceSource final : public PacketSource {
+ public:
+  explicit MemoryTraceSource(const Trace& trace);
+
+  const TraceMeta& meta() const override { return meta_; }
+  const RawPacket* next() override {
+    return pos_ < trace_->packets.size() ? &trace_->packets[pos_++] : nullptr;
+  }
+  const AnomalyCounts& anomalies() const override { return trace_->file_anomalies; }
+
+ private:
+  const Trace* trace_;
+  TraceMeta meta_;
+  std::size_t pos_ = 0;
+};
+
+// Adapts a materialized TraceSet; the TraceSet must outlive the set and
+// every source opened from it.
+class MemoryTraceSourceSet final : public TraceSourceSet {
+ public:
+  explicit MemoryTraceSourceSet(const TraceSet& traces) : traces_(&traces) {}
+
+  const std::string& dataset_name() const override { return traces_->dataset_name; }
+  std::size_t size() const override { return traces_->traces.size(); }
+  std::unique_ptr<PacketSource> open(std::size_t index) const override;
+
+ private:
+  const TraceSet* traces_;
+};
+
+// ---- pcap files -------------------------------------------------------------
+
+// Streams a capture file through PcapReader's recoverable mode: corrupt
+// trailing records are salvaged/skipped and counted in anomalies(), and
+// captured bytes beyond the file's declared snaplen are clipped inline.
+// Throws std::runtime_error when the file cannot be opened or its global
+// header is malformed (same message as PcapReader).
+class PcapFileSource final : public PacketSource {
+ public:
+  explicit PcapFileSource(const std::string& path, std::string name = "",
+                          int subnet_id = -1);
+  ~PcapFileSource() override;
+
+  const TraceMeta& meta() const override { return meta_; }
+  const RawPacket* next() override;
+  const AnomalyCounts& anomalies() const override;
+
+ private:
+  std::unique_ptr<class PcapReader> reader_;
+  TraceMeta meta_;
+  RawPacket current_;
+};
+
+// One file of a pcap-backed dataset.
+struct PcapTraceSpec {
+  std::string path;
+  std::string name;     // defaults to path when empty
+  int subnet_id = -1;
+};
+
+class PcapFileSourceSet final : public TraceSourceSet {
+ public:
+  PcapFileSourceSet(std::string dataset_name, std::vector<PcapTraceSpec> files)
+      : dataset_name_(std::move(dataset_name)), files_(std::move(files)) {}
+
+  const std::string& dataset_name() const override { return dataset_name_; }
+  std::size_t size() const override { return files_.size(); }
+  std::unique_ptr<PacketSource> open(std::size_t index) const override;
+
+ private:
+  std::string dataset_name_;
+  std::vector<PcapTraceSpec> files_;
+};
+
+// ---- k-way timestamp merge --------------------------------------------------
+
+// Streams the union of several PacketSources in global timestamp order
+// (ties broken by source index, matching the old TraceSet::merged()
+// stable sort) while holding only one packet per source in memory.
+// Precondition: each source yields nondecreasing timestamps, which holds
+// for generated traces (sorted at emission) and normal captures.
+class MergedPacketStream {
+ public:
+  explicit MergedPacketStream(std::vector<std::unique_ptr<PacketSource>> sources);
+
+  // Next packet in merged order, or nullptr when every source is drained.
+  // The pointee stays valid until the next call.
+  const RawPacket* next();
+
+ private:
+  struct Head {
+    const RawPacket* pkt;
+    std::size_t index;  // source index; the tie-break for equal timestamps
+  };
+  static bool later(const Head& a, const Head& b) {
+    return a.pkt->ts > b.pkt->ts || (a.pkt->ts == b.pkt->ts && a.index > b.index);
+  }
+
+  std::vector<std::unique_ptr<PacketSource>> sources_;
+  std::vector<Head> heap_;          // min-heap on (ts, source index)
+  std::size_t pending_ = SIZE_MAX;  // source to advance on the next call
+};
+
+// Convenience: a merged stream over the traces of an in-memory TraceSet
+// (each trace wrapped in a MemoryTraceSource; the set must outlive it).
+MergedPacketStream merged_stream(const TraceSet& traces);
+
+}  // namespace entrace

@@ -1,6 +1,6 @@
 #include "pcap/trace.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "pcap/reader.h"
 #include "pcap/writer.h"
@@ -65,16 +65,6 @@ std::uint64_t TraceSet::total_wire_bytes() const {
   std::uint64_t total = 0;
   for (const auto& t : traces) total += t.total_wire_bytes();
   return total;
-}
-
-std::vector<const RawPacket*> TraceSet::merged() const {
-  std::vector<const RawPacket*> out;
-  out.reserve(total_packets());
-  for (const auto& t : traces)
-    for (const auto& p : t.packets) out.push_back(&p);
-  std::stable_sort(out.begin(), out.end(),
-                   [](const RawPacket* a, const RawPacket* b) { return a->ts < b->ts; });
-  return out;
 }
 
 }  // namespace entrace

@@ -52,9 +52,9 @@ struct TraceSet {
   std::uint64_t total_packets() const;
   std::uint64_t total_wire_bytes() const;
 
-  // All packets of all traces merged into timestamp order — the paper's
-  // per-dataset aggregate view.  (Stable across equal timestamps.)
-  std::vector<const RawPacket*> merged() const;
+  // The paper's per-dataset aggregate view (all traces merged into
+  // timestamp order) is a streaming k-way merge now: see merged_stream()
+  // in pcap/packet_source.h.
 };
 
 }  // namespace entrace

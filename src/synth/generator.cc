@@ -68,24 +68,39 @@ TcpOptions GenContext::wan_tcp() const {
 
 // ---- dataset generation ---------------------------------------------------------
 
-namespace {
-
-Trace generate_trace(const DatasetSpec& spec, const EnterpriseModel& model, int subnet, int rep,
-                     int trace_index) {
-  Trace trace;
-  trace.name = spec.name + "-s" + (subnet < 10 ? "0" : "") + std::to_string(subnet) +
-               (spec.traces_per_subnet > 1 ? "-r" + std::to_string(rep) : "");
-  trace.subnet_id = subnet;
-  trace.snaplen = spec.snaplen;
+TracePlan plan_trace(const DatasetSpec& spec, int subnet, int rep, int trace_index) {
+  TracePlan plan;
+  plan.name = spec.name + "-s" + (subnet < 10 ? "0" : "") + std::to_string(subnet) +
+              (spec.traces_per_subnet > 1 ? "-r" + std::to_string(rep) : "");
+  plan.subnet = subnet;
+  plan.rep = rep;
+  plan.trace_index = trace_index;
   // Successive windows model the tap rotation through the subnets.
-  trace.start_ts = static_cast<double>(trace_index) * (spec.trace_duration + 30.0);
-  trace.duration = spec.trace_duration;
+  plan.start_ts = static_cast<double>(trace_index) * (spec.trace_duration + 30.0);
+  plan.duration = spec.trace_duration;
+  plan.snaplen = spec.snaplen;
+  return plan;
+}
 
-  PacketSink sink(trace);
-  Rng root(spec.seed * 0x1000193 + static_cast<std::uint64_t>(trace_index) * 0x9E37 + 17);
-  Rng rng = root.fork(static_cast<std::uint64_t>(subnet) * 131 + static_cast<std::uint64_t>(rep));
-  GenContext ctx(sink, rng, model, spec, subnet, trace.start_ts,
-                 trace.start_ts + trace.duration);
+std::vector<TracePlan> plan_dataset(const DatasetSpec& spec) {
+  std::vector<TracePlan> plans;
+  int trace_index = 0;
+  for (int rep = 0; rep < spec.traces_per_subnet; ++rep) {
+    for (int subnet : spec.monitored_subnets) {
+      plans.push_back(plan_trace(spec, subnet, rep, trace_index));
+      ++trace_index;
+    }
+  }
+  return plans;
+}
+
+void emit_trace(const DatasetSpec& spec, const EnterpriseModel& model, const TracePlan& plan,
+                PacketSink& sink) {
+  Rng root(spec.seed * 0x1000193 + static_cast<std::uint64_t>(plan.trace_index) * 0x9E37 + 17);
+  Rng rng = root.fork(static_cast<std::uint64_t>(plan.subnet) * 131 +
+                      static_cast<std::uint64_t>(plan.rep));
+  GenContext ctx(sink, rng, model, spec, plan.subnet, plan.start_ts,
+                 plan.start_ts + plan.duration);
 
   gen_web(ctx);
   gen_email(ctx);
@@ -96,6 +111,19 @@ Trace generate_trace(const DatasetSpec& spec, const EnterpriseModel& model, int 
   gen_other(ctx);
   gen_background(ctx);
   gen_scanner(ctx);
+}
+
+Trace generate_trace(const DatasetSpec& spec, const EnterpriseModel& model,
+                     const TracePlan& plan) {
+  Trace trace;
+  trace.name = plan.name;
+  trace.subnet_id = plan.subnet;
+  trace.snaplen = plan.snaplen;
+  trace.start_ts = plan.start_ts;
+  trace.duration = plan.duration;
+
+  PacketSink sink(trace);
+  emit_trace(spec, model, plan, sink);
 
   std::stable_sort(trace.packets.begin(), trace.packets.end(),
                    [](const RawPacket& a, const RawPacket& b) { return a.ts < b.ts; });
@@ -106,17 +134,11 @@ Trace generate_trace(const DatasetSpec& spec, const EnterpriseModel& model, int 
   return trace;
 }
 
-}  // namespace
-
 TraceSet generate_dataset(const DatasetSpec& spec, const EnterpriseModel& model) {
   TraceSet set;
   set.dataset_name = spec.name;
-  int trace_index = 0;
-  for (int rep = 0; rep < spec.traces_per_subnet; ++rep) {
-    for (int subnet : spec.monitored_subnets) {
-      set.traces.push_back(generate_trace(spec, model, subnet, rep, trace_index));
-      ++trace_index;
-    }
+  for (const TracePlan& plan : plan_dataset(spec)) {
+    set.traces.push_back(generate_trace(spec, model, plan));
   }
   return set;
 }
@@ -125,15 +147,11 @@ std::vector<std::string> generate_dataset_to_pcap(const DatasetSpec& spec,
                                                   const EnterpriseModel& model,
                                                   const std::string& dir) {
   std::vector<std::string> paths;
-  int trace_index = 0;
-  for (int rep = 0; rep < spec.traces_per_subnet; ++rep) {
-    for (int subnet : spec.monitored_subnets) {
-      const Trace trace = generate_trace(spec, model, subnet, rep, trace_index);
-      const std::string path = dir + "/" + trace.name + ".pcap";
-      trace.save(path);
-      paths.push_back(path);
-      ++trace_index;
-    }
+  for (const TracePlan& plan : plan_dataset(spec)) {
+    const Trace trace = generate_trace(spec, model, plan);
+    const std::string path = dir + "/" + trace.name + ".pcap";
+    trace.save(path);
+    paths.push_back(path);
   }
   return paths;
 }

@@ -1,9 +1,17 @@
 // PacketSink: where generated frames land.  Applies the trace's snaplen at
 // emit time (modeling the capture apparatus) while recording the true wire
 // length, exactly like a pcap capture with -s.
+//
+// The sink can be backed by a Trace (materialized generation) or a bare
+// packet vector with an explicit capture window (streaming slice
+// regeneration, see SyntheticTraceSource).  restrict_to() narrows emission
+// to a [lo, hi) timestamp slice: generators run deterministically, so
+// re-running them with successive slices reproduces the full trace with
+// only one slice buffered at a time.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -13,24 +21,45 @@ namespace entrace {
 
 class PacketSink {
  public:
-  explicit PacketSink(Trace& trace) : trace_(trace) {}
+  explicit PacketSink(Trace& trace)
+      : out_(trace.packets),
+        start_(trace.start_ts),
+        duration_(trace.duration),
+        snaplen_(trace.snaplen) {}
+
+  PacketSink(std::vector<RawPacket>& out, double start_ts, double duration,
+             std::uint32_t snaplen)
+      : out_(out), start_(start_ts), duration_(duration), snaplen_(snaplen) {}
+
+  // Keep only packets with ts in [lo, hi); everything else is discarded at
+  // emit time.  Default: keep everything.
+  void restrict_to(double lo, double hi) {
+    lo_ = lo;
+    hi_ = hi;
+  }
 
   void emit(double ts, std::vector<std::uint8_t> frame) {
+    if (ts < lo_ || ts >= hi_) return;
     RawPacket pkt;
     pkt.ts = ts;
     pkt.wire_len = static_cast<std::uint32_t>(frame.size());
-    if (frame.size() > trace_.snaplen) frame.resize(trace_.snaplen);
+    if (frame.size() > snaplen_) frame.resize(snaplen_);
     pkt.data = std::move(frame);
-    trace_.packets.push_back(std::move(pkt));
+    out_.push_back(std::move(pkt));
   }
 
   // Capture window; sessions must not emit beyond it.
-  double window_end() const { return trace_.start_ts + trace_.duration; }
-  double window_start() const { return trace_.start_ts; }
-  std::uint32_t snaplen() const { return trace_.snaplen; }
+  double window_end() const { return start_ + duration_; }
+  double window_start() const { return start_; }
+  std::uint32_t snaplen() const { return snaplen_; }
 
  private:
-  Trace& trace_;
+  std::vector<RawPacket>& out_;
+  double start_;
+  double duration_;
+  std::uint32_t snaplen_;
+  double lo_ = -std::numeric_limits<double>::infinity();
+  double hi_ = std::numeric_limits<double>::infinity();
 };
 
 }  // namespace entrace

@@ -1,0 +1,67 @@
+#include "synth/synth_source.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace entrace {
+
+SyntheticTraceSource::SyntheticTraceSource(const DatasetSpec& spec,
+                                           const EnterpriseModel& model, TracePlan plan,
+                                           SyntheticSourceOptions options)
+    : spec_(spec),
+      model_(model),
+      plan_(std::move(plan)),
+      slices_(std::max(1, options.slices)) {
+  // A window too short to cut meaningfully degenerates to one slice.
+  if (plan_.duration <= 0.0) slices_ = 1;
+  meta_.name = plan_.name;
+  meta_.subnet_id = plan_.subnet;
+  meta_.snaplen = plan_.snaplen;
+  meta_.start_ts = plan_.start_ts;
+  meta_.duration = plan_.duration;
+}
+
+bool SyntheticTraceSource::fill_next_slice() {
+  const double slice_len = plan_.duration / static_cast<double>(slices_);
+  const double window_end = plan_.start_ts + plan_.duration;
+  while (next_slice_ < slices_) {
+    const int k = next_slice_++;
+    // Slice 0 also catches any stray pre-window emission (the materialized
+    // path keeps those at the sorted front); the last slice is open-ended
+    // with the over-window tail clipped below, mirroring generate_trace.
+    const double lo = k == 0 ? -std::numeric_limits<double>::infinity()
+                             : plan_.start_ts + static_cast<double>(k) * slice_len;
+    const double hi = k + 1 == slices_
+                          ? std::numeric_limits<double>::infinity()
+                          : plan_.start_ts + static_cast<double>(k + 1) * slice_len;
+    buffer_.clear();
+    pos_ = 0;
+    PacketSink sink(buffer_, plan_.start_ts, plan_.duration, plan_.snaplen);
+    sink.restrict_to(lo, hi);
+    emit_trace(spec_, model_, plan_, sink);
+    std::stable_sort(buffer_.begin(), buffer_.end(),
+                     [](const RawPacket& a, const RawPacket& b) { return a.ts < b.ts; });
+    while (!buffer_.empty() && buffer_.back().ts > window_end) buffer_.pop_back();
+    if (!buffer_.empty()) return true;
+  }
+  buffer_.clear();
+  pos_ = 0;
+  return false;
+}
+
+const RawPacket* SyntheticTraceSource::next() {
+  if (pos_ >= buffer_.size() && !fill_next_slice()) return nullptr;
+  return &buffer_[pos_++];
+}
+
+SyntheticTraceSourceSet::SyntheticTraceSourceSet(DatasetSpec spec,
+                                                 const EnterpriseModel& model,
+                                                 SyntheticSourceOptions options)
+    : spec_(std::move(spec)), model_(model), options_(options), plans_(plan_dataset(spec_)) {}
+
+std::unique_ptr<PacketSource> SyntheticTraceSourceSet::open(std::size_t index) const {
+  return std::make_unique<SyntheticTraceSource>(spec_, model_, plans_.at(index), options_);
+}
+
+}  // namespace entrace

@@ -1,0 +1,78 @@
+// SyntheticTraceSource: the generator's per-trace emission as an
+// incremental, bounded-memory producer.
+//
+// The application generators are deterministic (all randomness comes from
+// RNGs seeded by the TracePlan), so a trace can be regenerated at will.
+// The source exploits that to trade CPU for memory: the capture window is
+// cut into `slices` equal time slices, and for each slice the generators
+// are re-run with the PacketSink restricted to that slice's [lo, hi)
+// timestamp range.  Only one slice is ever buffered, so peak memory is
+// ~1/slices of the trace at slices x generation CPU.  Concatenating the
+// per-slice stably-sorted buffers reproduces the materialized trace's
+// stable_sort-by-timestamp order bit for bit: slice assignment is
+// monotonic in ts and packets with equal ts share a slice, so emission
+// order is preserved exactly where the stable sort preserves it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pcap/packet_source.h"
+#include "synth/dataset_spec.h"
+#include "synth/generator.h"
+#include "synth/model.h"
+
+namespace entrace {
+
+struct SyntheticSourceOptions {
+  // Regeneration slices per trace; 1 buffers the whole trace (the cheapest
+  // CPU-wise, equivalent to materializing one trace at a time).
+  int slices = 8;
+};
+
+class SyntheticTraceSource final : public PacketSource {
+ public:
+  // The model must outlive the source; the spec is copied.
+  SyntheticTraceSource(const DatasetSpec& spec, const EnterpriseModel& model, TracePlan plan,
+                       SyntheticSourceOptions options = {});
+
+  const TraceMeta& meta() const override { return meta_; }
+  const RawPacket* next() override;
+  const AnomalyCounts& anomalies() const override { return no_anomalies_; }
+
+ private:
+  // Regenerates the next non-empty slice into buffer_; false when done.
+  bool fill_next_slice();
+
+  DatasetSpec spec_;
+  const EnterpriseModel& model_;
+  TracePlan plan_;
+  int slices_;
+  int next_slice_ = 0;
+  std::vector<RawPacket> buffer_;
+  std::size_t pos_ = 0;
+  TraceMeta meta_;
+  AnomalyCounts no_anomalies_;  // generated packets carry no file-layer damage
+};
+
+// Factory over a whole dataset: one SyntheticTraceSource per planned trace,
+// in tap-rotation order (matching generate_dataset).  The model must
+// outlive the set and every source opened from it.
+class SyntheticTraceSourceSet final : public TraceSourceSet {
+ public:
+  SyntheticTraceSourceSet(DatasetSpec spec, const EnterpriseModel& model,
+                          SyntheticSourceOptions options = {});
+
+  const std::string& dataset_name() const override { return spec_.name; }
+  std::size_t size() const override { return plans_.size(); }
+  std::unique_ptr<PacketSource> open(std::size_t index) const override;
+
+ private:
+  DatasetSpec spec_;
+  const EnterpriseModel& model_;
+  SyntheticSourceOptions options_;
+  std::vector<TracePlan> plans_;
+};
+
+}  // namespace entrace

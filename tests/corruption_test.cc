@@ -56,6 +56,34 @@ TEST_F(CorruptionTest, CleanDatasetHasNoDropsAndNoAnomalies) {
             a.quality.anomalies[AnomalyKind::kSnapTruncated])
       << "clean trace produced unexpected anomaly kinds ("
       << a.quality.anomalies.as_map().size() << " kinds non-zero)";
+  // With zero drops the headline tallies cover the whole capture.
+  EXPECT_EQ(a.total_packets, a.quality.packets_seen);
+  EXPECT_EQ(a.l3.total, a.total_packets);
+}
+
+// The self-consistency rule of analyzer.h: dropped packets are excluded
+// from *every* headline tally, not just some of them, so total_packets,
+// l3.total and the per-protocol sums all describe the same packet set.
+TEST_F(CorruptionTest, HeadlineTalliesExcludeDroppedPacketsConsistently) {
+  TraceSet corrupted = clean_traces();
+  CorruptionConfig config;
+  config.seed = 17;
+  config.rate = 0.2;
+  corrupt_dataset(corrupted, config);
+
+  const DatasetAnalysis a = analyze(corrupted, 1);
+  ASSERT_GT(a.quality.packets_dropped, 0u);  // the rate guarantees drops
+  EXPECT_EQ(a.total_packets, a.quality.packets_ok);
+  EXPECT_LT(a.total_packets, a.quality.packets_seen);
+  EXPECT_EQ(a.l3.total, a.total_packets);
+  EXPECT_EQ(a.l3.ip + a.l3.arp + a.l3.ipx + a.l3.other, a.l3.total);
+  // IP transport counts partition the IP tally.
+  std::uint64_t ip_sum = 0;
+  for (const auto& [proto, count] : a.ip_proto_packets.as_map()) {
+    (void)proto;
+    ip_sum += count;
+  }
+  EXPECT_EQ(ip_sum, a.l3.ip);
 }
 
 TEST_F(CorruptionTest, ZeroRateLeavesTracesUntouched) {
@@ -125,6 +153,11 @@ TEST_F(CorruptionTest, FuzzLoopAccountsForEveryPacketAcrossSeedsAndRates) {
           << "seen=" << a.quality.packets_seen << " ok=" << a.quality.packets_ok
           << " dropped=" << a.quality.packets_dropped;
       EXPECT_EQ(a.quality.packets_seen, corrupted.total_packets());
+      // Headline accounting rule (analyzer.h): the tallies count analyzed
+      // packets only, so they agree with each other even when the capture
+      // is riddled with drops.
+      EXPECT_EQ(a.total_packets, a.quality.packets_ok);
+      EXPECT_EQ(a.l3.total, a.total_packets);
       EXPECT_TRUE(a.quality.anomalies.any());
       // Graceful degradation, not collapse: most traffic still analyzed.
       EXPECT_GT(a.quality.packets_ok, a.quality.packets_seen / 2);
