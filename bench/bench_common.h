@@ -18,16 +18,12 @@
 #include "core/report.h"
 #include "synth/generator.h"
 #include "synth/synth_source.h"
+#include "util/cli.h"
 #include "util/thread_pool.h"
 
 namespace entrace::benchutil {
 
-inline double env_scale() {
-  const char* s = std::getenv("ENTRACE_SCALE");
-  if (s == nullptr) return 0.02;
-  const double v = std::atof(s);
-  return v > 0 ? v : 0.02;
-}
+inline double env_scale() { return cli::env_scale(); }
 
 struct Bundle {
   DatasetSpec spec;

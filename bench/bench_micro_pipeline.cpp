@@ -7,14 +7,19 @@
 //      streaming SyntheticTraceSourceSet path on a scaled-up D1 (each
 //      measurement in a fork()ed child so getrusage's lifetime ru_maxrss
 //      high-water mark is per-workload, not per-process),
-//   2. a pipeline scaling study measuring analyze_dataset at 1, 2 and N
+//   2. a snapshot shard study: D1 analyzed by 1/2/4/8 fork()ed shard
+//      processes (each writing a .esnap via src/snapshot), then decoded and
+//      folded in the parent — .esnap encode/decode throughput plus the
+//      multi-process speedup of shard + merge over one process,
+//   3. a pipeline scaling study measuring analyze_dataset at 1, 2 and N
 //      threads against the seed's two-pass double-decode baseline.
 //
-// Both write into BENCH_pipeline.json (the scaling study holds the pen).
-// Pass --scaling-only to skip the google-benchmark suite, --memory-only to
-// stop right after the memory study.  Knobs: ENTRACE_MEM_SCALE (D1 scale
-// for the memory study), ENTRACE_MEM_SLICES (regeneration slices),
-// ENTRACE_BENCH_REPS.
+// All three write into BENCH_pipeline.json (the scaling study holds the
+// pen).  Pass --scaling-only to skip the google-benchmark suite,
+// --snapshot-only to stop after the snapshot study, --memory-only to stop
+// right after the memory study.  Knobs: ENTRACE_MEM_SCALE (D1 scale for
+// the memory study), ENTRACE_MEM_SLICES (regeneration slices),
+// ENTRACE_SNAP_SCALE (D1 scale for the shard study), ENTRACE_BENCH_REPS.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -41,8 +46,11 @@
 #include "pcap/writer.h"
 #include "proto/dns.h"
 #include "proto/http.h"
+#include "snapshot/reader.h"
+#include "snapshot/writer.h"
 #include "synth/generator.h"
 #include "synth/synth_source.h"
+#include "util/cli.h"
 #include "util/thread_pool.h"
 
 namespace entrace {
@@ -276,19 +284,8 @@ ScalingRun time_run(const std::string& label, std::size_t threads, std::uint64_t
   return run;
 }
 
-int env_int(const char* name, int fallback) {
-  const char* s = std::getenv(name);
-  if (s == nullptr) return fallback;
-  const int v = std::atoi(s);
-  return v > 0 ? v : fallback;
-}
-
-double env_double(const char* name, double fallback) {
-  const char* s = std::getenv(name);
-  if (s == nullptr) return fallback;
-  const double v = std::atof(s);
-  return v > 0 ? v : fallback;
-}
+using cli::env_double;
+using cli::env_int;
 
 // ---- peak-memory study ------------------------------------------------------
 
@@ -405,6 +402,181 @@ void run_memory_study() {
 #endif
 }
 
+// ---- snapshot shard study ---------------------------------------------------
+
+struct ShardRun {
+  int shards = 0;
+  double shard_seconds = 0.0;   // fork -> all .esnap files complete
+  double decode_seconds = 0.0;  // read + validate every snapshot
+  double merge_seconds = 0.0;   // fold_shards over the decoded shards
+  std::uint64_t bytes = 0;      // total snapshot bytes across the files
+  std::uint64_t packets = 0;
+  bool ok = false;
+};
+
+struct SnapshotStudy {
+  double scale = 0.0;
+  std::size_t traces = 0;
+  double encode_seconds = 0.0;  // SnapshotWriter over pre-analyzed shards
+  std::uint64_t encode_bytes = 0;
+  std::vector<ShardRun> runs;
+};
+
+SnapshotStudy g_snapshot_study;  // picked up by the JSON writer
+
+// D1 analyzed by `shards` cooperating processes, each snapshotting its
+// trace range, then decoded and folded here — the entrace_shard |
+// entrace_merge pipeline as one measurement.  Children analyze with
+// config.threads = 1 (ThreadPool inline mode spawns nothing), so fork()
+// happens in a single-threaded process.
+ShardRun run_sharded(const DatasetSpec& spec, const EnterpriseModel& model,
+                     const AnalyzerConfig& config, int shards, const std::string& dir) {
+  ShardRun run;
+  run.shards = shards;
+#ifdef __unix__
+  const SyntheticTraceSourceSet sources(spec, model);
+  const std::size_t n = sources.size();
+  const snapshot::SnapshotMeta meta{spec.name, spec.scale,
+                                    static_cast<std::uint32_t>(n)};
+  std::vector<std::string> paths;
+  std::vector<pid_t> pids;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < shards; ++s) {
+    const std::size_t lo = n * static_cast<std::size_t>(s) / static_cast<std::size_t>(shards);
+    const std::size_t hi =
+        n * static_cast<std::size_t>(s + 1) / static_cast<std::size_t>(shards);
+    const std::string path = dir + "/shard" + std::to_string(s) + ".esnap";
+    paths.push_back(path);
+    const pid_t pid = fork();
+    if (pid < 0) return run;
+    if (pid == 0) {
+      std::vector<TraceShard> out = analyze_trace_shards(sources, config, lo, hi);
+      snapshot::SnapshotWriter writer(path, meta);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        writer.add_shard(static_cast<std::uint32_t>(lo + i), out[i]);
+      }
+      writer.close();
+      _exit(0);
+    }
+    pids.push_back(pid);
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return run;
+  }
+  run.shard_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  const auto t1 = std::chrono::steady_clock::now();
+  std::vector<snapshot::SnapshotShard> decoded;
+  for (const std::string& path : paths) {
+    snapshot::Snapshot snap = snapshot::read_snapshot(path);
+    run.bytes += std::filesystem::file_size(path);
+    for (auto& shard : snap.shards) decoded.push_back(std::move(shard));
+  }
+  run.decode_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t1).count();
+
+  const auto t2 = std::chrono::steady_clock::now();
+  std::vector<TraceShard> folded;
+  folded.reserve(decoded.size());
+  for (auto& shard : decoded) folded.push_back(std::move(shard.shard));
+  const DatasetAnalysis analysis = fold_shards(spec.name, std::move(folded), config);
+  run.merge_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t2).count();
+  run.packets = analysis.quality.packets_seen;
+  benchmark::DoNotOptimize(analysis.total_packets);
+  for (const std::string& path : paths) std::filesystem::remove(path);
+  run.ok = true;
+#else
+  (void)spec;
+  (void)model;
+  (void)config;
+  (void)dir;
+#endif
+  return run;
+}
+
+void run_snapshot_study() {
+#ifdef __unix__
+  const double scale = env_double("ENTRACE_SNAP_SCALE", 0.02);
+  EnterpriseModel model;
+  const DatasetSpec spec = dataset_by_name("D1", scale);
+  AnalyzerConfig config = default_config_for_model(model.site());
+  config.threads = 1;  // per-process work stays single-threaded; processes scale
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "entrace_bench_esnap").string();
+  std::filesystem::create_directories(dir);
+
+  std::printf("---- snapshot shards: multi-process shard+merge (D1, scale %.3f) ----\n", scale);
+  g_snapshot_study.scale = scale;
+
+  // Pure-encode throughput, separated from analysis cost: analyze once in
+  // this process (threads = 1 keeps it thread-free for the forks below),
+  // then time only the SnapshotWriter pass.
+  {
+    const SyntheticTraceSourceSet sources(spec, model);
+    g_snapshot_study.traces = sources.size();
+    const std::vector<TraceShard> shards =
+        analyze_trace_shards(sources, config, 0, sources.size());
+    const std::string path = dir + "/encode.esnap";
+    const auto t0 = std::chrono::steady_clock::now();
+    snapshot::SnapshotWriter writer(
+        path, {spec.name, spec.scale, static_cast<std::uint32_t>(sources.size())});
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      writer.add_shard(static_cast<std::uint32_t>(i), shards[i]);
+    }
+    writer.close();
+    g_snapshot_study.encode_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    g_snapshot_study.encode_bytes = writer.bytes_written();
+    std::filesystem::remove(path);
+    std::printf("  encode: %.1f MB in %.3fs (%.1f MB/s)\n",
+                static_cast<double>(g_snapshot_study.encode_bytes) / 1e6,
+                g_snapshot_study.encode_seconds,
+                g_snapshot_study.encode_seconds > 0
+                    ? static_cast<double>(g_snapshot_study.encode_bytes) / 1e6 /
+                          g_snapshot_study.encode_seconds
+                    : 0.0);
+  }
+
+  for (const int shards : {1, 2, 4, 8}) {
+    const ShardRun run = run_sharded(spec, model, config, shards, dir);
+    if (!run.ok) {
+      std::printf("  %d shard(s): measurement failed\n", shards);
+      continue;
+    }
+    g_snapshot_study.runs.push_back(run);
+    const double total = run.shard_seconds + run.decode_seconds + run.merge_seconds;
+    const double mb = static_cast<double>(run.bytes) / 1e6;
+    std::printf(
+        "  %d shard(s): analyze+encode %6.2fs, decode %5.3fs (%6.1f MB/s), merge %5.3fs"
+        "  -> total %6.2fs\n",
+        shards, run.shard_seconds, run.decode_seconds,
+        run.decode_seconds > 0 ? mb / run.decode_seconds : 0.0, run.merge_seconds, total);
+  }
+  if (g_snapshot_study.runs.size() > 1) {
+    const ShardRun& one = g_snapshot_study.runs.front();
+    const ShardRun& best = *std::min_element(
+        g_snapshot_study.runs.begin(), g_snapshot_study.runs.end(),
+        [](const ShardRun& a, const ShardRun& b) {
+          return a.shard_seconds + a.decode_seconds + a.merge_seconds <
+                 b.shard_seconds + b.decode_seconds + b.merge_seconds;
+        });
+    std::printf("  best: %d shards, %.2fx vs 1 process (%llu packets, %.1f MB of snapshots)\n",
+                best.shards,
+                (one.shard_seconds + one.decode_seconds + one.merge_seconds) /
+                    (best.shard_seconds + best.decode_seconds + best.merge_seconds),
+                static_cast<unsigned long long>(one.packets),
+                static_cast<double>(one.bytes) / 1e6);
+  }
+  std::filesystem::remove_all(dir);
+#else
+  std::printf("---- snapshot shard study skipped (no fork) ----\n");
+#endif
+}
+
 void run_pipeline_scaling() {
   const double scale = benchutil::env_scale();
   const int reps = env_int("ENTRACE_BENCH_REPS", 3);
@@ -472,12 +644,31 @@ void run_pipeline_scaling() {
     }
     if (g_memory_runs.size() == 2 && g_memory_runs[0].ok && g_memory_runs[1].ok &&
         g_memory_runs[1].peak_rss_kb > 0) {
-      std::fprintf(json, "  ],\n  \"memory_rss_reduction\": %.2f\n}\n",
+      std::fprintf(json, "  ],\n  \"memory_rss_reduction\": %.2f,\n",
                    static_cast<double>(g_memory_runs[0].peak_rss_kb) /
                        static_cast<double>(g_memory_runs[1].peak_rss_kb));
     } else {
-      std::fprintf(json, "  ]\n}\n");
+      std::fprintf(json, "  ],\n");
     }
+    // Snapshot shard study (see run_snapshot_study; empty without fork).
+    std::fprintf(json,
+                 "  \"snapshot\": {\n    \"dataset\": \"D1\",\n    \"scale\": %.4f,\n"
+                 "    \"traces\": %zu,\n    \"encode_seconds\": %.4f,\n"
+                 "    \"encode_bytes\": %llu,\n    \"runs\": [\n",
+                 g_snapshot_study.scale, g_snapshot_study.traces,
+                 g_snapshot_study.encode_seconds,
+                 static_cast<unsigned long long>(g_snapshot_study.encode_bytes));
+    for (std::size_t i = 0; i < g_snapshot_study.runs.size(); ++i) {
+      const ShardRun& r = g_snapshot_study.runs[i];
+      std::fprintf(json,
+                   "      {\"shards\": %d, \"packets\": %llu, \"snapshot_bytes\": %llu, "
+                   "\"shard_seconds\": %.3f, \"decode_seconds\": %.4f, \"merge_seconds\": "
+                   "%.4f}%s\n",
+                   r.shards, static_cast<unsigned long long>(r.packets),
+                   static_cast<unsigned long long>(r.bytes), r.shard_seconds, r.decode_seconds,
+                   r.merge_seconds, i + 1 < g_snapshot_study.runs.size() ? "," : "");
+    }
+    std::fprintf(json, "    ]\n  }\n}\n");
     std::fclose(json);
     std::printf("  wrote BENCH_pipeline.json\n");
   }
@@ -492,6 +683,11 @@ int main(int argc, char** argv) {
   entrace::run_memory_study();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--memory-only") == 0) return 0;
+  }
+  // Also fork()-based, so it too runs before any thread is created.
+  entrace::run_snapshot_study();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--snapshot-only") == 0) return 0;
   }
   entrace::run_pipeline_scaling();
   for (int i = 1; i < argc; ++i) {

@@ -3,22 +3,30 @@
 //
 //   $ ./enterprise_report [D0|D1|D2|D3|D4] [scale]
 #include <cstdio>
-#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/analyzer.h"
 #include "core/report.h"
 #include "synth/synth_source.h"
+#include "util/cli.h"
 
 int main(int argc, char** argv) {
   using namespace entrace;
-  const std::string name = argc > 1 ? argv[1] : "D3";
-  const double scale = argc > 2 ? std::atof(argv[2]) : 0.008;
+  cli::DatasetArgs args{"D3", 0.008};
+  std::string error;
+  const std::vector<const char*> rest(argv + 1, argv + argc);
+  const int consumed = cli::parse_dataset_args(rest, args, &error);
+  if (consumed < 0 || static_cast<std::size_t>(consumed) != rest.size()) {
+    std::fprintf(stderr, "%s\nusage: %s [D0|D1|D2|D3|D4] [scale]\n",
+                 error.empty() ? "unrecognized arguments" : error.c_str(), argv[0]);
+    return 2;
+  }
 
   EnterpriseModel model;
-  const DatasetSpec spec = dataset_by_name(name, scale);
-  std::fprintf(stderr, "streaming %s at scale %.3f (%d subnets x %d)...\n", name.c_str(),
-               scale, spec.num_subnets, spec.traces_per_subnet);
+  const DatasetSpec spec = dataset_by_name(args.name, args.scale);
+  std::fprintf(stderr, "streaming %s at scale %.3f (%d subnets x %d)...\n", args.name.c_str(),
+               args.scale, spec.num_subnets, spec.traces_per_subnet);
   // Generation and analysis are fused: each per-trace job regenerates its
   // packets in bounded slices, so even a full-scale dataset streams through
   // without ever being held in memory.

@@ -6,16 +6,20 @@
 // This exercises the whole public API in ~40 lines: EnterpriseModel +
 // DatasetSpec -> SyntheticTraceSourceSet -> analyze_dataset -> report.
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "core/analyzer.h"
 #include "core/report.h"
 #include "synth/synth_source.h"
+#include "util/cli.h"
 
 int main(int argc, char** argv) {
   using namespace entrace;
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.004;
+  double scale = 0.004;
+  if (argc > 1 && !cli::parse_scale(argv[1], scale)) {
+    std::fprintf(stderr, "usage: %s [scale]  (scale must be a positive number)\n", argv[0]);
+    return 2;
+  }
 
   // 1. Model the enterprise and pick a dataset configuration (D3: 18
   //    subnets, hour-long traces, full payloads).

@@ -6,10 +6,15 @@
 
 #include "core/analyzer.h"
 #include "synth/synth_source.h"
+#include "util/cli.h"
 
 int main(int argc, char** argv) {
   using namespace entrace;
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.01;
+  double scale = 0.01;
+  if (argc > 1 && !cli::parse_scale(argv[1], scale)) {
+    std::fprintf(stderr, "usage: %s [scale]  (scale must be a positive number)\n", argv[0]);
+    return 2;
+  }
 
   EnterpriseModel model;
   DatasetSpec spec = dataset_d4(scale);

@@ -37,6 +37,38 @@ void ScannerDetector::merge(const ScannerDetector& other) {
   cache_valid_ = false;
 }
 
+std::vector<ScannerDetector::SourceObservations> ScannerDetector::export_observations() const {
+  std::vector<SourceObservations> out;
+  out.reserve(sources_.size());
+  for (const auto& [src, state] : sources_) {
+    SourceObservations obs;
+    obs.source = src;
+    obs.order = state.order;
+    const std::unordered_set<std::uint32_t> in_order(state.order.begin(), state.order.end());
+    for (const std::uint32_t dst : state.seen) {
+      if (in_order.count(dst) == 0) obs.extra_seen.push_back(dst);
+    }
+    std::sort(obs.extra_seen.begin(), obs.extra_seen.end());
+    out.push_back(std::move(obs));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SourceObservations& a, const SourceObservations& b) {
+              return a.source < b.source;
+            });
+  return out;
+}
+
+void ScannerDetector::import_observations(const std::vector<SourceObservations>& observations) {
+  for (const SourceObservations& obs : observations) {
+    SourceState& state = sources_[obs.source];
+    state.order = obs.order;
+    state.seen.reserve(obs.order.size() + obs.extra_seen.size());
+    state.seen.insert(obs.order.begin(), obs.order.end());
+    state.seen.insert(obs.extra_seen.begin(), obs.extra_seen.end());
+  }
+  cache_valid_ = false;
+}
+
 bool ScannerDetector::is_ordered_probe(const SourceState& s, const Config& config) {
   if (s.seen.size() <= config.distinct_host_threshold) return false;
   // Count the longest run of consecutive first-contacts moving in one

@@ -44,6 +44,23 @@ class ScannerDetector {
 
   bool is_scanner(Ipv4Address addr) const;  // evaluates lazily, cached
 
+  // ---- snapshot support (src/snapshot) --------------------------------------
+  // Everything merge() consumes, in a deterministic layout: one entry per
+  // source, ascending by source address; `order` is the capped first-contact
+  // sequence and `extra_seen` the distinct destinations beyond the cap,
+  // ascending.  A detector rebuilt by import_observations() merges exactly
+  // like the one that was exported.
+  struct SourceObservations {
+    std::uint32_t source = 0;
+    std::vector<std::uint32_t> order;
+    std::vector<std::uint32_t> extra_seen;
+  };
+  std::vector<SourceObservations> export_observations() const;
+  // Rebuild per-source state from an export.  The detector must be fresh
+  // (no prior observations for the imported sources).
+  void import_observations(const std::vector<SourceObservations>& observations);
+  const std::set<Ipv4Address>& known_scanners() const { return known_; }
+
  private:
   struct SourceState {
     std::unordered_set<std::uint32_t> seen;

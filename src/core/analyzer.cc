@@ -19,31 +19,6 @@ AnalyzerConfig default_config_for_model(const SiteConfig& site) {
   return config;
 }
 
-namespace {
-
-// Everything one per-trace job produces.  Shards are private to their job
-// and folded into the DatasetAnalysis on the caller's thread in
-// trace-index order, so results are identical for every thread count.
-struct TraceShard {
-  explicit TraceShard(const ScannerDetector::Config& scanner_config)
-      : detector(scanner_config) {}
-
-  int subnet_id = -1;
-  std::uint64_t total_packets = 0;
-  std::uint64_t total_wire_bytes = 0;
-  NetworkLayerBreakdown l3;
-  IpProtoCounts ip_proto_packets;
-  std::set<std::uint32_t> monitored_hosts;
-  std::set<std::uint32_t> lbnl_hosts;
-  std::set<std::uint32_t> remote_hosts;
-  ScannerDetector detector;
-  AppRegistry registry;
-  AppEvents events;
-  std::unique_ptr<FlowTable> table;
-  TraceLoadRaw load;
-  CaptureQuality quality;
-};
-
 // One fused streaming pass over a trace source: pull -> decode -> tallies
 // -> scanner observation -> flow table -> protocol dispatch, with a single
 // decode_packet call per packet and only the source's own buffer (one
@@ -118,17 +93,13 @@ void analyze_trace(PacketSource& source, const AnalyzerConfig& config, TraceShar
   // Dispatcher can be dropped; events and registry outlive it.
 }
 
-}  // namespace
-
-DatasetAnalysis analyze_dataset(const TraceSourceSet& sources, const AnalyzerConfig& config) {
-  DatasetAnalysis out;
-  out.name = sources.dataset_name();
-  out.site = config.site;
-
-  // ---- per-trace jobs: fused decode/tally/scanner/flow/app pass ------------
+std::vector<TraceShard> analyze_trace_shards(const TraceSourceSet& sources,
+                                             const AnalyzerConfig& config,
+                                             std::size_t begin, std::size_t end) {
   // Each job opens its own source, so streams never share state across
   // threads and a trace's packets live only inside its job.
-  const std::size_t n = sources.size();
+  end = std::min(end, sources.size());
+  const std::size_t n = end > begin ? end - begin : 0;
   std::vector<TraceShard> shards;
   shards.reserve(n);
   for (std::size_t i = 0; i < n; ++i) shards.emplace_back(config.scanner);
@@ -137,9 +108,17 @@ DatasetAnalysis analyze_dataset(const TraceSourceSet& sources, const AnalyzerCon
       config.threads != 0 ? config.threads : ThreadPool::env_thread_count();
   ThreadPool pool(std::min(threads, n > 0 ? n : std::size_t{1}));
   pool.for_each_index(n, [&](std::size_t i) {
-    const std::unique_ptr<PacketSource> source = sources.open(i);
+    const std::unique_ptr<PacketSource> source = sources.open(begin + i);
     analyze_trace(*source, config, shards[i]);
   });
+  return shards;
+}
+
+DatasetAnalysis fold_shards(std::string dataset_name, std::vector<TraceShard>&& shards,
+                            const AnalyzerConfig& config) {
+  DatasetAnalysis out;
+  out.name = std::move(dataset_name);
+  out.site = config.site;
 
   // ---- deterministic fold, in trace-index order ----------------------------
   ScannerDetector detector(config.scanner);
@@ -179,6 +158,11 @@ DatasetAnalysis analyze_dataset(const TraceSourceSet& sources, const AnalyzerCon
     }
   }
   return out;
+}
+
+DatasetAnalysis analyze_dataset(const TraceSourceSet& sources, const AnalyzerConfig& config) {
+  return fold_shards(sources.dataset_name(),
+                     analyze_trace_shards(sources, config, 0, sources.size()), config);
 }
 
 DatasetAnalysis analyze_dataset(const TraceSet& traces, const AnalyzerConfig& config) {

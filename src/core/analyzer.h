@@ -150,6 +150,55 @@ class DatasetAnalysis {
   std::uint64_t payload_bytes() const;
 };
 
+// Everything one per-trace job produces.  Shards are private to their job
+// and folded into the DatasetAnalysis on the caller's thread in trace-index
+// order, so results are identical for every thread count.  A shard is also
+// the unit of the snapshot subsystem (src/snapshot): every member either
+// merges associatively or is per-trace state carried through the fold, so
+// shards computed by different processes — or decoded from .esnap files —
+// fold to the same DatasetAnalysis as a single-process run.
+struct TraceShard {
+  TraceShard() = default;
+  explicit TraceShard(const ScannerDetector::Config& scanner_config)
+      : detector(scanner_config) {}
+
+  int subnet_id = -1;
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_wire_bytes = 0;
+  NetworkLayerBreakdown l3;
+  IpProtoCounts ip_proto_packets;
+  std::set<std::uint32_t> monitored_hosts;
+  std::set<std::uint32_t> lbnl_hosts;
+  std::set<std::uint32_t> remote_hosts;
+  ScannerDetector detector;
+  AppRegistry registry;
+  AppEvents events;
+  std::unique_ptr<FlowTable> table;
+  TraceLoadRaw load;
+  CaptureQuality quality;
+};
+
+// One fused streaming pass over a trace source: pull -> decode -> tallies
+// -> scanner observation -> flow table -> protocol dispatch, with a single
+// decode_packet call per packet.  Fills `shard` (which must be fresh).
+void analyze_trace(PacketSource& source, const AnalyzerConfig& config, TraceShard& shard);
+
+// Analyze traces [begin, end) of the set — one shard per trace, in trace-
+// index order, computed in parallel per config.threads.  This is the
+// sharding half of analyze_dataset, exposed so a shard process can analyze
+// its slice of a dataset and snapshot the result (tools/entrace_shard).
+std::vector<TraceShard> analyze_trace_shards(const TraceSourceSet& sources,
+                                             const AnalyzerConfig& config,
+                                             std::size_t begin, std::size_t end);
+
+// Deterministic fold: consumes one shard per trace of the dataset, in
+// trace-index order, and produces the final DatasetAnalysis (global scanner
+// identification and removal run post-fold).  Whether the shards came from
+// this process's analyze_trace_shards or were decoded from snapshot files,
+// the result is bit-identical.
+DatasetAnalysis fold_shards(std::string dataset_name, std::vector<TraceShard>&& shards,
+                            const AnalyzerConfig& config);
+
 // Streaming entry point: each per-trace job opens its own PacketSource
 // from the set, so whole traces are never materialized by the analyzer.
 DatasetAnalysis analyze_dataset(const TraceSourceSet& sources, const AnalyzerConfig& config);

@@ -169,6 +169,13 @@ class AppRegistry {
   // this one.  The static port table is identical in every registry.
   void merge_dynamic_endpoints(const AppRegistry& other);
 
+  // Snapshot support (src/snapshot): the dynamic endpoints in deterministic
+  // (map) order; a registry rebuilt by register_dcerpc_endpoint over these
+  // entries is equivalent.
+  const std::map<std::pair<std::uint32_t, std::uint16_t>, bool>& dynamic_endpoints() const {
+    return dcerpc_endpoints_;
+  }
+
  private:
   AppProtocol lookup(std::uint8_t proto, std::uint16_t port) const;
 

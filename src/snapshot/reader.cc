@@ -1,0 +1,470 @@
+#include "snapshot/reader.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <utility>
+
+namespace entrace::snapshot {
+
+namespace {
+
+inline constexpr std::uint32_t kNoConn = 0xFFFFFFFFu;
+
+std::string hex_bytes(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  char buf[4];
+  for (const std::uint8_t b : bytes) {
+    std::snprintf(buf, sizeof(buf), "%02x", b);
+    out += buf;
+  }
+  return out;
+}
+
+Connection decode_connection(ByteReader& r) {
+  Connection c;
+  c.key.src = Ipv4Address(r.u32());
+  c.key.dst = Ipv4Address(r.u32());
+  c.key.src_port = r.u16();
+  c.key.dst_port = r.u16();
+  c.key.proto = r.u8();
+  c.start_ts = r.f64();
+  c.last_ts = r.f64();
+  c.orig_pkts = r.u64();
+  c.resp_pkts = r.u64();
+  c.orig_bytes = r.u64();
+  c.resp_bytes = r.u64();
+  const std::uint8_t state = r.u8();
+  if (state > static_cast<std::uint8_t>(ConnState::kClosed)) {
+    throw SnapshotError(r.offset() - 1,
+                        "connection state " + std::to_string(state) + " out of range");
+  }
+  c.state = static_cast<ConnState>(state);
+  c.saw_syn = r.u8() != 0;
+  c.saw_synack = r.u8() != 0;
+  c.saw_fin = r.u8() != 0;
+  c.saw_rst = r.u8() != 0;
+  c.orig_isn = r.u32();
+  c.resp_isn = r.u32();
+  c.retransmissions = r.u32();
+  c.keepalive_retx = r.u32();
+  c.icmp_type = r.u8();
+  c.app_id = r.u16();
+  c.multicast = r.u8() != 0;
+  return c;
+}
+
+void decode_series(ByteReader& r, IntervalSeries& series) {
+  const double width = r.f64();
+  if (width != series.bin_width()) {
+    throw SnapshotError(r.offset() - 8, "interval-series bin width " + std::to_string(width) +
+                                            " does not match the expected " +
+                                            std::to_string(series.bin_width()));
+  }
+  const std::uint64_t n = r.u64();
+  std::map<std::int64_t, double> bins;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::int64_t bin = r.i64();
+    const double value = r.f64();
+    if (!bins.emplace(bin, value).second) {
+      throw SnapshotError(r.offset(), "duplicate interval-series bin " + std::to_string(bin));
+    }
+  }
+  series.restore_bins(std::move(bins));
+}
+
+// Resolve a positional connection reference into the restored flow table.
+const Connection* resolve_conn(ByteReader& r, const FlowTable& table) {
+  const std::uint32_t ref = r.u32();
+  if (ref == kNoConn) return nullptr;
+  if (ref >= table.connections().size()) {
+    throw SnapshotError(r.offset() - 4, "event references connection " + std::to_string(ref) +
+                                            " of " + std::to_string(table.connections().size()));
+  }
+  return &table.connections()[ref];
+}
+
+void decode_events(ByteReader& r, AppEvents& ev, const FlowTable& table) {
+  std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    HttpTransaction e;
+    e.conn = resolve_conn(r, table);
+    e.req_ts = r.f64();
+    e.resp_ts = r.f64();
+    e.method = r.str();
+    e.uri = r.str();
+    e.host = r.str();
+    e.user_agent = r.str();
+    e.conditional = r.u8() != 0;
+    e.has_response = r.u8() != 0;
+    e.status = r.i32();
+    e.content_type = r.str();
+    e.resp_body_len = r.u64();
+    ev.http.push_back(std::move(e));
+  }
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SmtpCommand e;
+    e.conn = resolve_conn(r, table);
+    e.ts = r.f64();
+    e.verb = r.str();
+    ev.smtp.push_back(std::move(e));
+  }
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    DnsTransaction e;
+    e.conn = resolve_conn(r, table);
+    e.query_ts = r.f64();
+    e.resp_ts = r.f64();
+    e.qtype = r.u16();
+    e.qname = r.str();
+    e.has_response = r.u8() != 0;
+    e.rcode = r.i32();
+    ev.dns.push_back(std::move(e));
+  }
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    NbnsTransaction e;
+    e.conn = resolve_conn(r, table);
+    e.query_ts = r.f64();
+    e.resp_ts = r.f64();
+    e.opcode = static_cast<NbnsOpcode>(r.u8());
+    e.name_type = static_cast<NbnsNameType>(r.u8());
+    e.name = r.str();
+    e.has_response = r.u8() != 0;
+    e.rcode = r.i32();
+    ev.nbns.push_back(std::move(e));
+  }
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    NbssEvent e;
+    e.conn = resolve_conn(r, table);
+    e.ts = r.f64();
+    e.type = static_cast<NbssEventType>(r.u8());
+    ev.nbss.push_back(e);
+  }
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    CifsCommand e;
+    e.conn = resolve_conn(r, table);
+    e.ts = r.f64();
+    e.command = r.u8();
+    e.category = static_cast<CifsCategory>(r.u8());
+    e.dir = static_cast<Direction>(r.u8());
+    e.msg_bytes = r.u32();
+    ev.cifs.push_back(e);
+  }
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    DceRpcCall e;
+    e.conn = resolve_conn(r, table);
+    e.ts = r.f64();
+    e.iface = static_cast<DceIface>(r.u8());
+    e.opnum = r.u16();
+    e.over_pipe = r.u8() != 0;
+    e.is_request = r.u8() != 0;
+    e.bytes = r.u32();
+    ev.dcerpc.push_back(e);
+  }
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EpmMapping e;
+    e.conn = resolve_conn(r, table);
+    e.ts = r.f64();
+    e.server = Ipv4Address(r.u32());
+    e.port = r.u16();
+    e.iface = static_cast<DceIface>(r.u8());
+    ev.epm.push_back(e);
+  }
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    NfsCall e;
+    e.conn = resolve_conn(r, table);
+    e.req_ts = r.f64();
+    e.resp_ts = r.f64();
+    e.proc = r.u32();
+    e.has_reply = r.u8() != 0;
+    e.status = r.u32();
+    e.req_bytes = r.u32();
+    e.resp_bytes = r.u32();
+    ev.nfs.push_back(e);
+  }
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    NcpCall e;
+    e.conn = resolve_conn(r, table);
+    e.req_ts = r.f64();
+    e.resp_ts = r.f64();
+    e.function = static_cast<NcpFunction>(r.u8());
+    e.has_reply = r.u8() != 0;
+    e.completion_code = r.u8();
+    e.req_bytes = r.u32();
+    e.resp_bytes = r.u32();
+    ev.ncp.push_back(e);
+  }
+}
+
+void decode_host_set(ByteReader& r, std::set<std::uint32_t>& hosts) {
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) hosts.insert(hosts.end(), r.u32());
+}
+
+// The per-trace section run, in the order the writer emits it.
+constexpr SectionType kShardRun[] = {
+    SectionType::kTraceHeader,   SectionType::kIpProtoCounts, SectionType::kHostSets,
+    SectionType::kScannerState,  SectionType::kDynamicEndpoints,
+    SectionType::kConnections,   SectionType::kAppEvents,     SectionType::kTraceLoad,
+    SectionType::kCaptureQuality};
+constexpr std::size_t kShardRunLen = sizeof(kShardRun) / sizeof(kShardRun[0]);
+
+struct Decoder {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos = 0;
+  Snapshot out;
+  bool saw_meta = false;
+  // Position within kShardRun; 0 means "between shards".
+  std::size_t run_pos = 0;
+
+  void check_header() {
+    if (bytes.size() < kHeaderSize) {
+      throw SnapshotError(bytes.size(), "file too short for the " +
+                                            std::to_string(kHeaderSize) + "-byte header");
+    }
+    if (std::memcmp(bytes.data(), kMagic, kMagicSize) != 0) {
+      throw SnapshotError(0, "bad magic " + hex_bytes(bytes.subspan(0, kMagicSize)) +
+                                 " (expected " +
+                                 hex_bytes({reinterpret_cast<const std::uint8_t*>(kMagic),
+                                            kMagicSize}) +
+                                 ")");
+    }
+    ByteReader r(bytes.subspan(kMagicSize, 4), kMagicSize);
+    const std::uint32_t version = r.u32();
+    if (version != kFormatVersion) {
+      throw SnapshotError(kMagicSize, "format version " + std::to_string(version) +
+                                          " unsupported (this reader knows version " +
+                                          std::to_string(kFormatVersion) + ")");
+    }
+    pos = kHeaderSize;
+  }
+
+  // Reads one framed section, verifies its CRC, returns (type, payload).
+  std::pair<SectionType, std::span<const std::uint8_t>> next_section() {
+    if (bytes.size() - pos < kSectionHeaderSize) {
+      throw SnapshotError(pos, "file truncated inside a section header (" +
+                                   std::to_string(bytes.size() - pos) + " of " +
+                                   std::to_string(kSectionHeaderSize) + " bytes present)");
+    }
+    ByteReader header(bytes.subspan(pos, kSectionHeaderSize), pos);
+    const std::uint32_t raw_type = header.u32();
+    const std::uint64_t length = header.u64();
+    const std::size_t payload_at = pos + kSectionHeaderSize;
+    if (length > bytes.size() - payload_at ||
+        kSectionTrailerSize > bytes.size() - payload_at - length) {
+      throw SnapshotError(payload_at,
+                          "file truncated inside the " + std::string(to_string(
+                              static_cast<SectionType>(raw_type))) +
+                              " section: payload of " + std::to_string(length) +
+                              "+4 bytes declared, " + std::to_string(bytes.size() - payload_at) +
+                              " bytes remain");
+    }
+    const std::span<const std::uint8_t> payload = bytes.subspan(payload_at, length);
+    ByteReader trailer(bytes.subspan(payload_at + length, kSectionTrailerSize),
+                       payload_at + length);
+    const std::uint32_t stored = trailer.u32();
+    const std::uint32_t computed = crc32(payload);
+    if (stored != computed) {
+      char msg[128];
+      std::snprintf(msg, sizeof(msg), "CRC mismatch in the %s section (stored 0x%08x, computed 0x%08x)",
+                    to_string(static_cast<SectionType>(raw_type)), stored, computed);
+      throw SnapshotError(payload_at + length, msg);
+    }
+    pos = payload_at + length + kSectionTrailerSize;
+    return {static_cast<SectionType>(raw_type), payload};
+  }
+
+  void run() {
+    check_header();
+    while (true) {
+      const std::size_t section_at = pos;
+      const auto [type, payload] = next_section();
+      ByteReader r(payload, section_at + kSectionHeaderSize);
+      if (type == SectionType::kEnd) {
+        if (!saw_meta) throw SnapshotError(section_at, "end section before dataset-meta");
+        if (run_pos != 0) {
+          throw SnapshotError(section_at, "end section in the middle of a trace shard (next "
+                                          "expected: " +
+                                              std::string(to_string(kShardRun[run_pos])) + ")");
+        }
+        r.expect_end("end");
+        if (pos != bytes.size()) {
+          throw SnapshotError(pos, std::to_string(bytes.size() - pos) +
+                                       " trailing bytes after the end section");
+        }
+        return;
+      }
+      if (!saw_meta) {
+        if (type != SectionType::kDatasetMeta) {
+          throw SnapshotError(section_at, "first section is " + std::string(to_string(type)) +
+                                              ", expected dataset-meta");
+        }
+        out.meta.dataset = r.str();
+        out.meta.scale = r.f64();
+        out.meta.trace_count = r.u32();
+        r.expect_end("dataset-meta");
+        saw_meta = true;
+        continue;
+      }
+      if (type != kShardRun[run_pos]) {
+        throw SnapshotError(section_at, "unexpected section " + std::string(to_string(type)) +
+                                            " (expected " +
+                                            std::string(to_string(kShardRun[run_pos])) + ")");
+      }
+      decode_shard_section(type, r);
+      run_pos = (run_pos + 1) % kShardRunLen;
+    }
+  }
+
+  SnapshotShard& current() { return out.shards.back(); }
+
+  void decode_shard_section(SectionType type, ByteReader& r) {
+    const std::uint32_t index = r.u32();
+    if (type == SectionType::kTraceHeader) {
+      if (!out.shards.empty() && index <= out.shards.back().trace_index) {
+        throw SnapshotError(r.offset() - 4,
+                            "trace index " + std::to_string(index) + " not ascending (previous " +
+                                std::to_string(out.shards.back().trace_index) + ")");
+      }
+      out.shards.emplace_back();
+      current().trace_index = index;
+    } else if (index != current().trace_index) {
+      throw SnapshotError(r.offset() - 4, std::string(to_string(type)) + " section for trace " +
+                                              std::to_string(index) + " inside the run of trace " +
+                                              std::to_string(current().trace_index));
+    }
+    TraceShard& shard = current().shard;
+    switch (type) {
+      case SectionType::kTraceHeader: {
+        shard.subnet_id = r.i32();
+        shard.total_packets = r.u64();
+        shard.total_wire_bytes = r.u64();
+        shard.l3.total = r.u64();
+        shard.l3.ip = r.u64();
+        shard.l3.arp = r.u64();
+        shard.l3.ipx = r.u64();
+        shard.l3.other = r.u64();
+        break;
+      }
+      case SectionType::kIpProtoCounts: {
+        for (int p = 0; p < 256; ++p) shard.ip_proto_packets[static_cast<std::uint8_t>(p)] = r.u64();
+        break;
+      }
+      case SectionType::kHostSets: {
+        decode_host_set(r, shard.monitored_hosts);
+        decode_host_set(r, shard.lbnl_hosts);
+        decode_host_set(r, shard.remote_hosts);
+        break;
+      }
+      case SectionType::kScannerState: {
+        const std::uint64_t n = r.u64();
+        std::vector<ScannerDetector::SourceObservations> observations;
+        observations.reserve(n < 4096 ? static_cast<std::size_t>(n) : 4096);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          ScannerDetector::SourceObservations obs;
+          obs.source = r.u32();
+          const std::uint32_t order_len = r.u32();
+          obs.order.reserve(order_len < 4096 ? order_len : 4096);
+          for (std::uint32_t j = 0; j < order_len; ++j) obs.order.push_back(r.u32());
+          const std::uint32_t extra_len = r.u32();
+          for (std::uint32_t j = 0; j < extra_len; ++j) obs.extra_seen.push_back(r.u32());
+          observations.push_back(std::move(obs));
+        }
+        shard.detector.import_observations(observations);
+        const std::uint32_t known = r.u32();
+        for (std::uint32_t i = 0; i < known; ++i) {
+          shard.detector.add_known_scanner(Ipv4Address(r.u32()));
+        }
+        break;
+      }
+      case SectionType::kDynamicEndpoints: {
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+          const Ipv4Address server(r.u32());
+          const std::uint16_t port = r.u16();
+          const bool enabled = r.u8() != 0;
+          if (enabled) shard.registry.register_dcerpc_endpoint(server, port);
+        }
+        break;
+      }
+      case SectionType::kConnections: {
+        shard.table = std::make_unique<FlowTable>();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+          shard.table->connections().push_back(decode_connection(r));
+        }
+        break;
+      }
+      case SectionType::kAppEvents: {
+        if (shard.table == nullptr) {
+          throw SnapshotError(r.offset(), "app-events section before connections");
+        }
+        decode_events(r, shard.events, *shard.table);
+        break;
+      }
+      case SectionType::kTraceLoad: {
+        shard.load.trace_name = r.str();
+        decode_series(r, shard.load.bits_1s);
+        decode_series(r, shard.load.bits_10s);
+        decode_series(r, shard.load.bits_60s);
+        shard.load.ent_tcp_pkts = r.u64();
+        shard.load.ent_retx = r.u64();
+        shard.load.wan_tcp_pkts = r.u64();
+        shard.load.wan_retx = r.u64();
+        shard.load.keepalive_excluded = r.u64();
+        break;
+      }
+      case SectionType::kCaptureQuality: {
+        shard.quality.packets_seen = r.u64();
+        shard.quality.packets_ok = r.u64();
+        shard.quality.packets_dropped = r.u64();
+        const std::uint32_t kinds = r.u32();
+        if (kinds != kAnomalyKindCount) {
+          throw SnapshotError(r.offset() - 4,
+                              "anomaly taxonomy has " + std::to_string(kinds) +
+                                  " kinds, this build knows " + std::to_string(kAnomalyKindCount) +
+                                  " (format version bump required)");
+        }
+        for (std::size_t k = 0; k < kAnomalyKindCount; ++k) {
+          shard.quality.anomalies[static_cast<AnomalyKind>(k)] = r.u64();
+        }
+        break;
+      }
+      case SectionType::kDatasetMeta:
+      case SectionType::kEnd:
+        break;  // handled by run(); unreachable here
+    }
+    r.expect_end(to_string(type));
+  }
+};
+
+}  // namespace
+
+Snapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
+  Decoder decoder;
+  decoder.bytes = bytes;
+  decoder.run();
+  return std::move(decoder.out);
+}
+
+Snapshot read_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("snapshot reader: cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0 && !in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    throw std::runtime_error("snapshot reader: cannot read " + path);
+  }
+  return decode_snapshot(bytes);
+}
+
+}  // namespace entrace::snapshot

@@ -1,0 +1,51 @@
+// SnapshotWriter: encode analyzed per-trace shards into a .esnap file.
+//
+// A shard process analyzes a contiguous range of a dataset's traces
+// (analyze_trace_shards) and hands each TraceShard to add_shard() with its
+// global trace index.  close() writes the end marker — a file without one
+// (a killed shard process) is rejected by the reader, which is exactly the
+// checkpoint semantics entrace_shard's --resume relies on: only complete
+// snapshot files count as done work.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "core/analyzer.h"
+#include "snapshot/format.h"
+
+namespace entrace::snapshot {
+
+class SnapshotWriter {
+ public:
+  // Opens the file and writes magic + version + the dataset-meta section.
+  // Throws std::runtime_error when the file cannot be created.
+  SnapshotWriter(const std::string& path, const SnapshotMeta& meta);
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  // Encode one trace shard (all nine per-trace sections).  Shards must be
+  // added in ascending trace-index order (the reader enforces the same, so
+  // violations fail fast at write time instead of at merge time).
+  void add_shard(std::uint32_t trace_index, const TraceShard& shard);
+
+  // Write the end section and flush.  Without it the file is (by design)
+  // an invalid, resumable-from-scratch partial.
+  void close();
+
+  std::uint64_t bytes_written() const { return offset_; }
+
+ private:
+  void write_section(SectionType type, const ByteWriter& payload);
+
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t offset_ = 0;
+  std::int64_t last_index_ = -1;
+  bool closed_ = false;
+};
+
+}  // namespace entrace::snapshot

@@ -1,0 +1,37 @@
+// Shared command-line/environment parsing for the bench scaffolding, the
+// examples, and the snapshot tools — one place for the "[D0..D4] [scale]"
+// positional convention and the ENTRACE_* numeric knobs that used to be
+// re-implemented per binary.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace entrace::cli {
+
+// ENTRACE_SCALE, falling back to `fallback` when unset or non-positive.
+double env_scale(double fallback = 0.02);
+// Positive integer/double environment knobs (ENTRACE_BENCH_REPS, ...).
+int env_int(const char* name, int fallback);
+double env_double(const char* name, double fallback);
+
+// True for the five paper dataset names D0..D4 (case-sensitive, as
+// dataset_by_name expects them).
+bool is_dataset_name(const std::string& s);
+// Strict positive-double parse ("0.01"); false on garbage or <= 0.
+bool parse_scale(const std::string& s, double& out);
+// "lo:hi" half-open index range; false unless lo < hi parse cleanly.
+bool parse_index_range(const std::string& s, std::size_t& lo, std::size_t& hi);
+
+// The positional "[D0..D4] [scale]" dataset selection: consume up to two
+// leading positionals from `args` (either may be omitted; order is name
+// then scale).  Returns the number of positionals consumed, or -1 with
+// *error set when a positional parses as neither.
+struct DatasetArgs {
+  std::string name = "D3";
+  double scale = 0.02;
+};
+int parse_dataset_args(std::span<const char* const> args, DatasetArgs& out, std::string* error);
+
+}  // namespace entrace::cli

@@ -119,6 +119,18 @@ class IntervalSeries {
   std::vector<double> values() const;
   bool empty() const { return bins_.empty(); }
 
+  // Snapshot support (src/snapshot): the raw sparse bins, and exact
+  // reconstruction from them.  first/last follow from the key range —
+  // add() and merge() keep them at the min/max populated bin.
+  const std::map<std::int64_t, double>& bins() const { return bins_; }
+  void restore_bins(std::map<std::int64_t, double> bins) {
+    bins_ = std::move(bins);
+    if (!bins_.empty()) {
+      first_bin_ = bins_.begin()->first;
+      last_bin_ = bins_.rbegin()->first;
+    }
+  }
+
  private:
   double bin_width_;
   std::int64_t first_bin_ = 0;

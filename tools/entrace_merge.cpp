@@ -1,0 +1,99 @@
+// entrace_merge: fold N .esnap shard snapshots (written by entrace_shard)
+// into the full paper report.
+//
+// Shards are re-ordered by trace index before folding, so the merge is
+// independent of argument order and of how the dataset was partitioned:
+// for any split of a dataset's traces across shard files, the report
+// printed here is byte-identical to running enterprise_report over the
+// whole dataset in one process.
+//
+//   $ entrace_merge a.esnap b.esnap ... > report.txt
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/report.h"
+#include "snapshot/reader.h"
+#include "synth/synth_source.h"
+
+using namespace entrace;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <shard.esnap> [more.esnap ...]\n", argv[0]);
+    return 2;
+  }
+
+  std::vector<snapshot::SnapshotShard> shards;
+  snapshot::SnapshotMeta meta;
+  for (int i = 1; i < argc; ++i) {
+    snapshot::Snapshot snap;
+    try {
+      snap = snapshot::read_snapshot(argv[i]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], e.what());
+      return 1;
+    }
+    if (i == 1) {
+      meta = snap.meta;
+    } else if (!(snap.meta == meta)) {
+      std::fprintf(stderr,
+                   "%s: snapshot metadata mismatch (%s scale %g, %u traces) vs "
+                   "first file (%s scale %g, %u traces)\n",
+                   argv[i], snap.meta.dataset.c_str(), snap.meta.scale, snap.meta.trace_count,
+                   meta.dataset.c_str(), meta.scale, meta.trace_count);
+      return 1;
+    }
+    for (auto& shard : snap.shards) shards.push_back(std::move(shard));
+  }
+
+  std::sort(shards.begin(), shards.end(),
+            [](const snapshot::SnapshotShard& a, const snapshot::SnapshotShard& b) {
+              return a.trace_index < b.trace_index;
+            });
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (i > 0 && shards[i].trace_index == shards[i - 1].trace_index) {
+      std::fprintf(stderr, "duplicate shard for trace index %u\n", shards[i].trace_index);
+      return 1;
+    }
+  }
+  if (shards.size() != meta.trace_count ||
+      (meta.trace_count > 0 && (shards.front().trace_index != 0 ||
+                                shards.back().trace_index != meta.trace_count - 1))) {
+    std::fprintf(stderr, "incomplete dataset: have %zu of %u trace shards", shards.size(),
+                 meta.trace_count);
+    std::vector<bool> present(meta.trace_count, false);
+    for (const auto& s : shards) {
+      if (s.trace_index < meta.trace_count) present[s.trace_index] = true;
+    }
+    int listed = 0;
+    for (std::uint32_t t = 0; t < meta.trace_count && listed < 8; ++t) {
+      if (!present[t]) {
+        std::fprintf(stderr, "%s %u", listed == 0 ? "; missing:" : ",", t);
+        ++listed;
+      }
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  // The fold is the exact code path analyze_dataset uses after its per-trace
+  // loop, so the merged result (and the report bytes below) match a
+  // single-process run of the same dataset.
+  const EnterpriseModel model;
+  const DatasetSpec spec = dataset_by_name(meta.dataset, meta.scale);
+  std::vector<TraceShard> trace_shards;
+  trace_shards.reserve(shards.size());
+  for (auto& s : shards) trace_shards.push_back(std::move(s.shard));
+  const DatasetAnalysis analysis = fold_shards(spec.name, std::move(trace_shards),
+                                               default_config_for_model(model.site()));
+  std::fprintf(stderr, "merged %u shards: %llu packets\n", meta.trace_count,
+               static_cast<unsigned long long>(analysis.quality.packets_seen));
+
+  const report::ReportInput input{&spec, &analysis};
+  const std::vector<report::ReportInput> inputs{input};
+  std::fputs(report::full_report(inputs).c_str(), stdout);
+  return 0;
+}
