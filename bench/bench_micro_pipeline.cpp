@@ -11,10 +11,12 @@
 //      processes (each writing a .esnap via src/snapshot), then decoded and
 //      folded in the parent — .esnap encode/decode throughput plus the
 //      multi-process speedup of shard + merge over one process,
-//   3. a pipeline scaling study measuring analyze_dataset at 1, 2 and N
+//   3. a telemetry overhead study: analyze_dataset on D1 with
+//      AnalyzerConfig::collect_metrics on vs off (budget: <= 2%),
+//   4. a pipeline scaling study measuring analyze_dataset at 1, 2 and N
 //      threads against the seed's two-pass double-decode baseline.
 //
-// All three write into BENCH_pipeline.json (the scaling study holds the
+// All four write into BENCH_pipeline.json (the scaling study holds the
 // pen).  Pass --scaling-only to skip the google-benchmark suite,
 // --snapshot-only to stop after the snapshot study, --memory-only to stop
 // right after the memory study.  Knobs: ENTRACE_MEM_SCALE (D1 scale for
@@ -577,6 +579,64 @@ void run_snapshot_study() {
 #endif
 }
 
+// ---- telemetry overhead study -----------------------------------------------
+
+// Cost of the obs metrics layer on the D1 throughput workload:
+// analyze_dataset with collect_metrics on vs off over the streaming
+// sources, best of ENTRACE_BENCH_REPS.  Budget: <= 2% (EXPERIMENTS.md).
+struct TelemetryStudy {
+  double scale = 0.0;
+  std::uint64_t packets = 0;
+  double on_seconds = 0.0;
+  double off_seconds = 0.0;
+  double overhead_pct = 0.0;
+  bool ok = false;
+};
+
+TelemetryStudy g_telemetry_study;  // picked up by the JSON writer
+
+void run_telemetry_overhead() {
+  const double scale = env_double("ENTRACE_TELEMETRY_SCALE", 0.02);
+  const int reps = env_int("ENTRACE_BENCH_REPS", 3);
+  EnterpriseModel model;
+  const DatasetSpec spec = dataset_by_name("D1", scale);
+  const SyntheticTraceSourceSet sources(spec, model);
+  AnalyzerConfig config = default_config_for_model(model.site());
+  config.threads = 1;  // serial: per-packet metric cost is not hidden by idle cores
+
+  std::printf("---- telemetry overhead: collect_metrics on vs off (D1, scale %.3f) ----\n",
+              scale);
+  // Interleave on/off reps (off, on, off, on, ...) and keep the best of
+  // each: run-to-run noise on a shared box exceeds the signal, and
+  // interleaving keeps slow drift from landing entirely on one side.
+  std::uint64_t packets = 0;
+  double best_off = 0.0, best_on = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    for (const bool collect : {false, true}) {
+      config.collect_metrics = collect;
+      const auto start = std::chrono::steady_clock::now();
+      const DatasetAnalysis a = analyze_dataset(sources, config);
+      const double s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      packets = a.quality.packets_seen;
+      benchmark::DoNotOptimize(a.total_packets);
+      double& best = collect ? best_on : best_off;
+      if (r == 0 || s < best) best = s;
+    }
+  }
+
+  g_telemetry_study.scale = scale;
+  g_telemetry_study.packets = packets;
+  g_telemetry_study.on_seconds = best_on;
+  g_telemetry_study.off_seconds = best_off;
+  g_telemetry_study.overhead_pct =
+      best_off > 0 ? (best_on - best_off) / best_off * 100.0 : 0.0;
+  g_telemetry_study.ok = true;
+  std::printf("  off %8.3fs  on %8.3fs  overhead %+.2f%%  (%llu packets, budget <= 2%%)\n",
+              best_off, best_on, g_telemetry_study.overhead_pct,
+              static_cast<unsigned long long>(packets));
+}
+
 void run_pipeline_scaling() {
   const double scale = benchutil::env_scale();
   const int reps = env_int("ENTRACE_BENCH_REPS", 3);
@@ -650,6 +710,17 @@ void run_pipeline_scaling() {
     } else {
       std::fprintf(json, "  ],\n");
     }
+    // Telemetry overhead study (see run_telemetry_overhead).
+    if (g_telemetry_study.ok) {
+      std::fprintf(json,
+                   "  \"telemetry\": {\"dataset\": \"D1\", \"scale\": %.4f, \"packets\": %llu, "
+                   "\"metrics_off_seconds\": %.6f, \"metrics_on_seconds\": %.6f, "
+                   "\"overhead_pct\": %.2f, \"budget_pct\": 2.0},\n",
+                   g_telemetry_study.scale,
+                   static_cast<unsigned long long>(g_telemetry_study.packets),
+                   g_telemetry_study.off_seconds, g_telemetry_study.on_seconds,
+                   g_telemetry_study.overhead_pct);
+    }
     // Snapshot shard study (see run_snapshot_study; empty without fork).
     std::fprintf(json,
                  "  \"snapshot\": {\n    \"dataset\": \"D1\",\n    \"scale\": %.4f,\n"
@@ -689,6 +760,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--snapshot-only") == 0) return 0;
   }
+  entrace::run_telemetry_overhead();
   entrace::run_pipeline_scaling();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scaling-only") == 0) return 0;

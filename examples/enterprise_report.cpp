@@ -1,24 +1,38 @@
 // enterprise_report: generate one full dataset (default D3) and print the
 // complete paper report — every table and figure in order.
 //
-//   $ ./enterprise_report [D0|D1|D2|D3|D4] [scale]
+//   $ ./enterprise_report [D0|D1|D2|D3|D4] [scale] [--metrics-out file]
+//
+// --metrics-out writes the run's full telemetry (semantic + timing metrics)
+// to `file`: JSON when the path ends in .json, Prometheus text otherwise.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/analyzer.h"
 #include "core/report.h"
+#include "obs/exposition.h"
+#include "obs/stage_timer.h"
 #include "synth/synth_source.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
   using namespace entrace;
+  std::string metrics_out;
+  std::vector<const char*> rest;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
   cli::DatasetArgs args{"D3", 0.008};
   std::string error;
-  const std::vector<const char*> rest(argv + 1, argv + argc);
   const int consumed = cli::parse_dataset_args(rest, args, &error);
   if (consumed < 0 || static_cast<std::size_t>(consumed) != rest.size()) {
-    std::fprintf(stderr, "%s\nusage: %s [D0|D1|D2|D3|D4] [scale]\n",
+    std::fprintf(stderr, "%s\nusage: %s [D0|D1|D2|D3|D4] [scale] [--metrics-out file]\n",
                  error.empty() ? "unrecognized arguments" : error.c_str(), argv[0]);
     return 2;
   }
@@ -31,13 +45,27 @@ int main(int argc, char** argv) {
   // packets in bounded slices, so even a full-scale dataset streams through
   // without ever being held in memory.
   const SyntheticTraceSourceSet sources(spec, model);
-  const DatasetAnalysis analysis =
-      analyze_dataset(sources, default_config_for_model(model.site()));
+  DatasetAnalysis analysis = analyze_dataset(sources, default_config_for_model(model.site()));
   std::fprintf(stderr, "analyzed %llu packets\n",
                static_cast<unsigned long long>(analysis.quality.packets_seen));
 
   const report::ReportInput input{&spec, &analysis};
   const std::vector<report::ReportInput> inputs{input};
-  std::fputs(report::full_report(inputs).c_str(), stdout);
+  {
+    obs::StageScope report_stage(&analysis.metrics, "report");
+    const std::string text = report::full_report(inputs);
+    report_stage.add_items(1);
+    std::fputs(text.c_str(), stdout);
+  }
+
+  if (!metrics_out.empty()) {
+    try {
+      obs::write_metrics_file(analysis.metrics, metrics_out);
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--metrics-out: %s\n", e.what());
+      return 1;
+    }
+  }
   return 0;
 }

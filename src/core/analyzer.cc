@@ -1,11 +1,92 @@
 #include "core/analyzer.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "net/decoder.h"
+#include "obs/stage_timer.h"
 #include "util/thread_pool.h"
 
 namespace entrace {
+
+namespace {
+
+// End-of-trace semantic telemetry: copies the layer-local stat structs
+// (SourceStats, CaptureQuality, FlowStats, AppEvents sizes) into the
+// shard's registry.  Runs once per trace after the stream is drained —
+// nothing here touches the per-packet hot loop.
+void record_trace_metrics(const PacketSource& source, TraceShard& shard) {
+  using obs::MetricClass;
+  obs::Registry& reg = shard.metrics;
+
+  const SourceStats& src = source.stats();
+  reg.counter("source.packets", MetricClass::kSemantic, "packets pulled from trace sources")
+      ->add(src.packets);
+  reg.counter("source.captured_bytes", MetricClass::kSemantic, "captured bytes after snaplen")
+      ->add(src.captured_bytes);
+  reg.counter("source.wire_bytes", MetricClass::kSemantic, "original on-the-wire bytes")
+      ->add(src.wire_bytes);
+
+  const CaptureQuality& q = shard.quality;
+  reg.counter("decode.packets_seen", MetricClass::kSemantic, "packets entering decode")
+      ->add(q.packets_seen);
+  reg.counter("decode.packets_ok", MetricClass::kSemantic, "packets surviving decode+checksums")
+      ->add(q.packets_ok);
+  reg.counter("decode.packets_dropped", MetricClass::kSemantic, "packets excluded from analysis")
+      ->add(q.packets_dropped);
+  for (const auto& [kind, n] : q.anomalies.as_map()) {
+    reg.counter("decode.anomaly." + kind, MetricClass::kSemantic, "anomaly occurrences")->add(n);
+  }
+
+  const FlowStats& f = shard.table->stats();
+  reg.counter("flow.packets", MetricClass::kSemantic, "packets processed by the flow table")
+      ->add(shard.table->packets_processed());
+  reg.counter("flow.conns_opened", MetricClass::kSemantic, "connections opened")
+      ->add(f.conns_opened);
+  reg.counter("flow.conns_closed", MetricClass::kSemantic, "connections closed")
+      ->add(f.conns_closed);
+  reg.counter("flow.tcp_retransmissions", MetricClass::kSemantic, "TCP retransmitted segments")
+      ->add(f.tcp_retransmissions);
+  reg.counter("flow.keepalive_retx", MetricClass::kSemantic, "1-byte keepalive retransmissions")
+      ->add(f.keepalive_retx);
+  reg.counter("flow.tcp_tuple_reuse", MetricClass::kSemantic,
+              "live 5-tuples reused by a new-ISN SYN")
+      ->add(f.tcp_tuple_reuse);
+  reg.counter("flow.idle_splits", MetricClass::kSemantic, "UDP/ICMP flows split on idle timeout")
+      ->add(f.idle_splits);
+
+  const AppEvents& ev = shard.events;
+  reg.counter("app.events.http", MetricClass::kSemantic, "HTTP transactions")->add(ev.http.size());
+  reg.counter("app.events.smtp", MetricClass::kSemantic, "SMTP commands")->add(ev.smtp.size());
+  reg.counter("app.events.dns", MetricClass::kSemantic, "DNS transactions")->add(ev.dns.size());
+  reg.counter("app.events.nbns", MetricClass::kSemantic, "NBNS transactions")->add(ev.nbns.size());
+  reg.counter("app.events.nbss", MetricClass::kSemantic, "NBSS events")->add(ev.nbss.size());
+  reg.counter("app.events.cifs", MetricClass::kSemantic, "CIFS commands")->add(ev.cifs.size());
+  reg.counter("app.events.dcerpc", MetricClass::kSemantic, "DCE/RPC calls")->add(ev.dcerpc.size());
+  reg.counter("app.events.epm", MetricClass::kSemantic, "EPM mappings")->add(ev.epm.size());
+  reg.counter("app.events.nfs", MetricClass::kSemantic, "NFS calls")->add(ev.nfs.size());
+  reg.counter("app.events.ncp", MetricClass::kSemantic, "NCP calls")->add(ev.ncp.size());
+  reg.counter("app.events.total", MetricClass::kSemantic, "application events, all protocols")
+      ->add(ev.total());
+}
+
+// Thread-pool scheduling telemetry (timing class: queue depth and task
+// latency depend on the thread count and the OS scheduler).
+void record_pool_metrics(const ThreadPool& pool, obs::Registry& reg) {
+  using obs::MetricClass;
+  const ThreadPool::Stats ps = pool.stats();
+  reg.gauge("pool.threads", MetricClass::kTiming, "worker threads executing trace jobs")
+      ->set(static_cast<double>(pool.thread_count()));
+  reg.counter("pool.tasks", MetricClass::kTiming, "trace jobs completed")->add(ps.tasks);
+  reg.gauge("pool.max_queue_depth", MetricClass::kTiming, "high-water mark of queued jobs")
+      ->set(static_cast<double>(ps.max_queue_depth));
+  reg.gauge("pool.busy_seconds", MetricClass::kTiming, "summed job execution wall-clock")
+      ->add(ps.busy_seconds);
+  reg.gauge("pool.max_task_seconds", MetricClass::kTiming, "slowest single trace job")
+      ->set(ps.max_task_seconds);
+}
+
+}  // namespace
 
 std::uint64_t DatasetAnalysis::payload_bytes() const {
   std::uint64_t total = 0;
@@ -33,6 +114,18 @@ void analyze_trace(PacketSource& source, const AnalyzerConfig& config, TraceShar
   shard.table = std::make_unique<FlowTable>(config.flow, &dispatcher);
   shard.load.trace_name = meta.name;
 
+  obs::Registry* reg = config.collect_metrics ? &shard.metrics : nullptr;
+  obs::StageScope stage(reg, "trace");
+  // The only metric touched inside the per-packet loop: one lower_bound
+  // over 8 bounds plus two adds.  Registered once, incremented via the raw
+  // handle; null when collection is off.
+  obs::Histogram* pkt_bytes =
+      reg == nullptr
+          ? nullptr
+          : reg->histogram("source.packet_bytes", obs::MetricClass::kSemantic,
+                           {64, 128, 256, 512, 1024, 1514, 4096, 16384},
+                           "wire length of analyzed packets");
+
   while (const RawPacket* pulled = source.next()) {
     const RawPacket& pkt = *pulled;
     ++shard.quality.packets_seen;
@@ -54,6 +147,7 @@ void analyze_trace(PacketSource& source, const AnalyzerConfig& config, TraceShar
     ++shard.quality.packets_ok;
     ++shard.total_packets;
     shard.total_wire_bytes += pkt.wire_len;
+    if (pkt_bytes != nullptr) pkt_bytes->observe(static_cast<double>(pkt.wire_len));
     shard.l3.add(decoded->l3);
     shard.load.add_packet(pkt.ts, pkt.wire_len);
     if (decoded->l3 != L3Kind::kIpv4) continue;
@@ -86,16 +180,27 @@ void analyze_trace(PacketSource& source, const AnalyzerConfig& config, TraceShar
     }
   }
   shard.table->flush();
+  // TCP 5-tuple reuse is a capture-accounting fact (informational flag on
+  // ok packets), recorded whether or not telemetry is on.
+  if (shard.table->stats().tcp_tuple_reuse != 0) {
+    shard.quality.anomalies.add(AnomalyKind::kTcpTupleReuse,
+                                shard.table->stats().tcp_tuple_reuse);
+  }
   // Source-layer anomalies (pcap record damage, salvaged truncations) are
   // complete once the stream is drained; fold them into the shard so the
   // dataset's anomaly accounting covers the file layer too.
   shard.quality.anomalies.merge(source.anomalies());
+  if (reg != nullptr) {
+    stage.add_items(shard.quality.packets_seen);
+    record_trace_metrics(source, shard);
+  }
   // Dispatcher can be dropped; events and registry outlive it.
 }
 
 std::vector<TraceShard> analyze_trace_shards(const TraceSourceSet& sources,
                                              const AnalyzerConfig& config,
-                                             std::size_t begin, std::size_t end) {
+                                             std::size_t begin, std::size_t end,
+                                             obs::Registry* process_metrics) {
   // Each job opens its own source, so streams never share state across
   // threads and a trace's packets live only inside its job.
   end = std::min(end, sources.size());
@@ -111,6 +216,9 @@ std::vector<TraceShard> analyze_trace_shards(const TraceSourceSet& sources,
     const std::unique_ptr<PacketSource> source = sources.open(begin + i);
     analyze_trace(*source, config, shards[i]);
   });
+  if (config.collect_metrics && process_metrics != nullptr) {
+    record_pool_metrics(pool, *process_metrics);
+  }
   return shards;
 }
 
@@ -119,6 +227,8 @@ DatasetAnalysis fold_shards(std::string dataset_name, std::vector<TraceShard>&& 
   DatasetAnalysis out;
   out.name = std::move(dataset_name);
   out.site = config.site;
+
+  const auto fold_start = std::chrono::steady_clock::now();
 
   // ---- deterministic fold, in trace-index order ----------------------------
   ScannerDetector detector(config.scanner);
@@ -139,6 +249,7 @@ DatasetAnalysis fold_shards(std::string dataset_name, std::vector<TraceShard>&& 
     out.quality.merge(shard.quality);
     out.load_raw.push_back(std::move(shard.load));
     out.tables.push_back(std::move(shard.table));
+    out.metrics.merge(shard.metrics);
   }
   // Scanner identification is global: only the merged detector has seen a
   // source's contacts across all traces, so the removal filter runs here,
@@ -157,12 +268,37 @@ DatasetAnalysis fold_shards(std::string dataset_name, std::vector<TraceShard>&& 
       }
     }
   }
+  // Post-fold semantic facts: only the global view knows these, and they
+  // are identical for any shard partition (the fold runs exactly once).
+  if (config.collect_metrics) {
+    using obs::MetricClass;
+    out.metrics.counter("scanner.sources_identified", MetricClass::kSemantic,
+                        "scanner source addresses identified post-fold")
+        ->add(out.scanners.size());
+    out.metrics.counter("scanner.connections_removed", MetricClass::kSemantic,
+                        "connections removed as scanner traffic")
+        ->add(out.scanner_conns_removed);
+    out.metrics.counter("fold.connections_total", MetricClass::kSemantic,
+                        "connections across all traces before scanner removal")
+        ->add(out.all_connections.size());
+    out.metrics.counter("fold.shards", MetricClass::kSemantic, "trace shards folded")
+        ->add(shards.size());
+    obs::record_stage(
+        &out.metrics, "fold",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - fold_start).count(),
+        out.load_raw.size());
+  }
   return out;
 }
 
 DatasetAnalysis analyze_dataset(const TraceSourceSet& sources, const AnalyzerConfig& config) {
-  return fold_shards(sources.dataset_name(),
-                     analyze_trace_shards(sources, config, 0, sources.size()), config);
+  obs::Registry process_metrics;
+  std::vector<TraceShard> shards =
+      analyze_trace_shards(sources, config, 0, sources.size(),
+                           config.collect_metrics ? &process_metrics : nullptr);
+  DatasetAnalysis out = fold_shards(sources.dataset_name(), std::move(shards), config);
+  out.metrics.merge(process_metrics);
+  return out;
 }
 
 DatasetAnalysis analyze_dataset(const TraceSet& traces, const AnalyzerConfig& config) {

@@ -42,6 +42,7 @@
 #include "analysis/site.h"
 #include "flow/flow_table.h"
 #include "net/anomaly.h"
+#include "obs/metrics.h"
 #include "pcap/packet_source.h"
 #include "pcap/trace.h"
 #include "proto/dispatcher.h"
@@ -61,6 +62,11 @@ struct AnalyzerConfig {
   // ENTRACE_THREADS, else hardware_concurrency.  Results are bit-identical
   // for every thread count (shards fold in trace-index order).
   std::size_t threads = 0;
+  // Runtime telemetry (src/obs): per-layer metrics and per-stage timing
+  // scopes recorded into TraceShard::metrics / DatasetAnalysis::metrics.
+  // Off disables all collection (no registry lookups, no histogram on the
+  // hot loop) — the toggle the bench overhead study flips.
+  bool collect_metrics = true;
 };
 
 // IP packets tallied by transport protocol number.  A flat 256-entry array
@@ -144,6 +150,14 @@ class DatasetAnalysis {
   // ---- load (§6) -----------------------------------------------------------------
   std::vector<TraceLoadRaw> load_raw;
 
+  // ---- runtime telemetry -----------------------------------------------------
+  // Folded from the per-shard registries plus fold/post-fold recordings.
+  // Semantic-class metrics are deterministic (same dataset => same values
+  // at any thread count or shard partition); timing-class metrics describe
+  // this particular run.  Render with report::telemetry (semantic table)
+  // or obs::render_json / obs::render_prometheus (--metrics-out).
+  obs::Registry metrics;
+
   bool is_monitored_host(Ipv4Address a) const {
     return monitored_hosts.count(a.value()) > 0;
   }
@@ -176,6 +190,10 @@ struct TraceShard {
   std::unique_ptr<FlowTable> table;
   TraceLoadRaw load;
   CaptureQuality quality;
+  // Per-trace telemetry (empty when AnalyzerConfig::collect_metrics is
+  // off).  Semantic-class entries travel through snapshots; timing stays
+  // process-local.
+  obs::Registry metrics;
 };
 
 // One fused streaming pass over a trace source: pull -> decode -> tallies
@@ -187,9 +205,12 @@ void analyze_trace(PacketSource& source, const AnalyzerConfig& config, TraceShar
 // index order, computed in parallel per config.threads.  This is the
 // sharding half of analyze_dataset, exposed so a shard process can analyze
 // its slice of a dataset and snapshot the result (tools/entrace_shard).
+// When `process_metrics` is non-null (and collect_metrics on), thread-pool
+// scheduling telemetry (`pool.*`, timing class) is recorded into it.
 std::vector<TraceShard> analyze_trace_shards(const TraceSourceSet& sources,
                                              const AnalyzerConfig& config,
-                                             std::size_t begin, std::size_t end);
+                                             std::size_t begin, std::size_t end,
+                                             obs::Registry* process_metrics = nullptr);
 
 // Deterministic fold: consumes one shard per trace of the dataset, in
 // trace-index order, and produces the final DatasetAnalysis (global scanner

@@ -13,6 +13,7 @@
 #include "analysis/netfile_analysis.h"
 #include "analysis/windows_analysis.h"
 #include "net/headers.h"
+#include "obs/exposition.h"
 #include "util/cdf_plot.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -858,6 +859,18 @@ std::string figure10_retransmissions(Inputs in) {
   return out;
 }
 
+std::string telemetry(Inputs in) {
+  std::string out;
+  for (const auto& i : in) {
+    if (i.analysis->metrics.empty()) continue;
+    if (!out.empty()) out += "\n";
+    out += obs::render_table(i.analysis->metrics,
+                             "Pipeline telemetry (semantic metrics): " + i.analysis->name,
+                             /*include_timing=*/false);
+  }
+  return out;
+}
+
 std::string full_report(Inputs in) {
   std::vector<ReportInput> payload;
   for (const auto& i : in)
@@ -892,6 +905,8 @@ std::string full_report(Inputs in) {
   out += "\n" + table15_backup(in);
   for (const auto& i : in) out += "\n" + figure9_utilization(i);
   out += "\n" + figure10_retransmissions(in);
+  const std::string tele = telemetry(in);
+  if (!tele.empty()) out += "\n" + tele;
   return out;
 }
 

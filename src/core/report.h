@@ -49,6 +49,12 @@ std::string figure8_netfile_message_sizes(Inputs in);
 std::string table15_backup(Inputs in);
 std::string figure9_utilization(const ReportInput& in);
 std::string figure10_retransmissions(Inputs in);
+// Runtime telemetry: the pipeline's own semantic metrics per dataset
+// (source/decode/flow/app/scanner counters).  Semantic-class only, so the
+// table — like every other report section — is byte-identical across
+// thread counts and shard partitions; timing metrics are exposed solely
+// via --metrics-out (obs::render_json / render_prometheus).
+std::string telemetry(Inputs in);
 
 // Everything above, in paper order.
 std::string full_report(Inputs in);

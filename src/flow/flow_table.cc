@@ -41,7 +41,20 @@ FlowTable::Entry& FlowTable::find_or_create(const DecodedPacket& pkt, bool& crea
         pkt.ts - conn.last_ts > (pkt.is_udp() ? config_.udp_flow_timeout
                                               : config_.icmp_flow_timeout);
     const bool fresh_syn = syn_only && e.closed;
-    if (fresh_syn || idle_expired) {
+    // Port reuse: a pure SYN carrying a *different* ISN from the original
+    // originator while the old connection is still live means the client
+    // skipped TIME_WAIT and reused the 5-tuple.  Treating it as the same
+    // connection used to overwrite orig_isn and corrupt the sequence-based
+    // byte accounting; instead the old entry closes and a fresh Connection
+    // starts.  (A SYN with the *same* ISN stays a retransmission, handled
+    // by process_tcp.)
+    const bool orig_dir =
+        pkt.src == conn.key.src && (pkt.is_icmp() || pkt.src_port == conn.key.src_port);
+    const bool reused_tuple = syn_only && !e.closed && orig_dir && conn.saw_syn &&
+                              pkt.tcp_seq != conn.orig_isn;
+    if (fresh_syn || idle_expired || reused_tuple) {
+      if (reused_tuple) ++stats_.tcp_tuple_reuse;
+      if (idle_expired) ++stats_.idle_splits;
       close_entry(e);
       active_.erase(it);
     } else {
@@ -58,6 +71,7 @@ FlowTable::Entry& FlowTable::find_or_create(const DecodedPacket& pkt, bool& crea
   if (pkt.is_icmp()) conn.icmp_type = pkt.icmp_type;
   conn.multicast = pkt.dst.is_multicast() || pkt.dst.is_broadcast();
   connections_.push_back(conn);
+  ++stats_.conns_opened;
   Entry e{connections_.size() - 1, {}, {}, false};
   auto [new_it, _] = active_.emplace(key, e);
   return new_it->second;
@@ -93,6 +107,8 @@ PacketVerdict FlowTable::process(const DecodedPacket& pkt) {
     PacketVerdict tcp_verdict = process_tcp(e, pkt, dir);
     tcp_verdict.conn = &conn;
     tcp_verdict.dir = dir;
+    if (tcp_verdict.tcp_retransmission) ++stats_.tcp_retransmissions;
+    if (tcp_verdict.keepalive_retx) ++stats_.keepalive_retx;
     return tcp_verdict;
   }
   process_udp(e, pkt, dir);
@@ -231,6 +247,7 @@ void FlowTable::process_udp(Entry& e, const DecodedPacket& pkt, Direction dir) {
 void FlowTable::close_entry(Entry& e) {
   if (e.closed) return;
   e.closed = true;
+  ++stats_.conns_closed;
   Connection& conn = conn_of(e);
   if (conn.state == ConnState::kPending) {
     if (conn.key.proto == ipproto::kTcp && conn.saw_syn && conn.resp_pkts == 0) {

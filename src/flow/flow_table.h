@@ -56,6 +56,22 @@ struct FlowConfig {
   double icmp_flow_timeout = 60.0;
 };
 
+// Churn counters the table maintains about its own operation — the
+// telemetry ground truth for `flow.*` metrics.  Plain data (no obs
+// dependency): the analyzer copies these into its per-shard registry, so
+// the flow layer stays reusable without the telemetry stack.
+struct FlowStats {
+  std::uint64_t conns_opened = 0;
+  std::uint64_t conns_closed = 0;
+  std::uint64_t tcp_retransmissions = 0;
+  std::uint64_t keepalive_retx = 0;
+  // Pure SYN with a different ISN on a live 5-tuple: the old connection is
+  // closed and a fresh one starts (TCP port reuse, TIME_WAIT skipped).
+  std::uint64_t tcp_tuple_reuse = 0;
+  // UDP/ICMP flows split because the idle timeout elapsed.
+  std::uint64_t idle_splits = 0;
+};
+
 class FlowTable {
  public:
   using Config = FlowConfig;
@@ -72,6 +88,7 @@ class FlowTable {
   const std::deque<Connection>& connections() const { return connections_; }
   std::deque<Connection>& connections() { return connections_; }
   std::uint64_t packets_processed() const { return packets_; }
+  const FlowStats& stats() const { return stats_; }
 
  private:
   struct DirState {
@@ -97,6 +114,7 @@ class FlowTable {
   std::deque<Connection> connections_;
   std::unordered_map<FiveTuple, Entry> active_;
   std::uint64_t packets_ = 0;
+  FlowStats stats_;
 };
 
 }  // namespace entrace

@@ -24,6 +24,7 @@ const char* to_string(AnomalyKind kind) {
     case AnomalyKind::kIcmpChecksumBad: return "icmp-checksum-bad";
     case AnomalyKind::kSnapTruncated: return "snap-truncated";
     case AnomalyKind::kPortZero: return "port-zero";
+    case AnomalyKind::kTcpTupleReuse: return "tcp-tuple-reuse";
     case AnomalyKind::kAppParseError: return "app-parse-error";
     case AnomalyKind::kCount: break;
   }

@@ -44,8 +44,9 @@ enum class AnomalyKind : std::uint8_t {
   kIcmpChecksumBad,
 
   // Informational flags on otherwise-decodable packets.
-  kSnapTruncated,  // cap_len < wire_len (snaplen clipping)
-  kPortZero,       // TCP/UDP with source or destination port 0
+  kSnapTruncated,   // cap_len < wire_len (snaplen clipping)
+  kPortZero,        // TCP/UDP with source or destination port 0
+  kTcpTupleReuse,   // pure SYN with a new ISN on a live 5-tuple (port reuse)
 
   // Application layer: a stream parser bailed or resynced on garbage bytes.
   kAppParseError,

@@ -1,0 +1,35 @@
+// Exposition formats for the metrics registry.
+//
+// Three renderers, one source of truth:
+//   render_table       human-readable TextTable (semantic metrics only by
+//                      default) — appended to enterprise_report output.
+//   render_json        machine-readable JSON object keyed by metric name.
+//   render_prometheus  Prometheus text format v0.0.4 (names sanitized,
+//                      histogram buckets exposed cumulatively with le=).
+//
+// write_metrics_file dispatches on the path extension: ".json" gets JSON,
+// anything else the Prometheus text form.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace entrace::obs {
+
+// `title` becomes the TextTable caption.  When `include_timing` is false
+// (the report default) timing-class metrics are omitted so the rendered
+// report stays byte-identical across thread counts and shard partitions.
+std::string render_table(const Registry& reg, const std::string& title,
+                         bool include_timing = false);
+
+std::string render_json(const Registry& reg, bool include_timing = true);
+
+std::string render_prometheus(const Registry& reg, bool include_timing = true);
+
+// Writes JSON if `path` ends in ".json", Prometheus text otherwise.
+// Throws std::runtime_error when the file cannot be written.
+void write_metrics_file(const Registry& reg, const std::string& path,
+                        bool include_timing = true);
+
+}  // namespace entrace::obs

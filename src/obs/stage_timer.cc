@@ -1,0 +1,32 @@
+#include "obs/stage_timer.h"
+
+namespace entrace::obs {
+
+void record_stage(Registry* reg, const std::string& stage_name, double seconds,
+                  std::uint64_t items) {
+  if (reg == nullptr) return;
+  const std::string base = "stage." + stage_name;
+  reg->gauge(base + ".seconds", MetricClass::kTiming, "accumulated stage wall-clock")
+      ->add(seconds);
+  reg->counter(base + ".runs", MetricClass::kTiming, "stage executions")->add(1);
+  if (items != 0) {
+    reg->counter(base + ".items", MetricClass::kTiming, "work units processed")->add(items);
+  }
+}
+
+StageScope::StageScope(Registry* reg, std::string stage_name)
+    : reg_(reg), name_(std::move(stage_name)) {
+  if (reg_ != nullptr) start_ = std::chrono::steady_clock::now();
+}
+
+double StageScope::elapsed_seconds() const {
+  if (reg_ == nullptr) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+StageScope::~StageScope() {
+  if (reg_ == nullptr) return;
+  record_stage(reg_, name_, elapsed_seconds(), items_);
+}
+
+}  // namespace entrace::obs

@@ -1,0 +1,55 @@
+// RAII self-profiling scopes for pipeline stages.
+//
+// A StageScope measures one stage execution (trace job, fold, report,
+// snapshot encode/decode) with std::chrono::steady_clock and records three
+// timing-class metrics on destruction:
+//
+//   stage.<name>.seconds  accumulated wall-clock (gauge, summed)
+//   stage.<name>.runs     number of executions (counter)
+//   stage.<name>.items    work units processed, set via add_items()
+//                         (counter; packets for trace jobs, shards for
+//                         folds) — seconds+items together give items/sec.
+//
+// All three are MetricClass::kTiming: wall-clock is scheduling-dependent
+// and must never leak into report or snapshot output.  Construct with a
+// null registry to disable the scope entirely (zero work, used when
+// AnalyzerConfig::collect_metrics is off).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace entrace::obs {
+
+// Record one stage execution directly (what StageScope does on
+// destruction) — for call sites where RAII ordering is awkward, e.g. when
+// the registry lives inside the function's return value.  No-op when `reg`
+// is null.
+void record_stage(Registry* reg, const std::string& stage_name, double seconds,
+                  std::uint64_t items = 0);
+
+class StageScope {
+ public:
+  // `reg` may be null: the scope then records nothing.
+  StageScope(Registry* reg, std::string stage_name);
+  ~StageScope();
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+  void add_items(std::uint64_t n) { items_ += n; }
+
+  // Seconds elapsed so far (works before destruction; 0 when disabled).
+  double elapsed_seconds() const;
+
+ private:
+  Registry* reg_;
+  std::string name_;
+  std::uint64_t items_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace entrace::obs

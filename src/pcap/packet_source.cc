@@ -38,7 +38,7 @@ PcapFileSource::PcapFileSource(const std::string& path, std::string name, int su
 
 PcapFileSource::~PcapFileSource() = default;
 
-const RawPacket* PcapFileSource::next() {
+const RawPacket* PcapFileSource::pull() {
   auto pkt = reader_->next();
   if (!pkt) return nullptr;
   if (pkt->data.size() > meta_.snaplen) pkt->data.resize(meta_.snaplen);

@@ -43,6 +43,16 @@ struct TraceMeta {
   double duration = 0.0;
 };
 
+// Ingest volume a source has delivered so far — the telemetry ground truth
+// for `source.*` metrics.  Maintained by PacketSource::next() itself so
+// every implementation (memory, pcap file, synthetic) self-counts without
+// duplicated bookkeeping.
+struct SourceStats {
+  std::uint64_t packets = 0;
+  std::uint64_t captured_bytes = 0;  // sum of data.size() after snaplen clip
+  std::uint64_t wire_bytes = 0;      // sum of original on-the-wire lengths
+};
+
 class PacketSource {
  public:
   virtual ~PacketSource();
@@ -51,11 +61,31 @@ class PacketSource {
 
   // Next packet, or nullptr at end of stream.  The pointee is owned by the
   // source and stays valid only until the next call to next().
-  virtual const RawPacket* next() = 0;
+  // Non-virtual template method: counts the packet into stats(), then
+  // returns pull()'s pointer unchanged.
+  const RawPacket* next() {
+    const RawPacket* pkt = pull();
+    if (pkt != nullptr) {
+      ++stats_.packets;
+      stats_.captured_bytes += pkt->data.size();
+      stats_.wire_bytes += pkt->wire_len;
+    }
+    return pkt;
+  }
+
+  // Volume delivered so far; complete once next() has returned nullptr.
+  const SourceStats& stats() const { return stats_; }
 
   // Source-layer anomalies (pcap record damage, salvaged truncations)
   // accumulated so far; complete once next() has returned nullptr.
   virtual const AnomalyCounts& anomalies() const = 0;
+
+ protected:
+  // Implementation hook with the same ownership contract as next().
+  virtual const RawPacket* pull() = 0;
+
+ private:
+  SourceStats stats_;
 };
 
 // Factory of per-trace sources for one dataset.  open() may be called
@@ -80,10 +110,12 @@ class MemoryTraceSource final : public PacketSource {
   explicit MemoryTraceSource(const Trace& trace);
 
   const TraceMeta& meta() const override { return meta_; }
-  const RawPacket* next() override {
+  const AnomalyCounts& anomalies() const override { return trace_->file_anomalies; }
+
+ protected:
+  const RawPacket* pull() override {
     return pos_ < trace_->packets.size() ? &trace_->packets[pos_++] : nullptr;
   }
-  const AnomalyCounts& anomalies() const override { return trace_->file_anomalies; }
 
  private:
   const Trace* trace_;
@@ -119,8 +151,10 @@ class PcapFileSource final : public PacketSource {
   ~PcapFileSource() override;
 
   const TraceMeta& meta() const override { return meta_; }
-  const RawPacket* next() override;
   const AnomalyCounts& anomalies() const override;
+
+ protected:
+  const RawPacket* pull() override;
 
  private:
   std::unique_ptr<class PcapReader> reader_;

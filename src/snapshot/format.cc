@@ -16,6 +16,7 @@ const char* to_string(SectionType type) {
     case SectionType::kAppEvents: return "app-events";
     case SectionType::kTraceLoad: return "trace-load";
     case SectionType::kCaptureQuality: return "capture-quality";
+    case SectionType::kTraceMetrics: return "trace-metrics";
     case SectionType::kEnd: return "end";
   }
   return "unknown";

@@ -38,7 +38,10 @@ namespace entrace::snapshot {
 
 inline constexpr std::size_t kMagicSize = 8;
 inline constexpr char kMagic[kMagicSize] = {'E', 'N', 'T', 'R', 'S', 'N', 'A', 'P'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: kTraceMetrics section added to the per-trace run, and the anomaly
+// taxonomy gained kTcpTupleReuse (the kCaptureQuality section embeds the
+// kind count, so v1 readers reject v2 files at the version check first).
+inline constexpr std::uint32_t kFormatVersion = 2;
 // magic + version: where the first section begins.
 inline constexpr std::size_t kHeaderSize = kMagicSize + 4;
 // type + length preceding each payload, and the trailing crc.
@@ -59,6 +62,7 @@ enum class SectionType : std::uint32_t {
   kAppEvents = 0x16,        // application events (conns by index)
   kTraceLoad = 0x17,        // §6 utilization series + retransmission tallies
   kCaptureQuality = 0x18,   // packet accounting + anomaly counters
+  kTraceMetrics = 0x19,     // semantic-class telemetry (obs::Registry), v2+
 
   kEnd = 0x7F,  // zero-length terminator; absence means truncation
 };

@@ -1,5 +1,6 @@
 #include "snapshot/reader.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -214,7 +215,7 @@ constexpr SectionType kShardRun[] = {
     SectionType::kTraceHeader,   SectionType::kIpProtoCounts, SectionType::kHostSets,
     SectionType::kScannerState,  SectionType::kDynamicEndpoints,
     SectionType::kConnections,   SectionType::kAppEvents,     SectionType::kTraceLoad,
-    SectionType::kCaptureQuality};
+    SectionType::kCaptureQuality, SectionType::kTraceMetrics};
 constexpr std::size_t kShardRunLen = sizeof(kShardRun) / sizeof(kShardRun[0]);
 
 struct Decoder {
@@ -435,6 +436,70 @@ struct Decoder {
         }
         for (std::size_t k = 0; k < kAnomalyKindCount; ++k) {
           shard.quality.anomalies[static_cast<AnomalyKind>(k)] = r.u64();
+        }
+        break;
+      }
+      case SectionType::kTraceMetrics: {
+        const std::uint32_t count = r.u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::string name = r.str();
+          if (name.empty()) throw SnapshotError(r.offset(), "metric with empty name");
+          if (shard.metrics.find(name) != nullptr) {
+            throw SnapshotError(r.offset(), "duplicate metric '" + name + "'");
+          }
+          const std::string help = r.str();
+          const std::uint8_t kind = r.u8();
+          if (kind > static_cast<std::uint8_t>(obs::MetricKind::kHistogram)) {
+            throw SnapshotError(r.offset() - 1,
+                                "metric kind " + std::to_string(kind) + " out of range");
+          }
+          // Snapshots carry semantic metrics only (the writer filters), so
+          // everything registers as kSemantic.
+          switch (static_cast<obs::MetricKind>(kind)) {
+            case obs::MetricKind::kCounter:
+              shard.metrics.counter(name, obs::MetricClass::kSemantic, help)->add(r.u64());
+              break;
+            case obs::MetricKind::kGauge:
+              shard.metrics.gauge(name, obs::MetricClass::kSemantic, help)->set(r.f64());
+              break;
+            case obs::MetricKind::kHistogram: {
+              const std::uint32_t n_bounds = r.u32();
+              // A histogram payload needs 8 bytes per bound plus the
+              // buckets/count/sum that follow; an absurd declared size is
+              // rejected before any allocation is attempted.
+              if (static_cast<std::uint64_t>(n_bounds) * 16 > r.remaining()) {
+                throw SnapshotError(r.offset() - 4, "histogram declares " +
+                                                        std::to_string(n_bounds) +
+                                                        " bounds but the payload is smaller");
+              }
+              std::vector<double> bounds;
+              bounds.reserve(n_bounds);
+              for (std::uint32_t b = 0; b < n_bounds; ++b) bounds.push_back(r.f64());
+              if (!std::is_sorted(bounds.begin(), bounds.end())) {
+                throw SnapshotError(r.offset(), "histogram bounds not ascending");
+              }
+              std::vector<std::uint64_t> buckets;
+              buckets.reserve(n_bounds + 1);
+              std::uint64_t bucket_total = 0;
+              for (std::uint32_t b = 0; b < n_bounds + 1; ++b) {
+                buckets.push_back(r.u64());
+                bucket_total += buckets.back();
+              }
+              const std::uint64_t total = r.u64();
+              const double sum = r.f64();
+              if (total != bucket_total) {
+                throw SnapshotError(r.offset(), "histogram count " + std::to_string(total) +
+                                                    " != bucket total " +
+                                                    std::to_string(bucket_total));
+              }
+              obs::Histogram* h =
+                  shard.metrics.histogram(name, obs::MetricClass::kSemantic, bounds, help);
+              obs::Histogram restored(std::move(bounds));
+              restored.restore(std::move(buckets), total, sum);
+              h->merge(restored);
+              break;
+            }
+          }
         }
         break;
       }

@@ -315,6 +315,41 @@ void SnapshotWriter::add_shard(std::uint32_t trace_index, const TraceShard& shar
     }
     write_section(SectionType::kCaptureQuality, w);
   }
+  {
+    // Semantic-class telemetry only: timing metrics describe the shard
+    // *process*, not the dataset, and must not survive the process gap (or
+    // merged runs would stop being bit-identical to direct runs).
+    ByteWriter w;
+    w.u32(trace_index);
+    std::vector<const obs::Metric*> semantic;
+    for (const obs::Metric* m : shard.metrics.metrics()) {
+      if (m->cls == obs::MetricClass::kSemantic) semantic.push_back(m);
+    }
+    w.u32(static_cast<std::uint32_t>(semantic.size()));
+    for (const obs::Metric* m : semantic) {
+      w.str(m->name);
+      w.str(m->help);
+      w.u8(static_cast<std::uint8_t>(m->kind));
+      switch (m->kind) {
+        case obs::MetricKind::kCounter:
+          w.u64(m->counter.value());
+          break;
+        case obs::MetricKind::kGauge:
+          w.f64(m->gauge.value());
+          break;
+        case obs::MetricKind::kHistogram: {
+          const obs::Histogram& h = *m->histogram;
+          w.u32(static_cast<std::uint32_t>(h.bounds().size()));
+          for (const double b : h.bounds()) w.f64(b);
+          for (const std::uint64_t c : h.buckets()) w.u64(c);
+          w.u64(h.count());
+          w.f64(h.sum());
+          break;
+        }
+      }
+    }
+    write_section(SectionType::kTraceMetrics, w);
+  }
 }
 
 void SnapshotWriter::close() {

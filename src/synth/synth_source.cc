@@ -50,7 +50,7 @@ bool SyntheticTraceSource::fill_next_slice() {
   return false;
 }
 
-const RawPacket* SyntheticTraceSource::next() {
+const RawPacket* SyntheticTraceSource::pull() {
   if (pos_ >= buffer_.size() && !fill_next_slice()) return nullptr;
   return &buffer_[pos_++];
 }

@@ -38,8 +38,10 @@ class SyntheticTraceSource final : public PacketSource {
                        SyntheticSourceOptions options = {});
 
   const TraceMeta& meta() const override { return meta_; }
-  const RawPacket* next() override;
   const AnomalyCounts& anomalies() const override { return no_anomalies_; }
+
+ protected:
+  const RawPacket* pull() override;
 
  private:
   // Regenerates the next non-empty slice into buffer_; false when done.

@@ -20,8 +20,11 @@ void OnlineStats::add(double x) {
 }
 
 double OnlineStats::variance() const {
+  // Population variance (divisor n); see the convention note in stats.h.
   if (n_ == 0) return 0.0;
-  return m2_ / static_cast<double>(n_);
+  const double v = m2_ / static_cast<double>(n_);
+  // Floating-point cancellation can leave m2_ a hair below zero.
+  return v > 0.0 ? v : 0.0;
 }
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
@@ -43,21 +46,53 @@ void OnlineStats::merge(const OnlineStats& other) {
   n_ += other.n_;
 }
 
+EmpiricalCdf::EmpiricalCdf(const EmpiricalCdf& other) {
+  std::lock_guard<std::mutex> lk(other.sort_mu_);
+  samples_ = other.samples_;
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+
+EmpiricalCdf::EmpiricalCdf(EmpiricalCdf&& other) noexcept {
+  std::lock_guard<std::mutex> lk(other.sort_mu_);
+  samples_ = std::move(other.samples_);
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+}
+
+EmpiricalCdf& EmpiricalCdf::operator=(const EmpiricalCdf& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lk(sort_mu_, other.sort_mu_);
+  samples_ = other.samples_;
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  return *this;
+}
+
+EmpiricalCdf& EmpiricalCdf::operator=(EmpiricalCdf&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lk(sort_mu_, other.sort_mu_);
+  samples_ = std::move(other.samples_);
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  return *this;
+}
+
 void EmpiricalCdf::add(double x) {
   samples_.push_back(x);
-  sorted_ = false;
+  sorted_.store(false, std::memory_order_relaxed);
 }
 
 void EmpiricalCdf::add_n(double x, std::size_t n) {
   samples_.insert(samples_.end(), n, x);
-  sorted_ = false;
+  sorted_.store(false, std::memory_order_relaxed);
 }
 
+// Double-checked lazy sort: concurrent const readers are common once report
+// code fans out across datasets, so the sort must happen exactly once and
+// later readers must observe the sorted vector (release/acquire pairing).
 void EmpiricalCdf::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
+  if (sorted_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lk(sort_mu_);
+  if (sorted_.load(std::memory_order_relaxed)) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_.store(true, std::memory_order_release);
 }
 
 double EmpiricalCdf::quantile(double q) const {

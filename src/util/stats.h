@@ -7,9 +7,11 @@
 // as a text figure by cdf_plot.h.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,13 +19,19 @@
 namespace entrace {
 
 // Welford online mean/variance plus min/max.  No samples retained.
+//
+// Variance convention: *population* variance (divisor n, not n-1).  The
+// pipeline measures complete traces, not samples drawn from a larger
+// population, so the biased-sample correction would be wrong here; this
+// matches the merge() formula (Chan et al.), which combines population
+// moments exactly.  Edge cases: n=0 and n=1 both report variance 0.
 class OnlineStats {
  public:
   void add(double x);
 
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
-  double variance() const;  // population variance
+  double variance() const;  // population variance (see class comment)
   double stddev() const;
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
@@ -42,8 +50,30 @@ class OnlineStats {
 };
 
 // Retains samples; sorts lazily on first query.
+//
+// Thread safety: add()/add_n() require exclusive access (like any mutable
+// container), but all const accessors are safe to call concurrently — the
+// lazy sort uses double-checked locking (atomic `sorted_` flag + internal
+// mutex), so many reader threads querying the same frozen CDF never race.
+// Previously ensure_sorted() mutated `samples_` unguarded from const
+// methods, a genuine data race under concurrent report rendering; the TSan
+// regression lives in tests/telemetry_test.cc.
+//
+// Quantile convention (pinned by tests/util_test.cc):
+//   - empty CDF        -> quantile/min/max/mean all return 0.0
+//   - one sample       -> every quantile returns that sample
+//   - q outside [0,1]  -> clamped
+//   - otherwise        -> linear interpolation between adjacent order
+//                         statistics at rank q*(n-1) (type-7 / NumPy
+//                         default), so quantile(0) == min, quantile(1) == max.
 class EmpiricalCdf {
  public:
+  EmpiricalCdf() = default;
+  EmpiricalCdf(const EmpiricalCdf& other);
+  EmpiricalCdf(EmpiricalCdf&& other) noexcept;
+  EmpiricalCdf& operator=(const EmpiricalCdf& other);
+  EmpiricalCdf& operator=(EmpiricalCdf&& other) noexcept;
+
   void add(double x);
   void add_n(double x, std::size_t n);
 
@@ -70,7 +100,8 @@ class EmpiricalCdf {
   void ensure_sorted() const;
 
   mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  mutable std::atomic<bool> sorted_{false};
+  mutable std::mutex sort_mu_;
 };
 
 // Counter keyed by string — used for "breakdown" tables (command mixes,

@@ -31,8 +31,22 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const auto t0 = std::chrono::steady_clock::now();
     task();  // packaged_task: exceptions are captured into the future
+    record_task(std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
   }
+}
+
+void ThreadPool::record_task(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.tasks;
+  stats_.busy_seconds += seconds;
+  stats_.max_task_seconds = std::max(stats_.max_task_seconds, seconds);
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 void ThreadPool::for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn) {

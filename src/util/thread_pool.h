@@ -13,8 +13,11 @@
 // ENTRACE_THREADS=1 vs =N determinism guarantee testable.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -37,6 +40,17 @@ class ThreadPool {
   // Number of threads that execute tasks (1 in inline mode).
   std::size_t thread_count() const { return workers_.empty() ? 1 : workers_.size(); }
 
+  // Scheduling telemetry, updated under the pool mutex (uncontended in
+  // inline mode).  Plain data — the analyzer copies it into its `pool.*`
+  // timing metrics, keeping util free of any obs dependency.
+  struct Stats {
+    std::uint64_t tasks = 0;          // tasks completed
+    std::size_t max_queue_depth = 0;  // high-water mark of queued tasks
+    double busy_seconds = 0.0;        // summed task execution wall-clock
+    double max_task_seconds = 0.0;    // slowest single task
+  };
+  Stats stats() const;
+
   // Schedule fn and return a future for its result.  Exceptions thrown by
   // fn surface from future::get().  In inline mode the task runs before
   // submit() returns.
@@ -46,12 +60,15 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     if (workers_.empty()) {
+      const auto t0 = std::chrono::steady_clock::now();
       (*task)();
+      record_task(std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
       return future;
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
+      stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
     }
     cv_.notify_one();
     return future;
@@ -69,11 +86,13 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  void record_task(double seconds);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+  Stats stats_;
   std::vector<std::thread> workers_;
 };
 

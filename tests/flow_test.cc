@@ -235,6 +235,69 @@ TEST(FlowTable, IcmpEchoPairsIntoOneFlow) {
   EXPECT_EQ(d.table.connections().front().resp_pkts, 1u);
 }
 
+TEST(FlowTable, SynWithNewIsnOnLiveTupleStartsFreshConnection) {
+  // Port reuse: a client reuses the same ephemeral port for a second
+  // connection while the table still holds the first (no FIN/RST seen).
+  // The pure SYN carries a new ISN, so it must close the old entry and
+  // start a fresh Connection — not be miscounted as a retransmission that
+  // silently overwrites orig_isn.
+  Recorder rec;
+  Driver d(&rec);
+  d.tcp(true, 0.0, 100, 0, tcpflag::kSyn);
+  d.tcp(false, 0.001, 500, 101, tcpflag::kSyn | tcpflag::kAck);
+  d.tcp(true, 0.002, 101, 501, tcpflag::kAck, 10);
+  // Second connection on the identical 5-tuple, new ISN, old one never closed.
+  d.tcp(true, 5.0, 9000, 0, tcpflag::kSyn);
+  d.tcp(false, 5.001, 7000, 9001, tcpflag::kSyn | tcpflag::kAck);
+  d.tcp(true, 5.002, 9001, 7001, tcpflag::kAck, 25);
+  d.table.flush();
+
+  ASSERT_EQ(d.table.connections().size(), 2u);
+  const Connection& first = d.table.connections()[0];
+  const Connection& second = d.table.connections()[1];
+  EXPECT_EQ(first.orig_isn, 100u);
+  EXPECT_EQ(first.orig_bytes, 10u);
+  EXPECT_EQ(first.retransmissions, 0u);
+  EXPECT_EQ(second.orig_isn, 9000u);
+  EXPECT_EQ(second.orig_bytes, 25u);
+  EXPECT_EQ(second.retransmissions, 0u);
+  EXPECT_EQ(d.table.stats().tcp_tuple_reuse, 1u);
+  EXPECT_EQ(d.table.stats().conns_opened, 2u);
+  EXPECT_EQ(d.table.stats().conns_closed, 2u);
+  EXPECT_EQ(rec.opens, 2);
+  EXPECT_EQ(rec.closes, 2);
+}
+
+TEST(FlowTable, DuplicateSynSameIsnStaysOneConnection) {
+  // A retransmitted SYN (same ISN) on an established connection must NOT
+  // trigger the port-reuse split.
+  Driver d;
+  d.tcp(true, 0.0, 100, 0, tcpflag::kSyn);
+  d.tcp(false, 0.001, 500, 101, tcpflag::kSyn | tcpflag::kAck);
+  d.tcp(true, 0.002, 101, 501, tcpflag::kAck, 10);
+  d.tcp(true, 0.5, 100, 0, tcpflag::kSyn);  // stale duplicate of the original SYN
+  d.table.flush();
+
+  ASSERT_EQ(d.table.connections().size(), 1u);
+  EXPECT_EQ(d.table.connections().front().orig_isn, 100u);
+  EXPECT_EQ(d.table.connections().front().retransmissions, 1u);
+  EXPECT_EQ(d.table.stats().tcp_tuple_reuse, 0u);
+}
+
+TEST(FlowTable, ChurnCountersTrackOpensAndCloses) {
+  Driver d;
+  d.tcp(true, 0.0, 100, 0, tcpflag::kSyn);
+  d.tcp(false, 0.001, 500, 101, tcpflag::kSyn | tcpflag::kAck);
+  d.tcp(true, 0.002, 101, 501, tcpflag::kAck, 10);
+  d.tcp(true, 0.002, 101, 501, tcpflag::kAck, 10);  // retransmission
+  d.udp(true, 0.1, 30);
+  EXPECT_EQ(d.table.stats().conns_opened, 2u);
+  EXPECT_EQ(d.table.stats().conns_closed, 0u);
+  d.table.flush();
+  EXPECT_EQ(d.table.stats().conns_closed, 2u);
+  EXPECT_EQ(d.table.stats().tcp_retransmissions, 1u);
+}
+
 TEST(FlowTable, MulticastFlagSet) {
   Driver d;
   const FrameEndpoints mcast{MacAddress::from_host_id(1), MacAddress::from_host_id(3),

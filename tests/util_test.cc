@@ -193,6 +193,47 @@ TEST(EmpiricalCdf, AddNWeights) {
   EXPECT_DOUBLE_EQ(cdf.fraction_below(1.0), 0.99);
 }
 
+TEST(OnlineStats, PopulationVarianceConvention) {
+  // variance() divides by n, not n-1 (population convention, documented in
+  // stats.h): analyzed traces are complete populations, not samples.
+  OnlineStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);  // sample variance would be 2.0
+}
+
+TEST(OnlineStats, VarianceEdgeCases) {
+  OnlineStats s;
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // n = 0
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // n = 1
+  // Catastrophic-cancellation residue must clamp at zero, never go
+  // negative (stddev would be NaN).
+  OnlineStats tight;
+  for (int i = 0; i < 1000; ++i) tight.add(1e15 + 0.5);
+  EXPECT_GE(tight.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(tight.stddev()));
+}
+
+TEST(EmpiricalCdf, QuantileEdgeConventions) {
+  // Documented in stats.h: empty -> 0.0, one sample -> that sample for any
+  // q, q outside [0,1] clamps to the extremes.
+  EmpiricalCdf empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EmpiricalCdf one;
+  one.add(7.5);
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 7.5);
+  EmpiricalCdf two;
+  two.add(1.0);
+  two.add(2.0);
+  EXPECT_DOUBLE_EQ(two.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(two.quantile(1.5), 2.0);
+  EXPECT_DOUBLE_EQ(two.quantile(0.5), 1.5);  // type-7 linear interpolation
+}
+
 TEST(BreakdownCounter, FractionsAndOrdering) {
   BreakdownCounter c;
   c.add("alpha", 10, 100);

@@ -7,36 +7,57 @@
 // printed here is byte-identical to running enterprise_report over the
 // whole dataset in one process.
 //
-//   $ entrace_merge a.esnap b.esnap ... > report.txt
+//   $ entrace_merge [--metrics-out file] a.esnap b.esnap ... > report.txt
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "core/analyzer.h"
 #include "core/report.h"
+#include "obs/exposition.h"
+#include "obs/stage_timer.h"
 #include "snapshot/reader.h"
 #include "synth/synth_source.h"
 
 using namespace entrace;
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <shard.esnap> [more.esnap ...]\n", argv[0]);
+  std::string metrics_out;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "usage: %s [--metrics-out file] <shard.esnap> [more.esnap ...]\n",
+                 argv[0]);
     return 2;
   }
 
+  obs::Registry process_metrics;
   std::vector<snapshot::SnapshotShard> shards;
   snapshot::SnapshotMeta meta;
-  for (int i = 1; i < argc; ++i) {
+  std::uint64_t snapshot_bytes = 0;
+  const auto decode_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < paths.size(); ++i) {
     snapshot::Snapshot snap;
     try {
-      snap = snapshot::read_snapshot(argv[i]);
+      snap = snapshot::read_snapshot(paths[i]);
+      std::error_code ec;
+      const auto sz = std::filesystem::file_size(paths[i], ec);
+      if (!ec) snapshot_bytes += static_cast<std::uint64_t>(sz);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s: %s\n", argv[i], e.what());
+      std::fprintf(stderr, "%s: %s\n", paths[i], e.what());
       return 1;
     }
-    if (i == 1) {
+    if (i == 0) {
       meta = snap.meta;
     } else if (!(snap.meta == meta)) {
       std::fprintf(stderr,
@@ -79,6 +100,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const double decode_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - decode_start).count();
+  obs::record_stage(&process_metrics, "snapshot_decode", decode_seconds, shards.size());
+  process_metrics
+      .gauge("snapshot.decode.bytes", obs::MetricClass::kTiming,
+             "bytes read from .esnap snapshot files")
+      ->set(static_cast<double>(snapshot_bytes));
+
   // The fold is the exact code path analyze_dataset uses after its per-trace
   // loop, so the merged result (and the report bytes below) match a
   // single-process run of the same dataset.
@@ -87,13 +116,29 @@ int main(int argc, char** argv) {
   std::vector<TraceShard> trace_shards;
   trace_shards.reserve(shards.size());
   for (auto& s : shards) trace_shards.push_back(std::move(s.shard));
-  const DatasetAnalysis analysis = fold_shards(spec.name, std::move(trace_shards),
-                                               default_config_for_model(model.site()));
+  DatasetAnalysis analysis = fold_shards(spec.name, std::move(trace_shards),
+                                         default_config_for_model(model.site()));
   std::fprintf(stderr, "merged %u shards: %llu packets\n", meta.trace_count,
                static_cast<unsigned long long>(analysis.quality.packets_seen));
 
   const report::ReportInput input{&spec, &analysis};
   const std::vector<report::ReportInput> inputs{input};
-  std::fputs(report::full_report(inputs).c_str(), stdout);
+  {
+    obs::StageScope report_stage(&analysis.metrics, "report");
+    const std::string text = report::full_report(inputs);
+    report_stage.add_items(1);
+    std::fputs(text.c_str(), stdout);
+  }
+
+  if (!metrics_out.empty()) {
+    analysis.metrics.merge(process_metrics);
+    try {
+      obs::write_metrics_file(analysis.metrics, metrics_out);
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--metrics-out: %s\n", e.what());
+      return 1;
+    }
+  }
   return 0;
 }

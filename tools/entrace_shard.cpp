@@ -11,13 +11,15 @@
 // rejected by the reader).
 //
 //   $ entrace_shard out.esnap [D0|..|D4] [scale] [--traces lo:hi]
-//                   [--threads N] [--resume]
+//                   [--threads N] [--resume] [--metrics-out file]
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/analyzer.h"
+#include "obs/exposition.h"
+#include "obs/stage_timer.h"
 #include "snapshot/reader.h"
 #include "snapshot/writer.h"
 #include "synth/synth_source.h"
@@ -30,7 +32,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <out.esnap> [D0|D1|D2|D3|D4] [scale] [--traces lo:hi] "
-               "[--threads N] [--resume]\n"
+               "[--threads N] [--resume] [--metrics-out file]\n"
                "  analyzes traces [lo, hi) of the dataset (default: all) and snapshots\n"
                "  the per-trace shards; merge the .esnap files with entrace_merge.\n",
                argv0);
@@ -47,8 +49,11 @@ int main(int argc, char** argv) {
   std::size_t lo = 0, hi = SIZE_MAX;
   bool have_range = false, resume = false;
   std::size_t threads = 0;
+  std::string metrics_out;
   for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--traces") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--traces") == 0 && i + 1 < argc) {
       if (!cli::parse_index_range(argv[++i], lo, hi)) {
         std::fprintf(stderr, "bad --traces range '%s' (want lo:hi with lo < hi)\n", argv[i]);
         return usage(argv[0]);
@@ -102,18 +107,40 @@ int main(int argc, char** argv) {
 
   AnalyzerConfig config = default_config_for_model(model.site());
   config.threads = threads;
-  std::vector<TraceShard> shards = analyze_trace_shards(sources, config, lo, hi);
+  obs::Registry process_metrics;
+  std::vector<TraceShard> shards = analyze_trace_shards(sources, config, lo, hi, &process_metrics);
 
   snapshot::SnapshotWriter writer(out_path, meta);
   std::uint64_t packets = 0;
-  for (std::size_t i = 0; i < shards.size(); ++i) {
-    packets += shards[i].quality.packets_seen;
-    writer.add_shard(static_cast<std::uint32_t>(lo + i), shards[i]);
+  {
+    obs::StageScope encode_stage(&process_metrics, "snapshot_encode");
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      packets += shards[i].quality.packets_seen;
+      writer.add_shard(static_cast<std::uint32_t>(lo + i), shards[i]);
+      encode_stage.add_items(1);
+    }
+    writer.close();
   }
-  writer.close();
+  process_metrics
+      .gauge("snapshot.encode.bytes", obs::MetricClass::kTiming,
+             "bytes written to the .esnap snapshot file")
+      ->set(static_cast<double>(writer.bytes_written()));
   std::fprintf(stderr, "%s: %s traces [%zu, %zu), %llu packets, %llu snapshot bytes\n",
                out_path.c_str(), spec.name.c_str(), lo, hi,
                static_cast<unsigned long long>(packets),
                static_cast<unsigned long long>(writer.bytes_written()));
+
+  if (!metrics_out.empty()) {
+    // Fold per-trace semantic metrics with this process's timing metrics so
+    // the file covers both what the slice contained and what the run cost.
+    for (const TraceShard& shard : shards) process_metrics.merge(shard.metrics);
+    try {
+      obs::write_metrics_file(process_metrics, metrics_out);
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--metrics-out: %s\n", e.what());
+      return 1;
+    }
+  }
   return 0;
 }
