@@ -1,6 +1,7 @@
 #include "core/analyzer.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 
 #include "net/decoder.h"
@@ -86,6 +87,57 @@ void record_pool_metrics(const ThreadPool& pool, obs::Registry& reg) {
       ->set(ps.max_task_seconds);
 }
 
+// Direct-mapped filter in front of the per-shard host std::sets.  Which set
+// an address lands in is a pure function of the address (site config and
+// subnet id are fixed per trace) and the sets dedup anyway, so suppressing
+// repeats of recently seen addresses cannot change any result — it only
+// skips the rb-tree walk that otherwise runs twice per IPv4 packet.
+// Sentinel 0xFFFFFFFF is the broadcast address, which is filtered out
+// before the cache is consulted.
+class HostSeenCache {
+ public:
+  HostSeenCache() { slots_.fill(0xFFFFFFFFu); }
+
+  // Returns true if addr was already in the cache (safe to skip).
+  bool test_and_set(std::uint32_t addr) {
+    std::uint32_t& slot = slots_[(addr * 0x9E3779B1u) >> (32 - kBits)];
+    if (slot == addr) return true;
+    slot = addr;
+    return false;
+  }
+
+ private:
+  static constexpr unsigned kBits = 10;
+  std::array<std::uint32_t, 1u << kBits> slots_;
+};
+
+// Same idea for ScannerDetector::observe, which is idempotent per
+// (src, dst) pair — a repeat insert into the per-source seen-set changes
+// nothing — so suppressing recently seen pairs cannot alter the verdict.
+// Packet streams are bursty per connection, so a small direct-mapped cache
+// absorbs most of the per-packet hash-map lookups.  A separate valid flag
+// (not a sentinel key) keeps even degenerate pairs like broadcast->broadcast
+// exact under fuzzed traces.
+class PairSeenCache {
+ public:
+  PairSeenCache() { valid_.fill(0); }
+
+  bool test_and_set(std::uint32_t src, std::uint32_t dst) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+    const std::size_t i =
+        static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> (64 - kBits));
+    if (valid_[i] != 0 && keys_[i] == key) return true;
+    keys_[i] = key;
+    valid_[i] = 1;
+    return false;
+  }
+
+ private:
+  static constexpr unsigned kBits = 12;
+  std::array<std::uint64_t, 1u << kBits> keys_;
+  std::array<std::uint8_t, 1u << kBits> valid_;
+};
+
 }  // namespace
 
 std::uint64_t DatasetAnalysis::payload_bytes() const {
@@ -126,35 +178,32 @@ void analyze_trace(PacketSource& source, const AnalyzerConfig& config, TraceShar
                            {64, 128, 256, 512, 1024, 1514, 4096, 16384},
                            "wire length of analyzed packets");
 
-  while (const RawPacket* pulled = source.next()) {
-    const RawPacket& pkt = *pulled;
-    ++shard.quality.packets_seen;
-    const auto decoded = decode_packet(pkt, &shard.quality.anomalies);
-    if (!decoded) {
-      // Not even the Ethernet header was captured; nothing to attribute.
-      ++shard.quality.packets_dropped;
-      continue;
-    }
-    if (decoded->checksum_bad()) {
-      // Header bytes are demonstrably corrupt: addresses/ports can't be
-      // trusted, so the packet is excluded from all traffic accounting
-      // (Bro's checksum handling on the paper's traces behaves the same).
-      ++shard.quality.packets_dropped;
-      continue;
-    }
+  HostSeenCache host_cache;
+  PairSeenCache pair_cache;
+
+  // Per-packet work after decode, shared between the scalar reference loop
+  // and the batched stage loops.  tally_one covers the accounting that is
+  // additive and flow-independent; flow_one drives the flow table and the
+  // retransmission load proxy.  The batch path runs tally over a whole
+  // batch before flow touches it — legal because neither stage reads the
+  // other's state, and flow_one preserves packet order within the batch.
+  auto tally_one = [&](const DecodedPacket& d) {
     // Headline tallies count analyzed packets only (see the accounting
     // rule in analyzer.h): total_packets == packets_ok == l3.total.
     ++shard.quality.packets_ok;
     ++shard.total_packets;
-    shard.total_wire_bytes += pkt.wire_len;
-    if (pkt_bytes != nullptr) pkt_bytes->observe(static_cast<double>(pkt.wire_len));
-    shard.l3.add(decoded->l3);
-    shard.load.add_packet(pkt.ts, pkt.wire_len);
-    if (decoded->l3 != L3Kind::kIpv4) continue;
-    ++shard.ip_proto_packets[decoded->ip_proto];
-    shard.detector.observe(decoded->src, decoded->dst);
-    for (const Ipv4Address addr : {decoded->src, decoded->dst}) {
+    shard.total_wire_bytes += d.wire_len;
+    if (pkt_bytes != nullptr) pkt_bytes->observe(static_cast<double>(d.wire_len));
+    shard.l3.add(d.l3);
+    shard.load.add_packet(d.ts, d.wire_len);
+    if (d.l3 != L3Kind::kIpv4) return;
+    ++shard.ip_proto_packets[d.ip_proto];
+    if (!pair_cache.test_and_set(d.src.value(), d.dst.value())) {
+      shard.detector.observe(d.src, d.dst);
+    }
+    for (const Ipv4Address addr : {d.src, d.dst}) {
       if (addr.is_multicast() || addr.is_broadcast()) continue;
+      if (host_cache.test_and_set(addr.value())) continue;
       if (config.site.is_internal(addr)) {
         shard.lbnl_hosts.insert(addr.value());
         if (config.site.subnet_of(addr) == meta.subnet_id) {
@@ -164,8 +213,13 @@ void analyze_trace(PacketSource& source, const AnalyzerConfig& config, TraceShar
         shard.remote_hosts.insert(addr.value());
       }
     }
-    const PacketVerdict verdict = shard.table->process(*decoded);
-    if (verdict.conn != nullptr && decoded->is_tcp()) {
+  };
+  auto flow_one = [&](const DecodedPacket& d, std::uint64_t key_lo, std::uint64_t key_hi,
+                      bool keyed) {
+    if (d.l3 != L3Kind::kIpv4) return;
+    const PacketVerdict verdict =
+        keyed ? shard.table->process(d, key_lo, key_hi) : shard.table->process(d);
+    if (verdict.conn != nullptr && d.is_tcp()) {
       const bool wan = !config.site.is_internal(verdict.conn->key.src) ||
                        !config.site.is_internal(verdict.conn->key.dst);
       if (verdict.keepalive_retx) {
@@ -177,6 +231,91 @@ void analyze_trace(PacketSource& source, const AnalyzerConfig& config, TraceShar
         ++pkts;
         if (verdict.tcp_retransmission) ++retx;
       }
+    }
+  };
+
+  if (config.batch_size <= 1) {
+    // Scalar reference loop: one virtual pull and one decode per packet.
+    // Kept verbatim as the equivalence oracle for the batched path.
+    while (const RawPacket* pulled = source.next()) {
+      ++shard.quality.packets_seen;
+      const auto decoded = decode_packet(*pulled, &shard.quality.anomalies);
+      if (!decoded || decoded->checksum_bad()) {
+        // Either nothing to attribute (not even an Ethernet header) or the
+        // header bytes are demonstrably corrupt: addresses/ports can't be
+        // trusted, so the packet is excluded from all traffic accounting
+        // (Bro's checksum handling on the paper's traces behaves the same).
+        ++shard.quality.packets_dropped;
+        continue;
+      }
+      tally_one(*decoded);
+      flow_one(*decoded, 0, 0, false);
+    }
+  } else {
+    // Batched pipeline: one virtual next_batch call amortized over up to
+    // batch_size packets, then staged loops (decode -> tally -> flow) over
+    // parallel per-batch arrays.  The decode stage precomputes each
+    // flow-eligible packet's packed canonical key so the flow stage probes
+    // the open-addressing table without re-deriving tuples.  Views stay
+    // valid until the next next_batch call, so payload spans inside
+    // DecodedPacket are safe for the whole batch.
+    const std::size_t batch = config.batch_size;
+    std::vector<PacketView> views(batch);
+    std::vector<DecodedPacket> decoded(batch);
+    std::vector<std::uint64_t> key_lo(batch), key_hi(batch);
+    std::vector<std::uint8_t> ok(batch), keyed(batch);
+    using clock = std::chrono::steady_clock;
+    const bool timed = reg != nullptr;
+    double source_s = 0.0, decode_s = 0.0, tally_s = 0.0, flow_s = 0.0;
+    std::uint64_t batches = 0;
+    auto lap = [last = clock::time_point{}, timed](double& acc) mutable {
+      if (!timed) return;
+      const auto now = clock::now();
+      if (last != clock::time_point{}) acc += std::chrono::duration<double>(now - last).count();
+      last = now;
+    };
+    double warm = 0.0;  // first lap() only arms the timer
+    for (;;) {
+      lap(warm);
+      const std::size_t got = source.next_batch(views.data(), batch);
+      lap(source_s);
+      if (got == 0) break;
+      ++batches;
+      for (std::size_t i = 0; i < got; ++i) {
+        ++shard.quality.packets_seen;
+        const bool good =
+            decode_packet_into(views[i].data, views[i].ts, views[i].wire_len, decoded[i],
+                               &shard.quality.anomalies) &&
+            !decoded[i].checksum_bad();
+        ok[i] = good ? 1 : 0;
+        keyed[i] = 0;
+        if (!good) {
+          ++shard.quality.packets_dropped;
+          continue;
+        }
+        const DecodedPacket& d = decoded[i];
+        if (d.l3 == L3Kind::kIpv4 && d.l4_ok && (d.is_tcp() || d.is_udp() || d.is_icmp())) {
+          const FiveTuple key = flow_tuple_of(d).canonical();
+          key_lo[i] = key.packed_lo();
+          key_hi[i] = key.packed_hi();
+          keyed[i] = 1;
+        }
+      }
+      lap(decode_s);
+      for (std::size_t i = 0; i < got; ++i) {
+        if (ok[i]) tally_one(decoded[i]);
+      }
+      lap(tally_s);
+      for (std::size_t i = 0; i < got; ++i) {
+        if (ok[i]) flow_one(decoded[i], key_lo[i], key_hi[i], keyed[i] != 0);
+      }
+      lap(flow_s);
+    }
+    if (timed) {
+      obs::record_stage(reg, "batch.source", source_s, batches);
+      obs::record_stage(reg, "batch.decode", decode_s, shard.quality.packets_seen);
+      obs::record_stage(reg, "batch.tally", tally_s, shard.quality.packets_ok);
+      obs::record_stage(reg, "batch.flow", flow_s, shard.quality.packets_ok);
     }
   }
   shard.table->flush();

@@ -67,6 +67,12 @@ struct AnalyzerConfig {
   // Off disables all collection (no registry lookups, no histogram on the
   // hot loop) — the toggle the bench overhead study flips.
   bool collect_metrics = true;
+  // Packets pulled, decoded, tallied and flow-processed per batch.  Results
+  // are byte-identical for every value: the stage loops only regroup work
+  // that is order-independent across stages (tallies are additive, flow
+  // processing preserves packet order).  <= 1 selects the scalar
+  // packet-at-a-time loop, kept as the equivalence reference.
+  std::size_t batch_size = 256;
 };
 
 // IP packets tallied by transport protocol number.  A flat 256-entry array

@@ -17,22 +17,11 @@ inline bool seq_lt(std::uint32_t a, std::uint32_t b) {
 FlowTable::FlowTable(Config config, FlowObserver* observer)
     : config_(config), observer_(observer) {}
 
-FlowTable::Entry& FlowTable::find_or_create(const DecodedPacket& pkt, bool& created) {
-  FiveTuple tuple = pkt.tuple();
-  if (pkt.is_icmp()) {
-    // Key ICMP flows: echo req/reply share the identifier; other types key
-    // on the type.  Ports are set symmetrically so both directions
-    // canonicalize to the same flow.
-    const bool echo = pkt.icmp_type == IcmpHeader::kEchoRequest ||
-                      pkt.icmp_type == IcmpHeader::kEchoReply;
-    tuple.src_port = echo ? pkt.icmp_id : pkt.icmp_type;
-    tuple.dst_port = tuple.src_port;
-  }
-  const FiveTuple key = tuple.canonical();
-
-  auto it = active_.find(key);
-  if (it != active_.end()) {
-    Entry& e = it->second;
+FlowTable::Entry& FlowTable::find_or_create(const DecodedPacket& pkt, std::uint64_t key_lo,
+                                            std::uint64_t key_hi, bool& created) {
+  const std::size_t slot = active_.find_slot(key_lo, key_hi);
+  if (slot != FlowMap::kNoSlot) {
+    Entry& e = entries_[active_.value_at(slot)];
     Connection& conn = conn_of(e);
     const bool syn_only = pkt.is_tcp() && (pkt.tcp_flags & tcpflag::kSyn) &&
                           !(pkt.tcp_flags & tcpflag::kAck);
@@ -56,7 +45,7 @@ FlowTable::Entry& FlowTable::find_or_create(const DecodedPacket& pkt, bool& crea
       if (reused_tuple) ++stats_.tcp_tuple_reuse;
       if (idle_expired) ++stats_.idle_splits;
       close_entry(e);
-      active_.erase(it);
+      active_.erase_slot(slot);
     } else {
       created = false;
       return e;
@@ -65,26 +54,39 @@ FlowTable::Entry& FlowTable::find_or_create(const DecodedPacket& pkt, bool& crea
 
   created = true;
   Connection conn;
-  conn.key = tuple;  // orientation: first packet's sender is the originator
+  // Cold path (one execution per connection): recomputing the oriented
+  // tuple here keeps the per-packet path on the precomputed packed key.
+  conn.key = flow_tuple_of(pkt);  // orientation: first packet's sender is the originator
   conn.start_ts = pkt.ts;
   conn.last_ts = pkt.ts;
   if (pkt.is_icmp()) conn.icmp_type = pkt.icmp_type;
   conn.multicast = pkt.dst.is_multicast() || pkt.dst.is_broadcast();
   connections_.push_back(conn);
   ++stats_.conns_opened;
-  Entry e{connections_.size() - 1, {}, {}, false};
-  auto [new_it, _] = active_.emplace(key, e);
-  return new_it->second;
+  entries_.push_back(Entry{connections_.size() - 1, {}, {}, false});
+  active_.insert(key_lo, key_hi, static_cast<std::uint32_t>(entries_.size() - 1));
+  return entries_.back();
 }
 
 PacketVerdict FlowTable::process(const DecodedPacket& pkt) {
+  if (pkt.l3 == L3Kind::kIpv4 && pkt.l4_ok &&
+      (pkt.is_tcp() || pkt.is_udp() || pkt.is_icmp())) {
+    const FiveTuple key = flow_tuple_of(pkt).canonical();
+    return process(pkt, key.packed_lo(), key.packed_hi());
+  }
+  ++packets_;
+  return PacketVerdict{};
+}
+
+PacketVerdict FlowTable::process(const DecodedPacket& pkt, std::uint64_t key_lo,
+                                 std::uint64_t key_hi) {
   ++packets_;
   PacketVerdict verdict;
   if (pkt.l3 != L3Kind::kIpv4 || !pkt.l4_ok) return verdict;
   if (!pkt.is_tcp() && !pkt.is_udp() && !pkt.is_icmp()) return verdict;
 
   bool created = false;
-  Entry& e = find_or_create(pkt, created);
+  Entry& e = find_or_create(pkt, key_lo, key_hi, created);
   Connection& conn = conn_of(e);
   // ICMP flow keys are port-symmetric; direction is by address there.
   const Direction dir =
@@ -262,7 +264,11 @@ void FlowTable::close_entry(Entry& e) {
 }
 
 void FlowTable::flush() {
-  for (auto& [key, entry] : active_) close_entry(entry);
+  // Insertion-order walk: every erase path (fresh SYN, idle split, tuple
+  // reuse) closes before unmapping and close_entry is a no-op on closed
+  // entries, so this closes exactly the still-live flows — in a
+  // deterministic order, unlike iterating the hash map.
+  for (Entry& entry : entries_) close_entry(entry);
   active_.clear();
 }
 

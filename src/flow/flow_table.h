@@ -15,9 +15,10 @@
 #include <deque>
 #include <functional>
 #include <span>
-#include <unordered_map>
+#include <vector>
 
 #include "flow/connection.h"
+#include "flow/flow_map.h"
 #include "net/decoder.h"
 
 namespace entrace {
@@ -72,6 +73,22 @@ struct FlowStats {
   std::uint64_t idle_splits = 0;
 };
 
+// The tuple a packet's flow is keyed on: the 5-tuple, except that ICMP
+// flows use port-symmetric pseudo-ports (echo request/reply share the
+// identifier; other types key on the type) so both directions canonicalize
+// to the same flow.  The batched decode stage precomputes this per packet;
+// FlowTable::process computes it on demand for scalar callers.
+inline FiveTuple flow_tuple_of(const DecodedPacket& pkt) {
+  FiveTuple tuple = pkt.tuple();
+  if (pkt.is_icmp()) {
+    const bool echo = pkt.icmp_type == IcmpHeader::kEchoRequest ||
+                      pkt.icmp_type == IcmpHeader::kEchoReply;
+    tuple.src_port = echo ? pkt.icmp_id : pkt.icmp_type;
+    tuple.dst_port = tuple.src_port;
+  }
+  return tuple;
+}
+
 class FlowTable {
  public:
   using Config = FlowConfig;
@@ -81,6 +98,13 @@ class FlowTable {
   // Process one decoded packet.  The returned pointers remain valid until
   // the FlowTable is destroyed (connections live in a stable deque).
   PacketVerdict process(const DecodedPacket& pkt);
+
+  // Hot-path variant with the packed canonical flow key precomputed by the
+  // batch decode stage: key_lo/key_hi must equal
+  // flow_tuple_of(pkt).canonical().packed_{lo,hi}().  Only meaningful for
+  // flow-eligible packets (IPv4, l4_ok, TCP/UDP/ICMP); process(pkt)
+  // handles the general case and delegates here.
+  PacketVerdict process(const DecodedPacket& pkt, std::uint64_t key_lo, std::uint64_t key_hi);
 
   // Finalize: mark dangling TCP connections, emit on_close callbacks.
   void flush();
@@ -104,7 +128,8 @@ class FlowTable {
   };
 
   Connection& conn_of(Entry& e) { return connections_[e.conn_index]; }
-  Entry& find_or_create(const DecodedPacket& pkt, bool& created);
+  Entry& find_or_create(const DecodedPacket& pkt, std::uint64_t key_lo, std::uint64_t key_hi,
+                        bool& created);
   PacketVerdict process_tcp(Entry& e, const DecodedPacket& pkt, Direction dir);
   void process_udp(Entry& e, const DecodedPacket& pkt, Direction dir);
   void close_entry(Entry& e);
@@ -112,7 +137,13 @@ class FlowTable {
   Config config_;
   FlowObserver* observer_;
   std::deque<Connection> connections_;
-  std::unordered_map<FiveTuple, Entry> active_;
+  // Entries are created 1:1 with connections and never erased — an entry
+  // whose key leaves the active map keeps its terminal state here, which
+  // gives flush() a deterministic insertion-order walk (close_entry is
+  // idempotent, so closing everything equals closing the live subset).
+  // active_ only maps the packed canonical key of live flows to an index.
+  std::vector<Entry> entries_;
+  FlowMap active_;
   std::uint64_t packets_ = 0;
   FlowStats stats_;
 };

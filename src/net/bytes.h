@@ -6,6 +6,7 @@
 // alignment UB.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -14,6 +15,11 @@
 #include <vector>
 
 namespace entrace {
+
+// Byte-order reversal (std::byteswap is C++23; the project targets C++20).
+inline std::uint16_t bswap16(std::uint16_t v) { return __builtin_bswap16(v); }
+inline std::uint32_t bswap32(std::uint32_t v) { return __builtin_bswap32(v); }
+inline std::uint64_t bswap64(std::uint64_t v) { return __builtin_bswap64(v); }
 
 class ByteWriter {
  public:
@@ -126,8 +132,23 @@ class ByteReader {
   template <std::size_t N>
   std::uint64_t read_int() {
     if (!check(N)) return 0;
-    std::uint64_t v = 0;
-    for (std::size_t i = 0; i < N; ++i) v = (v << 8) | data_[pos_ + i];
+    std::uint64_t v;
+    if constexpr (N == 1) {
+      v = data_[pos_];
+    } else if constexpr (N == 2) {
+      std::uint16_t raw;
+      std::memcpy(&raw, data_.data() + pos_, 2);
+      if constexpr (std::endian::native == std::endian::little) raw = bswap16(raw);
+      v = raw;
+    } else if constexpr (N == 4) {
+      std::uint32_t raw;
+      std::memcpy(&raw, data_.data() + pos_, 4);
+      if constexpr (std::endian::native == std::endian::little) raw = bswap32(raw);
+      v = raw;
+    } else {
+      v = 0;
+      for (std::size_t i = 0; i < N; ++i) v = (v << 8) | data_[pos_ + i];
+    }
     pos_ += N;
     return v;
   }

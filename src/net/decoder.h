@@ -87,6 +87,13 @@ struct DecodedPacket {
 // misreported as checksum-bad.
 std::optional<DecodedPacket> decode_packet(const RawPacket& pkt, AnomalyCounts* anomalies);
 
+// Copy-free variant for the batched hot path: decodes into a caller-owned
+// DecodedPacket (e.g. a slot in a per-batch array) and returns false where
+// decode_packet would return nullopt.  Identical classification semantics —
+// decode_packet is a thin wrapper over this.
+bool decode_packet_into(std::span<const std::uint8_t> data, double ts, std::uint32_t wire_len,
+                        DecodedPacket& d, AnomalyCounts* anomalies);
+
 inline std::optional<DecodedPacket> decode_packet(const RawPacket& pkt) {
   return decode_packet(pkt, nullptr);
 }

@@ -80,8 +80,7 @@ std::vector<std::uint8_t> make_icmp_frame(const FrameEndpoints& ep, std::uint8_t
   icmp.identifier = id;
   icmp.sequence = seq;
   icmp.encode(w);
-  const auto filler = filler_payload(payload_len);
-  w.bytes(filler);
+  w.bytes(filler_span(payload_len));
   const std::uint16_t csum = internet_checksum(
       std::span<const std::uint8_t>(frame.data() + icmp_start, frame.size() - icmp_start));
   frame[icmp_start + 2] = static_cast<std::uint8_t>(csum >> 8);
@@ -130,15 +129,35 @@ std::vector<std::uint8_t> make_ipx_frame(const MacAddress& src_node, const MacAd
   ipx.src_socket = src_socket;
   ipx.dst_socket = dst_socket;
   ipx.encode(w);
-  const auto filler = filler_payload(payload_len);
-  w.bytes(filler);
+  w.bytes(filler_span(payload_len));
   return frame;
 }
 
-std::vector<std::uint8_t> filler_payload(std::size_t len) {
+namespace {
+
+std::vector<std::uint8_t> build_filler_pattern(std::size_t len) {
   std::vector<std::uint8_t> out(len);
   for (std::size_t i = 0; i < len; ++i) out[i] = static_cast<std::uint8_t>(0x20 + (i % 0x5F));
   return out;
+}
+
+}  // namespace
+
+std::span<const std::uint8_t> filler_span(std::size_t len) {
+  // 64 KiB covers every generator request (the TCP builders chunk transfers
+  // at 64 KiB); the shared buffer is immutable after first use, so views
+  // handed out earlier stay valid for the life of the process.
+  static constexpr std::size_t kShared = 64 * 1024;
+  static const std::vector<std::uint8_t> shared = build_filler_pattern(kShared);
+  if (len <= kShared) return std::span<const std::uint8_t>(shared.data(), len);
+  thread_local std::vector<std::uint8_t> oversized;
+  if (oversized.size() < len) oversized = build_filler_pattern(len);
+  return std::span<const std::uint8_t>(oversized.data(), len);
+}
+
+std::vector<std::uint8_t> filler_payload(std::size_t len) {
+  const auto view = filler_span(len);
+  return std::vector<std::uint8_t>(view.begin(), view.end());
 }
 
 void fix_l4_checksum(std::vector<std::uint8_t>& frame) {

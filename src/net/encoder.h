@@ -49,6 +49,14 @@ std::vector<std::uint8_t> make_ipx_frame(const MacAddress& src_node, const MacAd
 // nothing in the analysis depends on payload entropy).
 std::vector<std::uint8_t> filler_payload(std::size_t len);
 
+// Same bytes as filler_payload, served as a view of a shared immutable
+// pattern buffer — no allocation or fill per call.  The pattern is a pure
+// function of position, so every filler payload is a prefix of one fixed
+// sequence.  Views up to 64 KiB alias a process-lifetime buffer and never
+// invalidate; a larger request (none today) falls back to a thread-local
+// scratch vector, invalidating any previous oversized view on that thread.
+std::span<const std::uint8_t> filler_span(std::size_t len);
+
 // Recompute the TCP or UDP checksum of a complete Ethernet+IPv4 frame in
 // place (pseudo-header per RFC 793/768).  No-op for non-TCP/UDP frames or
 // frames too short to carry the transport header.  Used by the frame

@@ -10,6 +10,20 @@
 
 namespace entrace {
 
+// SplitMix64 finalizer: a full-avalanche 64-bit mixer.  Shared by
+// std::hash<FiveTuple> and the flow table's open-addressing map so both
+// index structures see the same (strong) bit diffusion; the old FNV-1a
+// fold left the low bits of near-sequential address/port patterns
+// clustered, which is exactly what a power-of-two-masked table probes on.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
 struct FiveTuple {
   Ipv4Address src;
   Ipv4Address dst;
@@ -26,23 +40,31 @@ struct FiveTuple {
 
   std::string to_string() const;
 
+  // Injective 16-byte packing of the tuple: `lo` carries the addresses,
+  // `hi` the ports and protocol in disjoint bit ranges.  The flow table's
+  // open-addressing map keys on the packed *canonical* tuple; std::hash
+  // packs the tuple as-is (canonicalization is the caller's business).
+  std::uint64_t packed_lo() const {
+    return (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
+  }
+  std::uint64_t packed_hi() const {
+    return (static_cast<std::uint64_t>(src_port) << 24) |
+           (static_cast<std::uint64_t>(dst_port) << 8) | proto;
+  }
+
   friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
 };
+
+// The one hash both FiveTuple index structures use.
+inline std::uint64_t hash_packed_tuple(std::uint64_t lo, std::uint64_t hi) {
+  return mix64(lo ^ mix64(hi ^ 0x9E3779B97F4A7C15ULL));
+}
 
 }  // namespace entrace
 
 template <>
 struct std::hash<entrace::FiveTuple> {
   std::size_t operator()(const entrace::FiveTuple& t) const noexcept {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    auto mix = [&h](std::uint64_t v) {
-      h ^= v;
-      h *= 0x100000001b3ULL;
-    };
-    mix(t.src.value());
-    mix(t.dst.value());
-    mix((static_cast<std::uint64_t>(t.src_port) << 32) | t.dst_port);
-    mix(t.proto);
-    return static_cast<std::size_t>(h);
+    return static_cast<std::size_t>(entrace::hash_packed_tuple(t.packed_lo(), t.packed_hi()));
   }
 };

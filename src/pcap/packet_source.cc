@@ -46,6 +46,21 @@ const RawPacket* PcapFileSource::pull() {
   return &current_;
 }
 
+std::size_t PcapFileSource::pull_batch(PacketView* out, std::size_t n) {
+  batch_.clear();
+  batch_.reserve(n);
+  while (batch_.size() < n) {
+    auto pkt = reader_->next();
+    if (!pkt) break;
+    if (pkt->data.size() > meta_.snaplen) pkt->data.resize(meta_.snaplen);
+    batch_.push_back(std::move(*pkt));
+  }
+  for (std::size_t i = 0; i < batch_.size(); ++i) {
+    out[i] = PacketView{batch_[i].ts, batch_[i].wire_len, batch_[i].data};
+  }
+  return batch_.size();
+}
+
 const AnomalyCounts& PcapFileSource::anomalies() const { return reader_->anomalies(); }
 
 std::unique_ptr<PacketSource> PcapFileSourceSet::open(std::size_t index) const {
@@ -79,6 +94,44 @@ const RawPacket* MergedPacketStream::next() {
   heap_.pop_back();
   pending_ = head.index;
   return head.pkt;
+}
+
+std::size_t MergedPacketStream::next_batch(PacketView* out, std::size_t n) {
+  constexpr std::size_t kHeadBatch = 64;
+  if (!batch_primed_) {
+    bufs_.resize(sources_.size());
+    batch_primed_ = true;
+  }
+  // Refill exhausted buffers only on entry: the caller is done with the
+  // previous batch's views by contract, so they may die now.
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    SourceBuf& b = bufs_[i];
+    if (b.eof || b.pos < b.views.size()) continue;
+    b.views.resize(kHeadBatch);
+    const std::size_t got = sources_[i]->next_batch(b.views.data(), kHeadBatch);
+    b.views.resize(got);
+    b.pos = 0;
+    if (got == 0) b.eof = true;
+  }
+  std::size_t k = 0;
+  while (k < n) {
+    // Global minimum over buffer heads by (ts, source index) — the same
+    // order the heap in next() produces.  Source counts are small (one
+    // per trace), so a linear scan beats heap maintenance here.
+    std::size_t best = SIZE_MAX;
+    for (std::size_t i = 0; i < bufs_.size(); ++i) {
+      const SourceBuf& b = bufs_[i];
+      if (b.pos >= b.views.size()) continue;
+      if (best == SIZE_MAX || b.views[b.pos].ts < bufs_[best].views[bufs_[best].pos].ts) {
+        best = i;
+      }
+    }
+    if (best == SIZE_MAX) break;  // every buffer empty: drained or refill needed
+    SourceBuf& b = bufs_[best];
+    out[k++] = b.views[b.pos++];
+    if (b.pos >= b.views.size() && !b.eof) break;  // short batch; refill next call
+  }
+  return k;
 }
 
 MergedPacketStream merged_stream(const TraceSet& traces) {

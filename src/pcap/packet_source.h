@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,15 @@
 #include "pcap/trace.h"
 
 namespace entrace {
+
+// Zero-copy view of one captured packet — the unit of batched ingest.
+// `data` aliases storage owned by the source and stays valid only until
+// the next next_batch()/next() call on that source.
+struct PacketView {
+  double ts = 0.0;
+  std::uint32_t wire_len = 0;
+  std::span<const std::uint8_t> data;
+};
 
 // Trace-level metadata a source knows before the first packet is pulled.
 // File-backed sources that cannot know the capture window up front leave
@@ -73,6 +83,26 @@ class PacketSource {
     return pkt;
   }
 
+  // Batched ingest: fill up to n views, returning the count (0 = end of
+  // stream).  Views stay valid until the next next_batch()/next() call on
+  // this source.  Sources may return short batches at internal buffer
+  // boundaries (slice refills, merged-stream head exhaustion) — a short
+  // batch is NOT end-of-stream; only 0 is.  This is the primary hot-path
+  // API: one virtual dispatch and one stats update per batch instead of
+  // per packet.
+  std::size_t next_batch(PacketView* out, std::size_t n) {
+    const std::size_t got = pull_batch(out, n);
+    std::uint64_t captured = 0, wire = 0;
+    for (std::size_t i = 0; i < got; ++i) {
+      captured += out[i].data.size();
+      wire += out[i].wire_len;
+    }
+    stats_.packets += got;
+    stats_.captured_bytes += captured;
+    stats_.wire_bytes += wire;
+    return got;
+  }
+
   // Volume delivered so far; complete once next() has returned nullptr.
   const SourceStats& stats() const { return stats_; }
 
@@ -84,8 +114,28 @@ class PacketSource {
   // Implementation hook with the same ownership contract as next().
   virtual const RawPacket* pull() = 0;
 
+  // Batch hook.  The default adapter loops pull(), copying each packet
+  // into an owned buffer because pull()'s pointee dies on the next pull()
+  // — subclasses that own stable storage override this with a real
+  // (copy-free) batch fill.
+  virtual std::size_t pull_batch(PacketView* out, std::size_t n) {
+    fallback_batch_.clear();
+    fallback_batch_.reserve(n);
+    while (fallback_batch_.size() < n) {
+      const RawPacket* pkt = pull();
+      if (pkt == nullptr) break;
+      fallback_batch_.push_back(*pkt);
+    }
+    for (std::size_t i = 0; i < fallback_batch_.size(); ++i) {
+      const RawPacket& p = fallback_batch_[i];
+      out[i] = PacketView{p.ts, p.wire_len, p.data};
+    }
+    return fallback_batch_.size();
+  }
+
  private:
   SourceStats stats_;
+  std::vector<RawPacket> fallback_batch_;
 };
 
 // Factory of per-trace sources for one dataset.  open() may be called
@@ -115,6 +165,17 @@ class MemoryTraceSource final : public PacketSource {
  protected:
   const RawPacket* pull() override {
     return pos_ < trace_->packets.size() ? &trace_->packets[pos_++] : nullptr;
+  }
+
+  // Real batch fill: views alias the Trace's own packet storage.
+  std::size_t pull_batch(PacketView* out, std::size_t n) override {
+    const std::vector<RawPacket>& pkts = trace_->packets;
+    std::size_t i = 0;
+    for (; i < n && pos_ < pkts.size(); ++i, ++pos_) {
+      const RawPacket& p = pkts[pos_];
+      out[i] = PacketView{p.ts, p.wire_len, p.data};
+    }
+    return i;
   }
 
  private:
@@ -155,11 +216,15 @@ class PcapFileSource final : public PacketSource {
 
  protected:
   const RawPacket* pull() override;
+  // Reads up to n records into an owned per-batch buffer (one read loop,
+  // no per-packet virtual dispatch from the analyzer side).
+  std::size_t pull_batch(PacketView* out, std::size_t n) override;
 
  private:
   std::unique_ptr<class PcapReader> reader_;
   TraceMeta meta_;
   RawPacket current_;
+  std::vector<RawPacket> batch_;
 };
 
 // One file of a pcap-backed dataset.
@@ -198,6 +263,14 @@ class MergedPacketStream {
   // The pointee stays valid until the next call.
   const RawPacket* next();
 
+  // Batched merge: each source keeps a buffered batch of heads, and the
+  // merge pops the global (ts, source index) minimum into `out`.  When a
+  // source's buffer runs dry mid-batch the call returns short (refilling
+  // would invalidate views already handed out); 0 means fully drained.
+  // Yields the exact packet sequence next() yields.  Do not mix next()
+  // and next_batch() on the same stream.
+  std::size_t next_batch(PacketView* out, std::size_t n);
+
  private:
   struct Head {
     const RawPacket* pkt;
@@ -210,6 +283,15 @@ class MergedPacketStream {
   std::vector<std::unique_ptr<PacketSource>> sources_;
   std::vector<Head> heap_;          // min-heap on (ts, source index)
   std::size_t pending_ = SIZE_MAX;  // source to advance on the next call
+
+  // next_batch() state: one buffered batch of views per source.
+  struct SourceBuf {
+    std::vector<PacketView> views;
+    std::size_t pos = 0;
+    bool eof = false;
+  };
+  std::vector<SourceBuf> bufs_;
+  bool batch_primed_ = false;
 };
 
 // Convenience: a merged stream over the traces of an in-memory TraceSet

@@ -113,7 +113,9 @@ std::vector<std::uint8_t> encode_dce_request(std::uint32_t call_id, std::uint16_
   w.u16le(0);                                     // context id
   w.u16le(opnum);
   // Stub data: opaque filler.
-  for (std::size_t i = 0; i < stub_len; ++i) out.push_back(static_cast<std::uint8_t>(i));
+  const std::size_t base = out.size();
+  out.resize(base + stub_len);
+  for (std::size_t i = 0; i < stub_len; ++i) out[base + i] = static_cast<std::uint8_t>(i);
   return out;
 }
 

@@ -19,41 +19,50 @@ ProtocolDispatcher::ProtocolDispatcher(AppRegistry& registry, AppEvents& events,
       payload_analysis_(payload_analysis),
       anomalies_(anomalies) {}
 
-void ProtocolDispatcher::on_new_connection(Connection& conn) {
-  const AppProtocol app = registry_.identify(conn);
-  conn.app_id = static_cast<std::uint16_t>(app);
-  if (!payload_analysis_) return;
-  if (auto parser = make_parser(conn, app)) {
-    parser->set_anomaly_sink(anomalies_);
-    parsers_[&conn] = std::move(parser);
+ProtocolDispatcher::~ProtocolDispatcher() {
+  // Destroy parsers the flow table never closed (none, after a normal
+  // flush, since flush closes every entry).  The arena frees the memory.
+  for (AppParser* p : slots_) {
+    if (p != nullptr) p->~AppParser();
   }
 }
 
-std::unique_ptr<AppParser> ProtocolDispatcher::make_parser(const Connection& conn,
-                                                           AppProtocol app) {
+void ProtocolDispatcher::on_new_connection(Connection& conn) {
+  const AppProtocol app = registry_.identify(conn);
+  conn.app_id = static_cast<std::uint16_t>(app);
+  conn.parser_slot = Connection::kNoParser;
+  if (!payload_analysis_) return;
+  if (AppParser* parser = make_parser(conn, app)) {
+    parser->set_anomaly_sink(anomalies_);
+    conn.parser_slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(parser);
+  }
+}
+
+AppParser* ProtocolDispatcher::make_parser(const Connection& conn, AppProtocol app) {
   switch (app) {
     case AppProtocol::kHttp:
-      return std::make_unique<HttpParser>(events_.http);
+      return arena_.make<HttpParser>(events_.http);
     case AppProtocol::kSmtp:
-      return std::make_unique<SmtpParser>(events_.smtp);
+      return arena_.make<SmtpParser>(events_.smtp);
     case AppProtocol::kDns:
-      if (conn.key.proto == ipproto::kUdp) return std::make_unique<DnsParser>(events_.dns);
+      if (conn.key.proto == ipproto::kUdp) return arena_.make<DnsParser>(events_.dns);
       return nullptr;
     case AppProtocol::kNetbiosNs:
-      return std::make_unique<NbnsParser>(events_.nbns);
+      return arena_.make<NbnsParser>(events_.nbns);
     case AppProtocol::kNetbiosSsn:
-      return std::make_unique<CifsParser>(events_, /*netbios_framing=*/true);
+      return arena_.make<CifsParser>(events_, /*netbios_framing=*/true);
     case AppProtocol::kCifs:
-      return std::make_unique<CifsParser>(events_, /*netbios_framing=*/false);
+      return arena_.make<CifsParser>(events_, /*netbios_framing=*/false);
     case AppProtocol::kEndpointMapper:
     case AppProtocol::kDceRpc:
       if (conn.key.proto == ipproto::kTcp)
-        return std::make_unique<DceRpcParser>(events_.dcerpc, events_.epm);
+        return arena_.make<DceRpcParser>(events_.dcerpc, events_.epm);
       return nullptr;
     case AppProtocol::kNfs:
-      return std::make_unique<NfsParser>(events_.nfs, conn.key.proto == ipproto::kTcp);
+      return arena_.make<NfsParser>(events_.nfs, conn.key.proto == ipproto::kTcp);
     case AppProtocol::kNcp:
-      if (conn.key.proto == ipproto::kTcp) return std::make_unique<NcpParser>(events_.ncp);
+      if (conn.key.proto == ipproto::kTcp) return arena_.make<NcpParser>(events_.ncp);
       return nullptr;
     default:
       return nullptr;
@@ -62,12 +71,12 @@ std::unique_ptr<AppParser> ProtocolDispatcher::make_parser(const Connection& con
 
 void ProtocolDispatcher::on_data(Connection& conn, Direction dir, double ts,
                                  std::span<const std::uint8_t> data, std::uint32_t wire_len) {
-  auto it = parsers_.find(&conn);
-  if (it == parsers_.end()) return;
+  if (conn.parser_slot == Connection::kNoParser) return;
+  AppParser* parser = slots_[conn.parser_slot];
   if (conn.key.proto == ipproto::kUdp) {
-    it->second->on_datagram(conn, dir, ts, data, wire_len);
+    parser->on_datagram(conn, dir, ts, data, wire_len);
   } else {
-    it->second->on_data(conn, dir, ts, data);
+    parser->on_data(conn, dir, ts, data);
   }
   register_new_epm_mappings();
 }
@@ -80,10 +89,14 @@ void ProtocolDispatcher::register_new_epm_mappings() {
 }
 
 void ProtocolDispatcher::on_close(Connection& conn) {
-  auto it = parsers_.find(&conn);
-  if (it == parsers_.end()) return;
-  it->second->on_close(conn);
-  parsers_.erase(it);
+  if (conn.parser_slot == Connection::kNoParser) return;
+  AppParser*& slot = slots_[conn.parser_slot];
+  slot->on_close(conn);
+  // Run the destructor now so stream buffers are released mid-trace, as
+  // the old map erase did; the arena block itself lives until teardown.
+  slot->~AppParser();
+  slot = nullptr;
+  conn.parser_slot = Connection::kNoParser;
 }
 
 }  // namespace entrace

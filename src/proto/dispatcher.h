@@ -6,13 +6,13 @@
 // DCE/RPC analysis of §5.2.1.
 #pragma once
 
-#include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "flow/flow_table.h"
 #include "proto/events.h"
 #include "proto/parser.h"
 #include "proto/registry.h"
+#include "util/arena.h"
 
 namespace entrace {
 
@@ -24,6 +24,7 @@ class ProtocolDispatcher : public FlowObserver {
   // parsers; it must outlive the dispatcher.
   ProtocolDispatcher(AppRegistry& registry, AppEvents& events, bool payload_analysis,
                      AnomalyCounts* anomalies = nullptr);
+  ~ProtocolDispatcher() override;
 
   void on_new_connection(Connection& conn) override;
   void on_data(Connection& conn, Direction dir, double ts, std::span<const std::uint8_t> data,
@@ -31,14 +32,19 @@ class ProtocolDispatcher : public FlowObserver {
   void on_close(Connection& conn) override;
 
  private:
-  std::unique_ptr<AppParser> make_parser(const Connection& conn, AppProtocol app);
+  AppParser* make_parser(const Connection& conn, AppProtocol app);
   void register_new_epm_mappings();
 
   AppRegistry& registry_;
   AppEvents& events_;
   bool payload_analysis_;
   AnomalyCounts* anomalies_;
-  std::unordered_map<const Connection*, std::unique_ptr<AppParser>> parsers_;
+  // Parsers are bump-allocated from the per-dispatcher arena and addressed
+  // by Connection::parser_slot — no per-connection heap new/delete and no
+  // pointer-keyed hash lookup per data packet.  A slot is nulled (and its
+  // parser destroyed) at on_close; the destructor sweeps whatever remains.
+  Arena arena_;
+  std::vector<AppParser*> slots_;
   std::size_t registered_epm_ = 0;
 };
 

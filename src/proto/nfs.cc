@@ -1,10 +1,44 @@
 #include "proto/nfs.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "net/bytes.h"
 
 namespace entrace {
+namespace {
+
+// The opaque arg/result stubs are pure functions of byte index, so they are
+// prefixes of a fixed sequence; a shared table turns the per-call fill into
+// a memcpy.  64 KiB covers the generator's sizes; larger requests fall back
+// to the loop.
+constexpr std::size_t kStubTable = 64 * 1024;
+
+const std::uint8_t* stub_table(std::uint8_t step) {
+  static const std::vector<std::uint8_t> t3 = [] {
+    std::vector<std::uint8_t> t(kStubTable);
+    for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<std::uint8_t>(i * 3);
+    return t;
+  }();
+  static const std::vector<std::uint8_t> t7 = [] {
+    std::vector<std::uint8_t> t(kStubTable);
+    for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<std::uint8_t>(i * 7);
+    return t;
+  }();
+  return step == 3 ? t3.data() : t7.data();
+}
+
+void append_stub(std::vector<std::uint8_t>& out, std::size_t len, std::uint8_t step) {
+  const std::size_t base = out.size();
+  out.resize(base + len);
+  if (len <= kStubTable) {
+    std::memcpy(out.data() + base, stub_table(step), len);
+    return;
+  }
+  for (std::size_t i = 0; i < len; ++i) out[base + i] = static_cast<std::uint8_t>(i * step);
+}
+
+}  // namespace
 
 std::vector<std::uint8_t> encode_rpc_call(std::uint32_t xid, std::uint32_t prog,
                                           std::uint32_t vers, std::uint32_t proc,
@@ -22,7 +56,7 @@ std::vector<std::uint8_t> encode_rpc_call(std::uint32_t xid, std::uint32_t prog,
   w.u32be(0);  // cred length
   w.u32be(0);  // verf flavor
   w.u32be(0);  // verf length
-  for (std::size_t i = 0; i < arg_len; ++i) out.push_back(static_cast<std::uint8_t>(i * 7));
+  append_stub(out, arg_len, 7);
   return out;
 }
 
@@ -38,7 +72,7 @@ std::vector<std::uint8_t> encode_rpc_reply(std::uint32_t xid, std::uint32_t nfs_
   w.u32be(0);  // verf length
   w.u32be(0);  // accept_stat SUCCESS
   w.u32be(nfs_status);
-  for (std::size_t i = 0; i < result_len; ++i) out.push_back(static_cast<std::uint8_t>(i * 3));
+  append_stub(out, result_len, 3);
   return out;
 }
 

@@ -18,8 +18,12 @@ void gen_background(GenContext& ctx) {
     const HostRef asker = ctx.local_host();
     const HostRef target = m.host(ctx.subnet(), static_cast<std::uint32_t>(
                                                     rng.uniform_int(0, 199)));
-    ctx.sink().emit(t, make_arp_frame(asker.mac, ArpHeader::kRequest, asker.ip, target.ip));
-    if (rng.bernoulli(0.7)) {
+    // RNG draws stay unconditional; only frame construction is gated on the
+    // sink's slice window (see PacketSink::accepts).
+    if (ctx.sink().accepts(t)) {
+      ctx.sink().emit(t, make_arp_frame(asker.mac, ArpHeader::kRequest, asker.ip, target.ip));
+    }
+    if (rng.bernoulli(0.7) && ctx.sink().accepts(t + 0.0004)) {
       ctx.sink().emit(t + 0.0004,
                       make_arp_frame(target.mac, ArpHeader::kReply, target.ip, asker.ip));
     }
@@ -30,33 +34,37 @@ void gen_background(GenContext& ctx) {
     const HostRef src = ctx.local_host();
     // SAP advertising (socket 0x0452) and RIP (0x0453) broadcasts.
     const bool sap = rng.bernoulli(0.7);
+    const int len = 64 + rng.uniform_int(0, 400);
+    if (!ctx.sink().accepts(t)) continue;
     ctx.sink().emit(t, make_ipx_frame(src.mac, MacAddress::broadcast(), 4,
-                                      sap ? 0x0452 : 0x0453, sap ? 0x0452 : 0x0453,
-                                      64 + rng.uniform_int(0, 400)));
+                                      sap ? 0x0452 : 0x0453, sap ? 0x0452 : 0x0453, len));
   }
 
   // ---- other non-IP ethertypes (AppleTalk, DECnet remnants) -----------------
   for (double t : ctx.arrivals(k.other_l3_per_trace)) {
     const HostRef src = ctx.local_host();
+    const bool appletalk = rng.bernoulli(0.6);
+    const int len = 46 + rng.uniform_int(0, 200);
+    if (!ctx.sink().accepts(t)) continue;
     std::vector<std::uint8_t> frame;
     ByteWriter w(frame);
     EthernetHeader eth{MacAddress::broadcast(), src.mac,
-                       rng.bernoulli(0.6) ? ethertype::kAppleTalk : ethertype::kDecnet};
+                       appletalk ? ethertype::kAppleTalk : ethertype::kDecnet};
     eth.encode(w);
-    w.bytes(filler_payload(46 + rng.uniform_int(0, 200)));
+    w.bytes(filler_span(static_cast<std::size_t>(len)));
     ctx.sink().emit(t, std::move(frame));
   }
 
   // ---- rare IP transports ---------------------------------------------------------
   for (double t : ctx.arrivals(k.igmp_flows)) {
     const HostRef src = ctx.local_host();
+    if (!ctx.sink().accepts(t)) continue;
     FrameEndpoints ep{src.mac, MacAddress::broadcast(), src.ip, Ipv4Address(224, 0, 0, 1)};
     ctx.sink().emit(t, make_ip_frame(ep, ipproto::kIgmp, 8));
   }
   for (double t : ctx.arrivals(k.rare_ip_protos)) {
     const HostRef src = ctx.local_host();
     const HostRef dst = ctx.other_internal();
-    FrameEndpoints ep{src.mac, dst.mac, src.ip, dst.ip};
     std::uint8_t proto;
     switch (rng.weighted({0.3, 0.3, 0.2, 0.2})) {
       case 0: proto = ipproto::kEsp; break;
@@ -64,7 +72,10 @@ void gen_background(GenContext& ctx) {
       case 2: proto = ipproto::kPim; break;
       default: proto = ipproto::kProto224; break;
     }
-    ctx.sink().emit(t, make_ip_frame(ep, proto, 80 + rng.uniform_int(0, 800)));
+    const int len = 80 + rng.uniform_int(0, 800);
+    if (!ctx.sink().accepts(t)) continue;
+    FrameEndpoints ep{src.mac, dst.mac, src.ip, dst.ip};
+    ctx.sink().emit(t, make_ip_frame(ep, proto, len));
   }
 }
 

@@ -26,8 +26,8 @@ void gen_backup(GenContext& ctx) {
                        ports::kVeritasCtrl, t, ctx.lan_tcp());
     tcp.connect();
     for (int i = 0; i < 4; ++i) {
-      tcp.client_message(filler_payload(48 + rng.uniform_int(0, 80)));
-      tcp.server_message(filler_payload(32 + rng.uniform_int(0, 60)));
+      tcp.client_message(filler_span(48 + rng.uniform_int(0, 80)));
+      tcp.server_message(filler_span(32 + rng.uniform_int(0, 60)));
       tcp.advance(rng.exponential(2.0));
     }
     tcp.close();
@@ -61,8 +61,8 @@ void gen_backup(GenContext& ctx) {
                        ports::kDantz, t, ctx.lan_tcp());
     tcp.connect();
     // Control exchange inside the data connection.
-    tcp.client_message(filler_payload(220));
-    tcp.server_message(filler_payload(180));
+    tcp.client_message(filler_span(220));
+    tcp.server_message(filler_span(180));
     const std::uint64_t c2s = mb(k.dantz_mb * rng.pareto(1.3, 0.1, 10.0));
     tcp.client_transfer(c2s);
     if (rng.bernoulli(k.dantz_bidir_frac)) {

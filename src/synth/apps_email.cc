@@ -70,9 +70,9 @@ void imap_session(GenContext& ctx, double start, const HostRef& client, const Ho
   tcp.connect();
   // Opaque (TLS) login exchange, then the initial mailbox sync — the bulk
   // of a session's volume (Figure 6b's server->client dominance).
-  tcp.client_message(filler_payload(240));
-  tcp.server_message(filler_payload(800));
-  tcp.client_message(filler_payload(120));
+  tcp.client_message(filler_span(240));
+  tcp.server_message(filler_span(800));
+  tcp.client_message(filler_span(120));
   {
     std::size_t sync = static_cast<std::size_t>(rng.lognormal(10.5, 1.4));
     if (rng.bernoulli(0.05)) sync = static_cast<std::size_t>(rng.pareto(1.1, 1e5, 2e8));
@@ -86,7 +86,7 @@ void imap_session(GenContext& ctx, double start, const HostRef& client, const Ho
   double poll_interval = wan ? rng.uniform(2.0, 30.0) : 600.0;
   while (tcp.now() + poll_interval < end) {
     tcp.advance(poll_interval);
-    tcp.client_message(filler_payload(80 + rng.uniform_int(0, 120)));
+    tcp.client_message(filler_span(80 + rng.uniform_int(0, 120)));
     std::size_t mail = static_cast<std::size_t>(rng.lognormal(8.5, 1.6));
     if (rng.bernoulli(0.03)) mail = static_cast<std::size_t>(rng.pareto(1.1, 1e5, 2e8));
     tcp.server_transfer(mail);
@@ -164,8 +164,8 @@ void gen_email(GenContext& ctx) {
     TcpFlowBuilder tcp(ctx.sink(), rng, client, server, ctx.ephemeral_port(), port, t,
                        ctx.lan_tcp());
     tcp.connect();
-    tcp.client_message(filler_payload(90));
-    tcp.server_message(filler_payload(400 + rng.uniform_int(0, 30000)));
+    tcp.client_message(filler_span(90));
+    tcp.server_message(filler_span(400 + rng.uniform_int(0, 30000)));
     tcp.close();
   }
 }

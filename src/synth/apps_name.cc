@@ -191,7 +191,7 @@ void gen_srvloc(GenContext& ctx) {
     for (int i = 0; i < peers && t < ctx.t1(); ++i) {
       const HostRef peer = ctx.other_internal();
       send_udp(ctx.sink(), src, peer, ports::kSrvLoc, ports::kSrvLoc, t,
-               filler_payload(140));
+               filler_span(140));
       t += rng.exponential(ctx.duration() / (2.0 * peers));
     }
   }

@@ -22,10 +22,10 @@ void interactive(GenContext& ctx) {
     TcpFlowBuilder tcp(ctx.sink(), rng, client, server, ctx.ephemeral_port(), ports::kSsh, t,
                        wan ? ctx.wan_tcp() : ctx.lan_tcp());
     tcp.connect();
-    tcp.client_message(filler_payload(22));   // banner
-    tcp.server_message(filler_payload(22));
-    tcp.client_message(filler_payload(640));  // kex
-    tcp.server_message(filler_payload(760));
+    tcp.client_message(filler_span(22));   // banner
+    tcp.server_message(filler_span(22));
+    tcp.client_message(filler_span(640));  // kex
+    tcp.server_message(filler_span(760));
     if (rng.bernoulli(k.ssh_bulk_frac)) {
       // scp: interactive login used to copy files (§3's observation that
       // "interactive" includes bulk transfer via SSH).
@@ -33,8 +33,8 @@ void interactive(GenContext& ctx) {
     } else {
       const int keystrokes = 20 + static_cast<int>(rng.exponential(150.0));
       for (int i = 0; i < keystrokes && tcp.now() < ctx.t1(); ++i) {
-        tcp.client_message(filler_payload(36));  // one encrypted keystroke
-        tcp.server_message(filler_payload(36 + rng.uniform_int(0, 120)));
+        tcp.client_message(filler_span(36));  // one encrypted keystroke
+        tcp.server_message(filler_span(36 + rng.uniform_int(0, 120)));
         tcp.advance(rng.exponential(0.8));
       }
       if (rng.bernoulli(0.3)) tcp.keepalives(3, 30.0);  // SSH keepalives (§6)
@@ -48,14 +48,14 @@ void interactive(GenContext& ctx) {
     TcpFlowBuilder tcp(ctx.sink(), rng, client, server, ctx.ephemeral_port(), ports::kSsh, t,
                        ctx.wan_tcp());
     tcp.connect();
-    tcp.client_message(filler_payload(22));
-    tcp.server_message(filler_payload(22));
-    tcp.client_message(filler_payload(640));
-    tcp.server_message(filler_payload(760));
+    tcp.client_message(filler_span(22));
+    tcp.server_message(filler_span(22));
+    tcp.client_message(filler_span(640));
+    tcp.server_message(filler_span(760));
     const int keystrokes = 20 + static_cast<int>(rng.exponential(80.0));
     for (int i = 0; i < keystrokes && tcp.now() < ctx.t1(); ++i) {
-      tcp.client_message(filler_payload(36));
-      tcp.server_message(filler_payload(36 + rng.uniform_int(0, 200)));
+      tcp.client_message(filler_span(36));
+      tcp.server_message(filler_span(36 + rng.uniform_int(0, 200)));
       tcp.advance(rng.exponential(1.0));
     }
     tcp.close();
@@ -70,8 +70,8 @@ void interactive(GenContext& ctx) {
     tcp.connect();
     const int lines = 10 + static_cast<int>(rng.exponential(60.0));
     for (int i = 0; i < lines && tcp.now() < ctx.t1(); ++i) {
-      tcp.client_message(filler_payload(1 + rng.uniform_int(0, 20)));
-      tcp.server_message(filler_payload(10 + rng.uniform_int(0, 400)));
+      tcp.client_message(filler_span(1 + rng.uniform_int(0, 20)));
+      tcp.server_message(filler_span(10 + rng.uniform_int(0, 400)));
       tcp.advance(rng.exponential(1.0));
     }
     tcp.close();
@@ -91,8 +91,8 @@ void bulk(GenContext& ctx) {
                         wan ? ctx.wan_tcp() : ctx.lan_tcp());
     ctrl.connect();
     for (int i = 0; i < 6; ++i) {
-      ctrl.client_message(filler_payload(12 + rng.uniform_int(0, 30)));
-      ctrl.server_message(filler_payload(40 + rng.uniform_int(0, 60)));
+      ctrl.client_message(filler_span(12 + rng.uniform_int(0, 30)));
+      ctrl.server_message(filler_span(40 + rng.uniform_int(0, 60)));
       ctrl.advance(rng.exponential(0.5));
     }
     // Data connection from server port 20.
@@ -131,7 +131,7 @@ void streaming(GenContext& ctx) {
                        rtsp ? ports::kRtsp : ports::kRealStream, t,
                        wan ? ctx.wan_tcp() : ctx.lan_tcp());
     tcp.connect();
-    tcp.client_message(filler_payload(180));
+    tcp.client_message(filler_span(180));
     tcp.server_transfer(mb(rng.pareto(1.4, 0.2, 6.0)));
     tcp.close();
   }
@@ -182,33 +182,33 @@ void net_mgnt(GenContext& ctx) {
     const HostRef client = ctx.local_host();
     if (m.subnet_of(ntp_server.ip) == ctx.subnet()) continue;
     const std::uint16_t sport = ctx.ephemeral_port();
-    send_udp(ctx.sink(), client, ntp_server, sport, ports::kNtp, t, filler_payload(48));
+    send_udp(ctx.sink(), client, ntp_server, sport, ports::kNtp, t, filler_span(48));
     send_udp(ctx.sink(), ntp_server, client, ports::kNtp, sport, t + 0.0008,
-             filler_payload(48));
+             filler_span(48));
   }
   for (double t : ctx.arrivals(k.dhcp_events)) {
     const HostRef client = ctx.local_host();
     const HostRef server = EnterpriseModel::ref(m.subnet(16).host(6));
     send_udp(ctx.sink(), client, server, ports::kDhcpClient, ports::kDhcpServer, t,
-             filler_payload(300));
+             filler_span(300));
     send_udp(ctx.sink(), server, client, ports::kDhcpServer, ports::kDhcpClient, t + 0.002,
-             filler_payload(300));
+             filler_span(300));
   }
   const HostRef snmp_mgr = EnterpriseModel::ref(m.subnet(16).host(7));
   for (double t : ctx.arrivals(k.snmp_polls)) {
     const HostRef agent = ctx.local_host();
     const std::uint16_t sport = ctx.ephemeral_port();
-    send_udp(ctx.sink(), snmp_mgr, agent, sport, ports::kSnmp, t, filler_payload(80));
+    send_udp(ctx.sink(), snmp_mgr, agent, sport, ports::kSnmp, t, filler_span(80));
     send_udp(ctx.sink(), agent, snmp_mgr, ports::kSnmp, sport, t + 0.001,
-             filler_payload(140 + rng.uniform_int(0, 400)));
+             filler_span(140 + rng.uniform_int(0, 400)));
   }
   for (double t : ctx.arrivals(k.nav_pings)) {
     const HostRef client = ctx.local_host();
     const HostRef server = EnterpriseModel::ref(m.subnet(16).host(8));
     const std::uint16_t sport = ctx.ephemeral_port();
-    send_udp(ctx.sink(), client, server, sport, ports::kNavPing, t, filler_payload(60));
+    send_udp(ctx.sink(), client, server, sport, ports::kNavPing, t, filler_span(60));
     send_udp(ctx.sink(), server, client, ports::kNavPing, sport, t + 0.001,
-             filler_payload(60));
+             filler_span(60));
   }
   // SAP session announcements: periodic multicast, very stable volume
   // ("a majority of the connections come from periodic probes and
@@ -226,8 +226,8 @@ void net_mgnt(GenContext& ctx) {
       tcp.connect_rejected();
     } else {
       tcp.connect();
-      tcp.client_message(filler_payload(12));
-      tcp.server_message(filler_payload(40));
+      tcp.client_message(filler_span(12));
+      tcp.server_message(filler_span(40));
       tcp.close();
     }
   }
@@ -245,7 +245,7 @@ void misc(GenContext& ctx) {
                        rng.bernoulli(0.5) ? ports::kLpd : ports::kIpp, t, ctx.lan_tcp());
     tcp.connect();
     tcp.client_transfer(static_cast<std::uint64_t>(rng.lognormal(11.0, 1.2)));
-    tcp.server_message(filler_payload(20));
+    tcp.server_message(filler_span(20));
     tcp.close();
   }
   for (double t : ctx.arrivals(k.sql_sessions)) {
@@ -258,8 +258,8 @@ void misc(GenContext& ctx) {
     tcp.connect();
     const int queries = 2 + static_cast<int>(rng.exponential(15.0));
     for (int i = 0; i < queries && tcp.now() < ctx.t1(); ++i) {
-      tcp.client_message(filler_payload(90 + rng.uniform_int(0, 400)));
-      tcp.server_message(filler_payload(200 + rng.uniform_int(0, 8000)));
+      tcp.client_message(filler_span(90 + rng.uniform_int(0, 400)));
+      tcp.server_message(filler_span(200 + rng.uniform_int(0, 8000)));
       tcp.advance(rng.exponential(0.5));
     }
     tcp.close();
@@ -271,8 +271,8 @@ void misc(GenContext& ctx) {
                        rng.bernoulli(0.5) ? ports::kSteltor : ports::kMetaSys, t,
                        ctx.lan_tcp());
     tcp.connect();
-    tcp.client_message(filler_payload(60 + rng.uniform_int(0, 200)));
-    tcp.server_message(filler_payload(80 + rng.uniform_int(0, 600)));
+    tcp.client_message(filler_span(60 + rng.uniform_int(0, 200)));
+    tcp.server_message(filler_span(80 + rng.uniform_int(0, 600)));
     tcp.close();
   }
   // Catch-alls: ephemeral/unregistered ports.
@@ -285,10 +285,10 @@ void misc(GenContext& ctx) {
     const int pkts = 1 + static_cast<int>(rng.exponential(2.0));
     double ts = t;
     for (int i = 0; i < pkts && ts < ctx.t1(); ++i) {
-      send_udp(ctx.sink(), a, b, sport, dport, ts, filler_payload(40 + rng.uniform_int(0, 400)));
+      send_udp(ctx.sink(), a, b, sport, dport, ts, filler_span(40 + rng.uniform_int(0, 400)));
       if (rng.bernoulli(0.5))
         send_udp(ctx.sink(), b, a, dport, sport, ts + 0.001,
-                 filler_payload(40 + rng.uniform_int(0, 400)));
+                 filler_span(40 + rng.uniform_int(0, 400)));
       ts += rng.exponential(2.0);
     }
   }
@@ -304,8 +304,8 @@ void misc(GenContext& ctx) {
       continue;
     }
     tcp.connect();
-    tcp.client_message(filler_payload(100 + rng.uniform_int(0, 1000)));
-    tcp.server_message(filler_payload(100 + rng.uniform_int(0, 5000)));
+    tcp.client_message(filler_span(100 + rng.uniform_int(0, 1000)));
+    tcp.server_message(filler_span(100 + rng.uniform_int(0, 5000)));
     tcp.close();
   }
   // ICMP echo (monitoring, diagnostics).

@@ -21,7 +21,7 @@ std::vector<std::uint8_t> http_request(const std::string& method, const std::str
   if (body_len > 0) msg += "Content-Length: " + std::to_string(body_len) + "\r\n";
   msg += "Accept: */*\r\n\r\n";
   std::vector<std::uint8_t> out(msg.begin(), msg.end());
-  const auto body = filler_payload(body_len);
+  const auto body = filler_span(body_len);
   out.insert(out.end(), body.begin(), body.end());
   return out;
 }
@@ -33,7 +33,7 @@ std::vector<std::uint8_t> http_response(int status, const std::string& reason,
   if (!ctype.empty()) msg += "Content-Type: " + ctype + "\r\n";
   msg += "Content-Length: " + std::to_string(body_len) + "\r\n\r\n";
   std::vector<std::uint8_t> out(msg.begin(), msg.end());
-  const auto body = filler_payload(body_len);
+  const auto body = filler_span(body_len);
   out.insert(out.end(), body.begin(), body.end());
   return out;
 }
@@ -212,10 +212,10 @@ void https_sessions(GenContext& ctx) {
                        wan ? ctx.wan_tcp() : ctx.lan_tcp());
     tcp.connect();
     // TLS handshake + a pair of application records.
-    tcp.client_message(filler_payload(180));
-    tcp.server_message(filler_payload(1500 + rng.uniform_int(0, 2500)));
-    tcp.client_message(filler_payload(350 + rng.uniform_int(0, 600)));
-    tcp.server_message(filler_payload(600 + rng.uniform_int(0, 20000)));
+    tcp.client_message(filler_span(180));
+    tcp.server_message(filler_span(1500 + rng.uniform_int(0, 2500)));
+    tcp.client_message(filler_span(350 + rng.uniform_int(0, 600)));
+    tcp.server_message(filler_span(600 + rng.uniform_int(0, 20000)));
     tcp.close();
   }
   // The strange pairs: hundreds of short SSL connections between one host
@@ -229,10 +229,10 @@ void https_sessions(GenContext& ctx) {
       TcpFlowBuilder tcp(ctx.sink(), rng, client, server, ctx.ephemeral_port(), ports::kHttps,
                          t, ctx.lan_tcp());
       tcp.connect();
-      tcp.client_message(filler_payload(180));
-      tcp.server_message(filler_payload(1400));
-      tcp.client_message(filler_payload(120));
-      tcp.server_message(filler_payload(130));
+      tcp.client_message(filler_span(180));
+      tcp.server_message(filler_span(1400));
+      tcp.client_message(filler_span(120));
+      tcp.server_message(filler_span(130));
       tcp.close();
       t += rng.exponential(4.0);
     }

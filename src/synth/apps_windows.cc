@@ -157,11 +157,11 @@ void smb_dialogue(GenContext& ctx, TcpFlowBuilder& tcp, DceIface iface) {
       for (int i = 0; i < ops && tcp.now() < ctx.t1(); ++i) {
         const std::size_t chunk = 2048 + rng.uniform_int(0, 8192);
         if (writing) {
-          tcp.client_message(smb_write_request(mid, fid, filler_payload(chunk)));
+          tcp.client_message(smb_write_request(mid, fid, filler_span(chunk)));
           tcp.server_message(smb_write_response(mid, fid));
         } else {
           tcp.client_message(smb_read_request(mid, fid, static_cast<std::uint16_t>(chunk)));
-          tcp.server_message(smb_read_response(mid, fid, filler_payload(chunk)));
+          tcp.server_message(smb_read_response(mid, fid, filler_span(chunk)));
         }
         ++mid;
         tcp.advance(rng.exponential(0.01));

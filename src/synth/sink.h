@@ -38,8 +38,15 @@ class PacketSink {
     hi_ = hi;
   }
 
+  // True when a packet at `ts` would be kept.  Generators use this to skip
+  // frame *construction* (allocation, header encode, checksum) for packets
+  // a restricted slice will discard anyway — the big cost of slice
+  // regeneration.  Callers must make all RNG draws before consulting it so
+  // the deterministic draw sequence is independent of the slice window.
+  bool accepts(double ts) const { return ts >= lo_ && ts < hi_; }
+
   void emit(double ts, std::vector<std::uint8_t> frame) {
-    if (ts < lo_ || ts >= hi_) return;
+    if (!accepts(ts)) return;
     RawPacket pkt;
     pkt.ts = ts;
     pkt.wire_len = static_cast<std::uint32_t>(frame.size());

@@ -12,9 +12,12 @@ SyntheticTraceSource::SyntheticTraceSource(const DatasetSpec& spec,
     : spec_(spec),
       model_(model),
       plan_(std::move(plan)),
-      slices_(std::max(1, options.slices)) {
+      slices_(std::max(1, options.slices)),
+      double_buffer_(options.double_buffer) {
   // A window too short to cut meaningfully degenerates to one slice.
   if (plan_.duration <= 0.0) slices_ = 1;
+  // With a single slice there is nothing to run ahead of.
+  if (slices_ == 1) double_buffer_ = false;
   meta_.name = plan_.name;
   meta_.subnet_id = plan_.subnet;
   meta_.snaplen = plan_.snaplen;
@@ -22,7 +25,17 @@ SyntheticTraceSource::SyntheticTraceSource(const DatasetSpec& spec,
   meta_.duration = plan_.duration;
 }
 
-bool SyntheticTraceSource::fill_next_slice() {
+SyntheticTraceSource::~SyntheticTraceSource() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    back_ready_ = false;  // unblock a producer waiting for the swap
+  }
+  cv_.notify_all();
+  if (producer_.joinable()) producer_.join();
+}
+
+bool SyntheticTraceSource::generate_slice_into(std::vector<RawPacket>& out) {
   const double slice_len = plan_.duration / static_cast<double>(slices_);
   const double window_end = plan_.start_ts + plan_.duration;
   while (next_slice_ < slices_) {
@@ -35,24 +48,73 @@ bool SyntheticTraceSource::fill_next_slice() {
     const double hi = k + 1 == slices_
                           ? std::numeric_limits<double>::infinity()
                           : plan_.start_ts + static_cast<double>(k + 1) * slice_len;
-    buffer_.clear();
-    pos_ = 0;
-    PacketSink sink(buffer_, plan_.start_ts, plan_.duration, plan_.snaplen);
+    out.clear();
+    PacketSink sink(out, plan_.start_ts, plan_.duration, plan_.snaplen);
     sink.restrict_to(lo, hi);
     emit_trace(spec_, model_, plan_, sink);
-    std::stable_sort(buffer_.begin(), buffer_.end(),
+    std::stable_sort(out.begin(), out.end(),
                      [](const RawPacket& a, const RawPacket& b) { return a.ts < b.ts; });
-    while (!buffer_.empty() && buffer_.back().ts > window_end) buffer_.pop_back();
-    if (!buffer_.empty()) return true;
+    while (!out.empty() && out.back().ts > window_end) out.pop_back();
+    if (!out.empty()) return true;
   }
-  buffer_.clear();
-  pos_ = 0;
+  out.clear();
   return false;
+}
+
+bool SyntheticTraceSource::fill_next_slice() {
+  if (double_buffer_) return swap_in_next_slice();
+  pos_ = 0;
+  return generate_slice_into(buffer_);
+}
+
+void SyntheticTraceSource::producer_loop() {
+  std::vector<RawPacket> local;
+  for (;;) {
+    const bool have = generate_slice_into(local);
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return stop_ || !back_ready_; });
+    if (stop_) return;
+    back_ = std::move(local);
+    back_ready_ = true;
+    cv_.notify_all();
+    if (!have) return;  // the empty ready buffer is the EOF marker
+    local = {};
+  }
+}
+
+bool SyntheticTraceSource::swap_in_next_slice() {
+  if (exhausted_) return false;
+  if (!producer_started_) {
+    producer_started_ = true;
+    producer_ = std::thread([this] { producer_loop(); });
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return back_ready_; });
+  buffer_ = std::move(back_);
+  back_ready_ = false;
+  pos_ = 0;
+  cv_.notify_all();
+  if (buffer_.empty()) {
+    exhausted_ = true;
+    return false;
+  }
+  return true;
 }
 
 const RawPacket* SyntheticTraceSource::pull() {
   if (pos_ >= buffer_.size() && !fill_next_slice()) return nullptr;
   return &buffer_[pos_++];
+}
+
+std::size_t SyntheticTraceSource::pull_batch(PacketView* out, std::size_t n) {
+  if (pos_ >= buffer_.size() && !fill_next_slice()) return 0;
+  const std::size_t take = std::min(n, buffer_.size() - pos_);
+  for (std::size_t i = 0; i < take; ++i) {
+    const RawPacket& p = buffer_[pos_ + i];
+    out[i] = PacketView{p.ts, p.wire_len, p.data};
+  }
+  pos_ += take;
+  return take;
 }
 
 SyntheticTraceSourceSet::SyntheticTraceSourceSet(DatasetSpec spec,

@@ -39,6 +39,10 @@ void TcpFlowBuilder::send_segment(bool from_client, std::uint8_t flags,
     ack = server_acked_;
     ttl = opt_.server_ttl;
   }
+  // Construction is the expensive part (alloc + encode + checksums); skip
+  // it when a restricted sink would drop the frame.  No RNG is drawn past
+  // this point, so slice regeneration stays deterministic.
+  if (!sink_.accepts(now_)) return;
   sink_.emit(now_, make_tcp_frame(ep, sport, dport, seq, ack, flags, payload, ttl));
 }
 
@@ -142,8 +146,7 @@ void TcpFlowBuilder::client_transfer(std::uint64_t bytes) {
   static constexpr std::uint64_t kChunk = 64 * 1024;
   while (bytes > 0) {
     const std::uint64_t n = std::min(bytes, kChunk);
-    const auto chunk = filler_payload(static_cast<std::size_t>(n));
-    send_data(true, chunk);
+    send_data(true, filler_span(static_cast<std::size_t>(n)));
     bytes -= n;
     if (now_ >= sink_.window_end()) return;
   }
@@ -153,8 +156,7 @@ void TcpFlowBuilder::server_transfer(std::uint64_t bytes) {
   static constexpr std::uint64_t kChunk = 64 * 1024;
   while (bytes > 0) {
     const std::uint64_t n = std::min(bytes, kChunk);
-    const auto chunk = filler_payload(static_cast<std::size_t>(n));
-    send_data(false, chunk);
+    send_data(false, filler_span(static_cast<std::size_t>(n)));
     bytes -= n;
     if (now_ >= sink_.window_end()) return;
   }

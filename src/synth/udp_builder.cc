@@ -6,6 +6,7 @@ namespace entrace {
 
 void send_udp(PacketSink& sink, const HostRef& from, const HostRef& to, std::uint16_t sport,
               std::uint16_t dport, double ts, std::span<const std::uint8_t> payload) {
+  if (!sink.accepts(ts)) return;  // skip construction; no RNG below
   FrameEndpoints ep{from.mac, to.mac, from.ip, to.ip};
   sink.emit(ts, make_udp_frame(ep, sport, dport, payload));
 }
@@ -13,22 +14,25 @@ void send_udp(PacketSink& sink, const HostRef& from, const HostRef& to, std::uin
 void send_udp_multicast(PacketSink& sink, const HostRef& from, Ipv4Address group,
                         std::uint16_t sport, std::uint16_t dport, double ts,
                         std::size_t payload_len) {
+  if (!sink.accepts(ts)) return;  // skip construction; no RNG below
   // 01:00:5e + low 23 bits of the group address.
   const std::uint32_t g = group.value();
   MacAddress mcast_mac({0x01, 0x00, 0x5E, static_cast<std::uint8_t>((g >> 16) & 0x7F),
                         static_cast<std::uint8_t>(g >> 8), static_cast<std::uint8_t>(g)});
   FrameEndpoints ep{from.mac, mcast_mac, from.ip, group};
-  sink.emit(ts, make_udp_frame(ep, sport, dport, filler_payload(payload_len)));
+  sink.emit(ts, make_udp_frame(ep, sport, dport, filler_span(payload_len)));
 }
 
 void send_icmp_echo(PacketSink& sink, const HostRef& from, const HostRef& to, bool reply,
                     std::uint16_t id, std::uint16_t seq, double ts, std::size_t payload_len) {
+  if (!sink.accepts(ts)) return;  // skip construction; no RNG below
   FrameEndpoints ep{from.mac, to.mac, from.ip, to.ip};
   sink.emit(ts, make_icmp_frame(ep, reply ? IcmpHeader::kEchoReply : IcmpHeader::kEchoRequest,
                                 0, id, seq, payload_len));
 }
 
 void send_icmp_unreachable(PacketSink& sink, const HostRef& from, const HostRef& to, double ts) {
+  if (!sink.accepts(ts)) return;  // skip construction; no RNG below
   FrameEndpoints ep{from.mac, to.mac, from.ip, to.ip};
   sink.emit(ts, make_icmp_frame(ep, IcmpHeader::kDestUnreachable, 1, 0, 0, 28));
 }

@@ -1,0 +1,82 @@
+// Bump-pointer arena for per-shard scratch objects (application parsers and
+// their bookkeeping).  The analyzer creates one parser per identified
+// connection — a heap new/delete pair per connection on the hot path.  An
+// arena turns that into a pointer bump; the whole region is released when
+// the shard's dispatcher is torn down at trace end.
+//
+// The arena does NOT run destructors: owners of non-trivially-destructible
+// objects must invoke them explicitly (the dispatcher does, at on_close or
+// at its own destruction) before the arena goes away.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace entrace {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t size, std::size_t align) {
+    std::size_t p = (pos_ + align - 1) & ~(align - 1);
+    if (p + size > cap_) {
+      grow(size + align);
+      p = (pos_ + align - 1) & ~(align - 1);
+    }
+    pos_ = p + size;
+    return cur_ + p;
+  }
+
+  // Construct a T in the arena.  The caller owns the lifetime: call the
+  // destructor explicitly if T needs one; the memory itself is reclaimed
+  // only when the arena is destroyed or reset.
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    void* p = allocate(sizeof(T), alignof(T));
+    return new (p) T(std::forward<Args>(args)...);
+  }
+
+  // Release every block.  No destructors run (see class comment).
+  void reset() {
+    blocks_.clear();
+    cur_ = nullptr;
+    pos_ = 0;
+    cap_ = 0;
+  }
+
+  std::size_t bytes_allocated() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size;
+  };
+
+  void grow(std::size_t need) {
+    std::size_t size = blocks_.empty() ? kFirstBlock : blocks_.back().size * 2;
+    while (size < need) size *= 2;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    cur_ = blocks_.back().data.get();
+    pos_ = 0;
+    cap_ = size;
+  }
+
+  static constexpr std::size_t kFirstBlock = 64 * 1024;
+
+  std::vector<Block> blocks_;
+  std::byte* cur_ = nullptr;
+  std::size_t pos_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace entrace

@@ -1,7 +1,9 @@
 #include "util/rng.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <vector>
 
 namespace entrace {
 namespace {
@@ -104,20 +106,57 @@ double Rng::normal(double mu, double sigma) {
   return mu + sigma * r * std::cos(2.0 * std::numbers::pi * u2);
 }
 
+namespace {
+
+// Cached harmonic CDF for Rng::zipf.  The sampled rank is a pure function
+// of (u, n, s), so memoizing the table across calls cannot change any draw;
+// cdf[i] reproduces the exact accumulation order of the original linear
+// walk (term/norm added one rank at a time), keeping results bit-identical.
+// Thread-local because trace generation runs concurrently on producer
+// threads and analysis workers; the handful of (n, s) pairs the generators
+// use build once per thread.
+struct ZipfCdfCache {
+  std::size_t n = 0;
+  double s = 0.0;
+  std::vector<double> cdf;
+};
+
+}  // namespace
+
 std::size_t Rng::zipf(std::size_t n, double s) {
   if (n <= 1) return 0;
-  // Rejection sampling is overkill for n in the low thousands; invert the
-  // harmonic CDF by linear walk with an early geometric jump for the tail.
-  // Cost is amortized O(1) for the popular head where most samples land.
+  // One uniform draw per call, exactly like the original implementation.
   const double u = uniform();
-  double norm = 0.0;
-  for (std::size_t i = 0; i < n; ++i) norm += 1.0 / std::pow(static_cast<double>(i + 1), s);
-  double acc = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    acc += 1.0 / std::pow(static_cast<double>(i + 1), s) / norm;
-    if (u < acc) return i;
+  thread_local std::vector<ZipfCdfCache> cache;
+  const ZipfCdfCache* table = nullptr;
+  for (const ZipfCdfCache& e : cache) {
+    if (e.n == n && e.s == s) {
+      table = &e;
+      break;
+    }
   }
-  return n - 1;
+  if (table == nullptr) {
+    if (cache.size() >= 16) cache.clear();  // generators use only a few shapes
+    ZipfCdfCache e;
+    e.n = n;
+    e.s = s;
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      norm += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    }
+    e.cdf.resize(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s) / norm;
+      e.cdf[i] = acc;
+    }
+    cache.push_back(std::move(e));
+    table = &cache.back();
+  }
+  // First rank with u < cdf[rank] — the first-hit condition of the walk.
+  const auto it = std::upper_bound(table->cdf.begin(), table->cdf.end(), u);
+  if (it == table->cdf.end()) return n - 1;
+  return static_cast<std::size_t>(it - table->cdf.begin());
 }
 
 std::size_t Rng::weighted(std::span<const double> weights) {

@@ -187,15 +187,16 @@ std::vector<std::string> BreakdownCounter::keys_by_count() const {
 
 IntervalSeries::IntervalSeries(double bin_width) : bin_width_(bin_width) {}
 
-void IntervalSeries::add(double t, double value) {
-  const auto bin = static_cast<std::int64_t>(std::floor(t / bin_width_));
+void IntervalSeries::add_new_bin(std::int64_t bin, double value) {
   if (bins_.empty()) {
     first_bin_ = last_bin_ = bin;
   } else {
     first_bin_ = std::min(first_bin_, bin);
     last_bin_ = std::max(last_bin_, bin);
   }
-  bins_[bin] += value;
+  cached_bin_ = bin;
+  cached_slot_ = &bins_[bin];
+  *cached_slot_ += value;
 }
 
 void IntervalSeries::merge(const IntervalSeries& other) {

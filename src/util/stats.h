@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -138,7 +139,50 @@ class IntervalSeries {
  public:
   explicit IntervalSeries(double bin_width);
 
-  void add(double t, double value);
+  // Copy/move must not carry the hot-bin cache across: the cached slot
+  // points into *this* object's map nodes (stable under insert, but a
+  // copied map owns different nodes).
+  IntervalSeries(const IntervalSeries& other)
+      : bin_width_(other.bin_width_),
+        first_bin_(other.first_bin_),
+        last_bin_(other.last_bin_),
+        bins_(other.bins_) {}
+  IntervalSeries(IntervalSeries&& other) noexcept
+      : bin_width_(other.bin_width_),
+        first_bin_(other.first_bin_),
+        last_bin_(other.last_bin_),
+        bins_(std::move(other.bins_)) {
+    other.invalidate_cache();
+  }
+  IntervalSeries& operator=(const IntervalSeries& other) {
+    bin_width_ = other.bin_width_;
+    first_bin_ = other.first_bin_;
+    last_bin_ = other.last_bin_;
+    bins_ = other.bins_;
+    invalidate_cache();
+    return *this;
+  }
+  IntervalSeries& operator=(IntervalSeries&& other) noexcept {
+    bin_width_ = other.bin_width_;
+    first_bin_ = other.first_bin_;
+    last_bin_ = other.last_bin_;
+    bins_ = std::move(other.bins_);
+    invalidate_cache();
+    other.invalidate_cache();
+    return *this;
+  }
+
+  // Hot path inlined: repeated adds to the same bin (the common case — the
+  // per-packet utilization series advances through bins monotonically) cost
+  // one divide, one floor and one pointer add, no map lookup.
+  void add(double t, double value) {
+    const auto bin = static_cast<std::int64_t>(std::floor(t / bin_width_));
+    if (cached_slot_ != nullptr && cached_bin_ == bin) {
+      *cached_slot_ += value;
+      return;
+    }
+    add_new_bin(bin, value);
+  }
 
   // Fold another series of the same bin width into this one (bins sum;
   // the covered range is the union of both ranges).
@@ -156,6 +200,7 @@ class IntervalSeries {
   const std::map<std::int64_t, double>& bins() const { return bins_; }
   void restore_bins(std::map<std::int64_t, double> bins) {
     bins_ = std::move(bins);
+    invalidate_cache();
     if (!bins_.empty()) {
       first_bin_ = bins_.begin()->first;
       last_bin_ = bins_.rbegin()->first;
@@ -163,10 +208,20 @@ class IntervalSeries {
   }
 
  private:
+  void invalidate_cache() { cached_slot_ = nullptr; }
+  // Cold path of add(): first touch of a bin (range update + map insert).
+  void add_new_bin(std::int64_t bin, double value);
+
   double bin_width_;
   std::int64_t first_bin_ = 0;
   std::int64_t last_bin_ = 0;
   std::map<std::int64_t, double> bins_;
+  // Hot-bin cache: traffic timestamps are near-monotone, so consecutive
+  // add() calls overwhelmingly hit the same bin.  Map nodes are
+  // pointer-stable under insert, so the slot stays valid until the map
+  // itself is replaced (copy/move/restore reset it).
+  std::int64_t cached_bin_ = 0;
+  double* cached_slot_ = nullptr;
 };
 
 }  // namespace entrace

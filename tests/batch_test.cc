@@ -1,0 +1,205 @@
+// Batched-pipeline equivalence suite (CTest label "batch", also run under
+// sanitizers via `ctest --preset batch-asan` / `ctest --preset batch-tsan`).
+//
+// The batched hot path's contract (analyzer.h): AnalyzerConfig::batch_size
+// only regroups work — pull_batch + SoA decode + tally + flow stages must
+// fold to results byte-identical to the scalar packet-at-a-time reference
+// loop (batch_size <= 1) for every batch size, every PacketSource kind,
+// every thread count, and through the shard -> snapshot -> merge path.
+// Rendered full reports are the equality check: any tally drift anywhere
+// becomes a text diff.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/report.h"
+#include "snapshot/format.h"
+#include "snapshot/reader.h"
+#include "snapshot/writer.h"
+#include "synth/corruptor.h"
+#include "synth/generator.h"
+#include "synth/synth_source.h"
+
+namespace entrace {
+namespace {
+
+namespace snap = entrace::snapshot;
+
+// Batch sizes under test: the scalar reference, a small odd size that never
+// divides trace/slice lengths evenly (exercises ragged final batches and
+// slice-boundary short batches), and the production default.
+constexpr std::array<std::size_t, 3> kBatchSizes = {1, 7, 256};
+
+class BatchTest : public ::testing::Test {
+ protected:
+  static const EnterpriseModel& model() {
+    static const EnterpriseModel m;
+    return m;
+  }
+  static DatasetSpec small_spec() {
+    DatasetSpec spec = dataset_d3(0.004);
+    spec.monitored_subnets = {4, 15, 20};
+    return spec;
+  }
+  static const TraceSet& materialized() {
+    static const TraceSet traces = generate_dataset(small_spec(), model());
+    return traces;
+  }
+  static AnalyzerConfig config(std::size_t threads, std::size_t batch_size) {
+    AnalyzerConfig c = default_config_for_model(model().site());
+    c.threads = threads;
+    c.batch_size = batch_size;
+    return c;
+  }
+  static std::string report_of(const DatasetAnalysis& analysis) {
+    const DatasetSpec s = small_spec();
+    const report::ReportInput input{&s, &analysis};
+    const std::vector<report::ReportInput> inputs{input};
+    return report::full_report(inputs);
+  }
+  // The equivalence reference: scalar loop, one thread, materialized traces.
+  static const std::string& scalar_report() {
+    static const std::string r =
+        report_of(analyze_dataset(materialized(), config(1, 1)));
+    return r;
+  }
+};
+
+// ---- source-kind coverage ---------------------------------------------------
+
+TEST_F(BatchTest, MemorySourceBatchedReportsMatchScalar) {
+  const MemoryTraceSourceSet sources(materialized());
+  for (const std::size_t batch : kBatchSizes) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE("batch=" + std::to_string(batch) +
+                   " threads=" + std::to_string(threads));
+      const DatasetAnalysis a = analyze_dataset(sources, config(threads, batch));
+      EXPECT_EQ(report_of(a), scalar_report());
+    }
+  }
+}
+
+TEST_F(BatchTest, SyntheticSourceBatchedReportsMatchScalar) {
+  // slices=3 divides nothing evenly, so batches straddle slice refills; the
+  // double_buffer toggle covers both the inline and the producer-thread
+  // regeneration paths feeding pull_batch.
+  for (const bool double_buffer : {false, true}) {
+    const SyntheticTraceSourceSet sources(small_spec(), model(), {3, double_buffer});
+    for (const std::size_t batch : kBatchSizes) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        SCOPED_TRACE("double_buffer=" + std::to_string(double_buffer) +
+                     " batch=" + std::to_string(batch) +
+                     " threads=" + std::to_string(threads));
+        const DatasetAnalysis a = analyze_dataset(sources, config(threads, batch));
+        EXPECT_EQ(report_of(a), scalar_report());
+      }
+    }
+  }
+}
+
+TEST_F(BatchTest, PcapFileSourceBatchedReportsMatchScalar) {
+  const auto dir = std::filesystem::temp_directory_path() / "entrace_batch_pcaps";
+  std::filesystem::create_directories(dir);
+  const DatasetSpec spec = small_spec();
+  const std::vector<std::string> paths = generate_dataset_to_pcap(spec, model(), dir.string());
+  const std::vector<TracePlan> plans = plan_dataset(spec);
+  ASSERT_EQ(paths.size(), plans.size());
+  std::vector<PcapTraceSpec> files;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    files.push_back({paths[i], plans[i].name, plans[i].subnet});
+  }
+  const PcapFileSourceSet sources(spec.name, std::move(files));
+
+  // The pcap reference is the same files through the scalar loop (usec
+  // timestamp quantization makes the materialized reference inapplicable).
+  const std::string scalar_pcap = report_of(analyze_dataset(sources, config(1, 1)));
+  for (const std::size_t batch : {std::size_t{7}, std::size_t{256}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE("batch=" + std::to_string(batch) +
+                   " threads=" + std::to_string(threads));
+      const DatasetAnalysis a = analyze_dataset(sources, config(threads, batch));
+      EXPECT_EQ(report_of(a), scalar_pcap);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---- fuzzed input -----------------------------------------------------------
+
+// The batched decode stage pre-validates capture bounds before its in-place
+// field loads; corrupted captures are where that validation earns its keep.
+// Across 8 corruption seeds the batched pipeline must reproduce the scalar
+// loop's full report AND its exact anomaly taxonomy.
+TEST_F(BatchTest, CorruptedTracesBatchedMatchScalarTaxonomy) {
+  const std::array<std::uint64_t, 8> seeds = {1, 2, 3, 5, 8, 13, 21, 34};
+  for (const std::uint64_t seed : seeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    TraceSet corrupted = materialized();
+    CorruptionConfig cc;
+    cc.seed = seed;
+    cc.rate = 0.1;
+    corrupt_dataset(corrupted, cc);
+
+    const DatasetAnalysis scalar = analyze_dataset(corrupted, config(1, 1));
+    const DatasetAnalysis batched = analyze_dataset(corrupted, config(1, 256));
+    EXPECT_EQ(batched.quality.anomalies.as_map(), scalar.quality.anomalies.as_map());
+    EXPECT_EQ(batched.quality, scalar.quality);
+    EXPECT_EQ(report_of(batched), report_of(scalar));
+  }
+}
+
+// ---- shard -> snapshot -> merge ---------------------------------------------
+
+// Shards computed by the batched pipeline, snapshotted to disk and merged
+// back (entrace_shard / entrace_merge style) must fold to the scalar
+// single-process report.
+TEST_F(BatchTest, ShardSnapshotMergeBatchedMatchesScalar) {
+  const SyntheticTraceSourceSet sources(small_spec(), model(), {3});
+  const std::size_t n = sources.size();
+  ASSERT_GE(n, 2u);
+  const snap::SnapshotMeta meta{small_spec().name, 0.004, static_cast<std::uint32_t>(n)};
+
+  // Two shard files, split mid-dataset, both analyzed with the batched loop.
+  const std::size_t cut = n / 2;
+  std::vector<std::string> paths;
+  const auto write_range = [&](const std::string& name, std::size_t lo, std::size_t hi) {
+    const std::string path = (std::filesystem::temp_directory_path() / name).string();
+    std::vector<TraceShard> shards = analyze_trace_shards(sources, config(1, 256), lo, hi);
+    snap::SnapshotWriter writer(path, meta);
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      writer.add_shard(static_cast<std::uint32_t>(lo + i), shards[i]);
+    }
+    writer.close();
+    paths.push_back(path);
+  };
+  write_range("entrace_batch_lo.esnap", 0, cut);
+  write_range("entrace_batch_hi.esnap", cut, n);
+
+  std::vector<snap::SnapshotShard> all;
+  for (const std::string& p : paths) {
+    snap::Snapshot s = snap::read_snapshot(p);
+    EXPECT_EQ(s.meta, meta) << p;
+    for (auto& shard : s.shards) all.push_back(std::move(shard));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const snap::SnapshotShard& a, const snap::SnapshotShard& b) {
+              return a.trace_index < b.trace_index;
+            });
+  std::vector<TraceShard> shards;
+  shards.reserve(all.size());
+  for (auto& s : all) shards.push_back(std::move(s.shard));
+  const DatasetAnalysis merged =
+      fold_shards(small_spec().name, std::move(shards), config(1, 256));
+
+  EXPECT_EQ(report_of(merged), scalar_report());
+  for (const std::string& p : paths) std::filesystem::remove(p);
+}
+
+}  // namespace
+}  // namespace entrace
