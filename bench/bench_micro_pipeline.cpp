@@ -13,10 +13,14 @@
 //      multi-process speedup of shard + merge over one process,
 //   3. a telemetry overhead study: analyze_dataset on D1 with
 //      AnalyzerConfig::collect_metrics on vs off (budget: <= 2%),
-//   4. a pipeline scaling study measuring analyze_dataset at 1, 2 and N
+//   4. an orchestration study: the fault-tolerant supervisor
+//      (src/orchestrate) on D0 at 0/10/20% per-attempt fault injection
+//      vs an in-process direct analysis — supervision overhead plus the
+//      wall-clock cost of crash/hang/truncate/corrupt recovery,
+//   5. a pipeline scaling study measuring analyze_dataset at 1, 2 and N
 //      threads against the seed's two-pass double-decode baseline.
 //
-// All four write into BENCH_pipeline.json (the scaling study holds the
+// All of these write into BENCH_pipeline.json (the scaling study holds the
 // pen).  Pass --scaling-only to skip the google-benchmark suite,
 // --snapshot-only to stop after the snapshot study, --memory-only to stop
 // right after the memory study.  Knobs: ENTRACE_MEM_SCALE (D1 scale for
@@ -42,6 +46,7 @@
 
 #include "bench_common.h"
 #include "core/analyzer.h"
+#include "orchestrate/supervisor.h"
 #include "flow/flow_table.h"
 #include "net/decoder.h"
 #include "net/encoder.h"
@@ -724,6 +729,103 @@ void run_batch_study(double scale, int reps) {
   }
 }
 
+// ---- orchestration study ----------------------------------------------------
+
+// Cost of fault-tolerant supervision (src/orchestrate): a D0 fault-rate
+// sweep at 0% / 10% / 20% per-attempt injection (the rate split evenly
+// across crash/hang/truncate/corrupt) against an in-process direct
+// analysis.  The 0%-row's delta over direct is the pure orchestration
+// overhead (subprocess spawn + snapshot encode/decode + validation); the
+// injected rows show what recovery costs in retries and wall clock.
+struct OrchestrateRun {
+  double fault_rate = 0.0;
+  double seconds = 0.0;
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t faults = 0;
+  bool complete = false;
+};
+
+struct OrchestrateStudy {
+  double scale = 0.0;
+  std::size_t workers = 0;
+  double direct_seconds = 0.0;
+  std::vector<OrchestrateRun> runs;
+  bool ok = false;
+};
+
+OrchestrateStudy g_orchestrate_study;  // picked up by the JSON writer
+
+void run_orchestrate_study() {
+  const double scale = env_double("ENTRACE_ORCH_SCALE", 0.01);
+  EnterpriseModel model;
+  const DatasetSpec spec = dataset_by_name("D0", scale);
+  AnalyzerConfig config = default_config_for_model(model.site());
+  config.threads = 1;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "entrace_bench_orch").string();
+
+  std::printf("---- orchestration overhead + recovery (D0, scale %.3f, 4 workers) ----\n", scale);
+
+  const SyntheticTraceSourceSet sources(spec, model);
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<TraceShard> shards = analyze_trace_shards(sources, config, 0, sources.size());
+    const DatasetAnalysis a = fold_shards(spec.name, std::move(shards), config);
+    benchmark::DoNotOptimize(a.total_packets);
+  }
+  g_orchestrate_study.direct_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  g_orchestrate_study.scale = scale;
+  g_orchestrate_study.workers = 4;
+  std::printf("  direct (in-process, 1 thread): %6.2fs\n", g_orchestrate_study.direct_seconds);
+
+  for (const double rate : {0.0, 0.1, 0.2}) {
+    orchestrate::OrchestratorConfig oc;
+    oc.dataset = spec.name;
+    oc.scale = scale;
+    oc.workers = 4;
+    oc.jobs = 8;  // more, smaller jobs: more per-attempt fault draws per run
+    oc.shard_binary = ENTRACE_SHARD_BIN;
+    oc.work_dir = dir;
+    oc.retry.max_attempts = 10;  // generous: every job must eventually succeed
+    oc.retry.base_delay = 0.02;
+    oc.attempt_deadline = 30.0 * std::max(scale / 0.01, 1.0);
+    oc.inject.crash = oc.inject.hang = rate / 4.0;
+    oc.inject.truncate = oc.inject.corrupt = rate / 4.0;
+    oc.inject.seed = 17;
+    const auto t1 = std::chrono::steady_clock::now();
+    orchestrate::OrchestrateResult result;
+    try {
+      result = orchestrate::orchestrate(oc);
+    } catch (const std::exception& e) {
+      std::printf("  fault rate %.0f%%: measurement failed (%s)\n", rate * 100, e.what());
+      std::filesystem::remove_all(dir);
+      return;
+    }
+    OrchestrateRun run;
+    run.fault_rate = rate;
+    run.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t1).count();
+    run.attempts = result.attempts;
+    run.retries = result.retries;
+    run.faults = result.fault_counts.total_faults();
+    run.complete = result.complete;
+    g_orchestrate_study.runs.push_back(run);
+    std::printf(
+        "  fault rate %3.0f%%: %6.2fs (%.2fx vs direct), %llu attempts, %llu retries%s\n",
+        rate * 100, run.seconds,
+        g_orchestrate_study.direct_seconds > 0
+            ? run.seconds / g_orchestrate_study.direct_seconds
+            : 0.0,
+        static_cast<unsigned long long>(run.attempts),
+        static_cast<unsigned long long>(run.retries),
+        run.complete ? "" : "  [INCOMPLETE]");
+  }
+  g_orchestrate_study.ok = !g_orchestrate_study.runs.empty();
+  std::filesystem::remove_all(dir);
+}
+
 void run_pipeline_scaling() {
   const double scale = benchutil::env_scale();
   const int reps = env_int("ENTRACE_BENCH_REPS", 3);
@@ -852,6 +954,31 @@ void run_pipeline_scaling() {
                    g_telemetry_study.off_seconds, g_telemetry_study.on_seconds,
                    g_telemetry_study.overhead_pct);
     }
+    // Orchestration study (see run_orchestrate_study).
+    if (g_orchestrate_study.ok) {
+      std::fprintf(json,
+                   "  \"orchestrate\": {\n    \"dataset\": \"D0\",\n    \"scale\": %.4f,\n"
+                   "    \"workers\": %zu,\n    \"direct_seconds\": %.4f,\n    \"runs\": [\n",
+                   g_orchestrate_study.scale, g_orchestrate_study.workers,
+                   g_orchestrate_study.direct_seconds);
+      for (std::size_t i = 0; i < g_orchestrate_study.runs.size(); ++i) {
+        const OrchestrateRun& r = g_orchestrate_study.runs[i];
+        std::fprintf(json,
+                     "      {\"fault_rate\": %.2f, \"seconds\": %.4f, "
+                     "\"overhead_vs_direct\": %.3f, \"attempts\": %llu, \"retries\": %llu, "
+                     "\"faults\": %llu, \"complete\": %s}%s\n",
+                     r.fault_rate, r.seconds,
+                     g_orchestrate_study.direct_seconds > 0
+                         ? r.seconds / g_orchestrate_study.direct_seconds
+                         : 0.0,
+                     static_cast<unsigned long long>(r.attempts),
+                     static_cast<unsigned long long>(r.retries),
+                     static_cast<unsigned long long>(r.faults),
+                     r.complete ? "true" : "false",
+                     i + 1 < g_orchestrate_study.runs.size() ? "," : "");
+      }
+      std::fprintf(json, "    ]\n  },\n");
+    }
     // Snapshot shard study (see run_snapshot_study; empty without fork).
     std::fprintf(json,
                  "  \"snapshot\": {\n    \"dataset\": \"D1\",\n    \"scale\": %.4f,\n"
@@ -910,6 +1037,9 @@ int main(int argc, char** argv) {
   entrace::run_telemetry_overhead();
   entrace::run_batch_study(entrace::benchutil::env_scale(),
                            entrace::cli::env_int("ENTRACE_BENCH_REPS", 3));
+  // Spawns workers via fork+exec (async-signal-safe), so unlike the studies
+  // above it is fine to run after threads have existed.
+  entrace::run_orchestrate_study();
   entrace::run_pipeline_scaling();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scaling-only") == 0) return 0;

@@ -182,10 +182,25 @@ std::string render_prometheus(const Registry& reg, bool include_timing) {
 
 void write_metrics_file(const Registry& reg, const std::string& path, bool include_timing) {
   const bool json = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot open metrics output file: " + path);
-  out << (json ? render_json(reg, include_timing) : render_prometheus(reg, include_timing));
-  if (!out) throw std::runtime_error("failed writing metrics output file: " + path);
+  // Write-then-rename so a killed process never leaves a half-written file
+  // under the destination name (same crash-safety contract as
+  // snapshot::SnapshotWriter; scrapers and the orchestration supervisor
+  // read these paths).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open metrics output file: " + tmp);
+    out << (json ? render_json(reg, include_timing) : render_prometheus(reg, include_timing));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("failed writing metrics output file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " onto metrics output file " + path);
+  }
 }
 
 }  // namespace entrace::obs

@@ -1,0 +1,48 @@
+// Coverage manifest: which traces of a dataset a set of shard results
+// actually covers, and the partial-result report semantics built on it.
+//
+// Graceful degradation contract: when a job exhausts its retry budget the
+// orchestrated run still completes — the merged report covers the traces
+// that succeeded, and the manifest states *exactly* which trace indices
+// are missing, so the output can never be mistaken for a full run and a
+// later invocation knows precisely what to redo.  entrace_merge
+// --allow-partial applies the same semantics to a hand-assembled shard
+// set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snapshot/format.h"
+
+namespace entrace::orchestrate {
+
+struct CoverageManifest {
+  std::string dataset;
+  double scale = 0.0;
+  std::uint32_t trace_count = 0;       // traces in the full dataset
+  std::vector<std::uint32_t> missing;  // ascending missing trace indices
+
+  bool complete() const { return missing.empty(); }
+  std::size_t covered() const { return trace_count - missing.size(); }
+
+  // "4-6, 9, 12-21" — the missing indices as compact ranges ("none" when
+  // complete).
+  std::string missing_ranges() const;
+
+  // The manifest as a report table (dataset, coverage counts, missing
+  // ranges).
+  std::string render() const;
+};
+
+// Build the manifest for a dataset from the sorted-unique list of trace
+// indices that are present.  Indices >= meta.trace_count are ignored.
+CoverageManifest manifest_for(const snapshot::SnapshotMeta& meta,
+                              const std::vector<std::uint32_t>& present);
+
+// The unmissable banner prepended to any report rendered from an
+// incomplete shard set.
+std::string partial_banner(const CoverageManifest& manifest);
+
+}  // namespace entrace::orchestrate

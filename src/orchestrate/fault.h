@@ -1,0 +1,109 @@
+// Worker-fault taxonomy and the deterministic fault-injection harness for
+// the shard orchestration layer.
+//
+// The supervisor (supervisor.h) classifies every failed worker attempt
+// into one WorkerFault, mirroring the per-packet anomaly taxonomy
+// (net/anomaly.h) one level up the stack: packets get AnomalyKinds, worker
+// attempts get WorkerFaults, and both are counted, merged, and reported
+// rather than crashing the run.
+//
+// FaultInjection makes the supervisor's failure handling testable the same
+// way synth/corruptor.h makes the decode path testable: faults are drawn
+// from an Rng stream forked per (job, attempt), so a given seed produces
+// the exact same fault schedule on every run — and a schedule in which
+// every job eventually succeeds must produce a byte-identical merged
+// report (the orchestrate test suite's core assertion).
+#pragma once
+
+#include <array>
+#include <climits>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snapshot/format.h"
+
+namespace entrace::orchestrate {
+
+// What the supervisor observed about a failed worker attempt.
+enum class WorkerFault : std::uint8_t {
+  kNone = 0,           // attempt succeeded
+  kCrash,              // nonzero exit or died on a signal we did not send
+  kTimeoutKill,        // exceeded the attempt deadline; supervisor SIGKILLed it
+  kTruncatedSnapshot,  // exit 0 but the snapshot is missing or cut short
+  kSnapshotRejected,   // exit 0 but the snapshot failed CRC/structural validation
+  kWrongTraceRange,    // snapshot decodes but covers the wrong dataset slice
+  kCount
+};
+
+inline constexpr std::size_t kWorkerFaultCount = static_cast<std::size_t>(WorkerFault::kCount);
+
+const char* to_string(WorkerFault fault);
+
+// Per-attempt fault counters, folded into the run summary like
+// AnomalyCounts are folded into CaptureQuality.
+struct WorkerFaultCounts {
+  std::array<std::uint64_t, kWorkerFaultCount> counts{};
+
+  std::uint64_t& operator[](WorkerFault f) { return counts[static_cast<std::size_t>(f)]; }
+  std::uint64_t operator[](WorkerFault f) const { return counts[static_cast<std::size_t>(f)]; }
+  std::uint64_t total_faults() const {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 1; i < kWorkerFaultCount; ++i) sum += counts[i];
+    return sum;
+  }
+};
+
+// What the harness injects into an attempt.  kCrashInject / kHangInject are
+// delivered to the worker as an entrace_shard --inject-fault flag (the
+// worker _exits mid-write / stalls until the deadline); kTruncateInject /
+// kCorruptInject are applied by the supervisor to the produced snapshot
+// bytes after a clean exit, the same post-hoc byte surgery the wire
+// corruptor performs on packets.
+enum class InjectedFault : std::uint8_t {
+  kNoInject = 0,
+  kCrashInject,
+  kHangInject,
+  kTruncateInject,
+  kCorruptInject,
+};
+
+const char* to_string(InjectedFault fault);
+
+struct FaultInjection {
+  // Independent per-attempt probabilities, evaluated in this order; the
+  // first that fires wins (so with every probability 1.0 an attempt crashes).
+  double crash = 0.0;
+  double hang = 0.0;
+  double truncate = 0.0;
+  double corrupt = 0.0;
+  std::uint64_t seed = 1;
+  // Inject only into the first `attempt_limit` attempts of each job.  The
+  // default never stops injecting; tests set 1 to mean "first attempt
+  // always faults, retry always recovers".
+  int attempt_limit = INT32_MAX;
+
+  bool any() const { return crash > 0 || hang > 0 || truncate > 0 || corrupt > 0; }
+
+  // The fault (or none) for attempt `attempt` (1-based) of job `job` —
+  // a pure function of (seed, job, attempt).
+  InjectedFault draw(std::uint64_t job, int attempt) const;
+};
+
+// Parse "crash=0.2,hang=0.1,truncate=0.05,corrupt=0.05" (any subset of the
+// four keys, each probability in [0, 1]).  False with *error set on
+// unknown keys or out-of-range values; probabilities not named stay 0.
+bool parse_inject_spec(const std::string& spec, FaultInjection& out, std::string* error);
+
+// Corrupt snapshot bytes in place for the two supervisor-applied faults.
+// Deterministic per (seed, job, attempt); both guarantee the reader
+// rejects the result (truncate cuts the file short of its end marker,
+// corrupt flips a bit inside the end section's CRC trailer).
+void truncate_snapshot_bytes(std::vector<std::uint8_t>& bytes, const FaultInjection& config,
+                             std::uint64_t job, int attempt);
+void corrupt_snapshot_bytes(std::vector<std::uint8_t>& bytes);
+
+// Map a snapshot decode failure onto the worker-fault taxonomy.
+WorkerFault classify_snapshot_error(const snapshot::SnapshotError& error);
+
+}  // namespace entrace::orchestrate

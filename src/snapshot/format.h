@@ -74,18 +74,30 @@ const char* to_string(SectionType type);
 std::uint32_t crc32(std::span<const std::uint8_t> bytes);
 
 // Decode failure; `offset` is the absolute file offset the failure was
-// detected at, and what() always names it.
+// detected at, and what() always names it.  `kind` separates the two ways
+// a snapshot can be bad — cut short (a worker died mid-write; the bytes
+// that exist may be fine) versus malformed (framing/CRC/enum damage in
+// bytes that are all present) — because a supervisor retries and accounts
+// for them as different worker faults (src/orchestrate).
 class SnapshotError : public std::runtime_error {
  public:
-  SnapshotError(std::size_t offset, const std::string& message)
+  enum class Kind : std::uint8_t {
+    kMalformed,  // structural damage: bad magic/version/CRC/enums/framing
+    kTruncated,  // the file ends before the declared content does
+  };
+
+  SnapshotError(std::size_t offset, const std::string& message, Kind kind = Kind::kMalformed)
       : std::runtime_error("snapshot error at byte offset " + std::to_string(offset) + ": " +
                            message),
-        offset_(offset) {}
+        offset_(offset),
+        kind_(kind) {}
 
   std::size_t offset() const { return offset_; }
+  Kind kind() const { return kind_; }
 
  private:
   std::size_t offset_;
+  Kind kind_;
 };
 
 // ---- little-endian encode ---------------------------------------------------

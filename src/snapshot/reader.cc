@@ -228,8 +228,10 @@ struct Decoder {
 
   void check_header() {
     if (bytes.size() < kHeaderSize) {
-      throw SnapshotError(bytes.size(), "file too short for the " +
-                                            std::to_string(kHeaderSize) + "-byte header");
+      throw SnapshotError(bytes.size(),
+                          "file too short for the " + std::to_string(kHeaderSize) +
+                              "-byte header",
+                          SnapshotError::Kind::kTruncated);
     }
     if (std::memcmp(bytes.data(), kMagic, kMagicSize) != 0) {
       throw SnapshotError(0, "bad magic " + hex_bytes(bytes.subspan(0, kMagicSize)) +
@@ -251,9 +253,11 @@ struct Decoder {
   // Reads one framed section, verifies its CRC, returns (type, payload).
   std::pair<SectionType, std::span<const std::uint8_t>> next_section() {
     if (bytes.size() - pos < kSectionHeaderSize) {
-      throw SnapshotError(pos, "file truncated inside a section header (" +
-                                   std::to_string(bytes.size() - pos) + " of " +
-                                   std::to_string(kSectionHeaderSize) + " bytes present)");
+      throw SnapshotError(pos,
+                          "file truncated inside a section header (" +
+                              std::to_string(bytes.size() - pos) + " of " +
+                              std::to_string(kSectionHeaderSize) + " bytes present)",
+                          SnapshotError::Kind::kTruncated);
     }
     ByteReader header(bytes.subspan(pos, kSectionHeaderSize), pos);
     const std::uint32_t raw_type = header.u32();
@@ -266,7 +270,8 @@ struct Decoder {
                               static_cast<SectionType>(raw_type))) +
                               " section: payload of " + std::to_string(length) +
                               "+4 bytes declared, " + std::to_string(bytes.size() - payload_at) +
-                              " bytes remain");
+                              " bytes remain",
+                          SnapshotError::Kind::kTruncated);
     }
     const std::span<const std::uint8_t> payload = bytes.subspan(payload_at, length);
     ByteReader trailer(bytes.subspan(payload_at + length, kSectionTrailerSize),
@@ -518,6 +523,36 @@ Snapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
   decoder.bytes = bytes;
   decoder.run();
   return std::move(decoder.out);
+}
+
+std::string describe_range_mismatch(const Snapshot& snap, const SnapshotMeta& expected,
+                                    std::size_t lo, std::size_t hi) {
+  if (!(snap.meta == expected)) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "snapshot is %s scale %.17g with %u traces, expected %s scale %.17g with %u",
+                  snap.meta.dataset.c_str(), snap.meta.scale, snap.meta.trace_count,
+                  expected.dataset.c_str(), expected.scale, expected.trace_count);
+    return buf;
+  }
+  if (snap.shards.size() != hi - lo) {
+    return "snapshot holds " + std::to_string(snap.shards.size()) + " shards, expected " +
+           std::to_string(hi - lo) + " for traces [" + std::to_string(lo) + ", " +
+           std::to_string(hi) + ")";
+  }
+  // The decoder enforces strictly ascending indices, but this helper is the
+  // trust boundary for skipping or accepting work — verify contiguity
+  // independently instead of assuming the decode path did.
+  for (std::size_t i = 0; i < snap.shards.size(); ++i) {
+    const std::uint32_t want = static_cast<std::uint32_t>(lo + i);
+    if (snap.shards[i].trace_index != want) {
+      return "shard " + std::to_string(i) + " is trace " +
+             std::to_string(snap.shards[i].trace_index) + ", expected trace " +
+             std::to_string(want) + " of [" + std::to_string(lo) + ", " + std::to_string(hi) +
+             ")";
+    }
+  }
+  return std::string();
 }
 
 Snapshot read_snapshot(const std::string& path) {

@@ -1,5 +1,6 @@
 #include "snapshot/writer.h"
 
+#include <cstdio>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -175,8 +176,10 @@ void encode_host_set(ByteWriter& w, const std::set<std::uint32_t>& hosts) {
 }  // namespace
 
 SnapshotWriter::SnapshotWriter(const std::string& path, const SnapshotMeta& meta)
-    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
-  if (!out_) throw std::runtime_error("snapshot writer: cannot create " + path);
+    : path_(path),
+      tmp_path_(path + ".tmp"),
+      out_(tmp_path_, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("snapshot writer: cannot create " + tmp_path_);
   out_.write(kMagic, kMagicSize);
   ByteWriter version;
   version.u32(kFormatVersion);
@@ -191,7 +194,16 @@ SnapshotWriter::SnapshotWriter(const std::string& path, const SnapshotMeta& meta
   write_section(SectionType::kDatasetMeta, w);
 }
 
-SnapshotWriter::~SnapshotWriter() = default;  // unclosed file stays a rejected partial
+SnapshotWriter::~SnapshotWriter() {
+  // Abandoned without close() (exception unwind): nothing was ever renamed
+  // onto the destination, so just drop the partial .tmp.  A hard-killed
+  // process skips this too, which is fine — the .tmp is not the
+  // destination name and the next attempt truncates it.
+  if (!closed_) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
 
 void SnapshotWriter::write_section(SectionType type, const ByteWriter& payload) {
   const std::vector<std::uint8_t>& bytes = payload.bytes();
@@ -356,8 +368,14 @@ void SnapshotWriter::close() {
   if (closed_) return;
   write_section(SectionType::kEnd, ByteWriter());
   out_.flush();
-  if (!out_) throw std::runtime_error("snapshot writer: flush failed on " + path_);
+  if (!out_) throw std::runtime_error("snapshot writer: flush failed on " + tmp_path_);
   out_.close();
+  // The rename is the commit point: only a byte-complete snapshot (end
+  // marker flushed) ever appears under the destination name.
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    throw std::runtime_error("snapshot writer: cannot rename " + tmp_path_ + " to " + path_);
+  }
   closed_ = true;
 }
 

@@ -6,6 +6,15 @@
 // (a killed shard process) is rejected by the reader, which is exactly the
 // checkpoint semantics entrace_shard's --resume relies on: only complete
 // snapshot files count as done work.
+//
+// Emission is crash-safe: all bytes go to `<path>.tmp`, and close()
+// atomically renames it onto `path` after the end marker is flushed.  A
+// worker killed at any point therefore leaves either nothing at the
+// destination name or a complete, validated snapshot — never a
+// destination-named partial that --resume or a supervisor must re-inspect
+// (the .tmp may survive a hard kill; it is overwritten by the next
+// attempt).  The reader's missing-end-marker rejection stays as the second
+// line of defense for files that arrive by other routes.
 #pragma once
 
 #include <cstdint>
@@ -32,8 +41,10 @@ class SnapshotWriter {
   // violations fail fast at write time instead of at merge time).
   void add_shard(std::uint32_t trace_index, const TraceShard& shard);
 
-  // Write the end section and flush.  Without it the file is (by design)
-  // an invalid, resumable-from-scratch partial.
+  // Write the end section, flush, and atomically rename the .tmp onto the
+  // destination path.  Until then nothing exists at the destination; a
+  // .tmp without an end section is (by design) an invalid,
+  // resumable-from-scratch partial.
   void close();
 
   std::uint64_t bytes_written() const { return offset_; }
@@ -42,6 +53,7 @@ class SnapshotWriter {
   void write_section(SectionType type, const ByteWriter& payload);
 
   std::string path_;
+  std::string tmp_path_;
   std::ofstream out_;
   std::uint64_t offset_ = 0;
   std::int64_t last_index_ = -1;

@@ -1,0 +1,120 @@
+#include "util/subprocess.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace entrace::util {
+
+namespace {
+
+ExitStatus from_wait_status(int wstatus) {
+  ExitStatus s;
+  if (WIFEXITED(wstatus)) {
+    s.exited = true;
+    s.exit_code = WEXITSTATUS(wstatus);
+  } else if (WIFSIGNALED(wstatus)) {
+    s.signaled = true;
+    s.term_signal = WTERMSIG(wstatus);
+  }
+  return s;
+}
+
+}  // namespace
+
+Subprocess::~Subprocess() {
+  if (pid_ > 0 && !status_.has_value()) kill_and_wait();
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(other.pid_), status_(std::move(other.status_)) {
+  other.pid_ = -1;
+  other.status_.reset();
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    if (pid_ > 0 && !status_.has_value()) kill_and_wait();
+    pid_ = other.pid_;
+    status_ = std::move(other.status_);
+    other.pid_ = -1;
+    other.status_.reset();
+  }
+  return *this;
+}
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
+  if (argv.empty()) throw std::runtime_error("subprocess: empty argv");
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("subprocess: fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: exec immediately (nothing else is async-signal-safe to do when
+    // the parent holds threads).  On exec failure report 127 like a shell.
+    execv(cargv[0], cargv.data());
+    _exit(127);
+  }
+  Subprocess p;
+  p.pid_ = pid;
+  return p;
+}
+
+std::optional<ExitStatus> Subprocess::poll() {
+  if (status_.has_value()) return status_;
+  if (pid_ <= 0) return std::nullopt;
+  int wstatus = 0;
+  const pid_t r = waitpid(pid_, &wstatus, WNOHANG);
+  if (r == 0) return std::nullopt;  // still running
+  if (r < 0) {
+    // ECHILD etc.: the child is gone but unreapable; report it as a crash
+    // rather than leaving the caller spinning.
+    ExitStatus s;
+    s.signaled = true;
+    s.term_signal = SIGKILL;
+    status_ = s;
+    return status_;
+  }
+  status_ = from_wait_status(wstatus);
+  return status_;
+}
+
+ExitStatus Subprocess::wait() {
+  if (status_.has_value()) return *status_;
+  int wstatus = 0;
+  while (waitpid(pid_, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+  status_ = from_wait_status(wstatus);
+  return *status_;
+}
+
+std::optional<ExitStatus> Subprocess::wait_for(double seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
+  while (true) {
+    if (auto s = poll(); s.has_value()) return s;
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+ExitStatus Subprocess::kill_and_wait() {
+  if (status_.has_value()) return *status_;
+  if (pid_ > 0) ::kill(pid_, SIGKILL);
+  return wait();
+}
+
+bool Subprocess::running() { return pid_ > 0 && !poll().has_value(); }
+
+}  // namespace entrace::util

@@ -1,0 +1,507 @@
+// Fault-tolerant orchestration suite (CTest label "orchestrate", also run
+// under ASan+UBSan via `ctest --preset orchestrate-asan`).
+//
+// The layer's contract, pinned down here:
+//   1. Retry policy: attempt budgets and seeded-jitter exponential backoff
+//      are pure functions of (seed, job, attempt) — unit-tested with a
+//      FakeClock, no sleeping.
+//   2. Supervision: every injected worker fault kind (crash, hang,
+//      truncated snapshot, CRC reject) is classified correctly and
+//      recovered by retry.
+//   3. Determinism: for any fault schedule in which every job eventually
+//      succeeds, the orchestrated report is byte-identical to a direct
+//      single-process run — at 1 worker and at 4.
+//   4. Graceful degradation: an exhausted attempt budget yields a coverage
+//      manifest naming exactly the missing traces, and the run completes
+//      instead of dying.
+//   5. Crash safety: .esnap and metrics files appear atomically (tmp +
+//      rename); an abandoned writer leaves no final file behind.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/report.h"
+#include "obs/exposition.h"
+#include "orchestrate/fault.h"
+#include "orchestrate/supervisor.h"
+#include "snapshot/reader.h"
+#include "snapshot/writer.h"
+#include "synth/synth_source.h"
+#include "util/retry.h"
+#include "util/subprocess.h"
+
+namespace entrace {
+namespace {
+
+namespace snap = entrace::snapshot;
+using orchestrate::FaultInjection;
+using orchestrate::InjectedFault;
+using orchestrate::WorkerFault;
+
+// ---------------------------------------------------------------- retry --
+
+TEST(RetryPolicyTest, AttemptBudgetSemantics) {
+  util::RetryPolicy one;
+  one.max_attempts = 1;  // no retries
+  EXPECT_FALSE(one.should_retry(1));
+
+  util::RetryPolicy three;
+  three.max_attempts = 3;
+  EXPECT_TRUE(three.should_retry(1));
+  EXPECT_TRUE(three.should_retry(2));
+  EXPECT_FALSE(three.should_retry(3));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndClamps) {
+  util::RetryPolicy p;
+  p.base_delay = 0.1;
+  p.multiplier = 2.0;
+  p.max_delay = 1.0;
+  p.jitter = 0.0;  // exact nominal schedule
+  EXPECT_DOUBLE_EQ(p.backoff_seconds(0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(p.backoff_seconds(0, 2), 0.2);
+  EXPECT_DOUBLE_EQ(p.backoff_seconds(0, 3), 0.4);
+  EXPECT_DOUBLE_EQ(p.backoff_seconds(0, 4), 0.8);
+  EXPECT_DOUBLE_EQ(p.backoff_seconds(0, 5), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(p.backoff_seconds(0, 9), 1.0);
+}
+
+TEST(RetryPolicyTest, JitterIsBoundedDeterministicAndPerJob) {
+  util::RetryPolicy p;
+  p.base_delay = 0.1;
+  p.jitter = 0.5;
+  bool jobs_differ = false;
+  for (std::uint64_t job = 0; job < 16; ++job) {
+    const double d = p.backoff_seconds(job, 1);
+    EXPECT_GE(d, 0.1 * 0.75) << "job " << job;
+    EXPECT_LT(d, 0.1 * 1.25) << "job " << job;
+    EXPECT_DOUBLE_EQ(d, p.backoff_seconds(job, 1)) << "job " << job;
+    if (d != p.backoff_seconds(0, 1)) jobs_differ = true;
+  }
+  EXPECT_TRUE(jobs_differ) << "a fleet of failed jobs must not retry in lockstep";
+}
+
+TEST(RetryPolicyTest, FakeClockSleepsWithoutBlocking) {
+  util::FakeClock clock(10.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+  clock.sleep(2.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 12.5);
+  clock.sleep(-1.0);  // never goes backwards
+  EXPECT_DOUBLE_EQ(clock.now(), 12.5);
+}
+
+// ----------------------------------------------------------- subprocess --
+
+TEST(SubprocessTest, CapturesExitCode) {
+  auto p = util::Subprocess::spawn({"/bin/sh", "-c", "exit 3"});
+  const util::ExitStatus st = p.wait();
+  EXPECT_TRUE(st.exited);
+  EXPECT_EQ(st.exit_code, 3);
+  EXPECT_FALSE(st.signaled);
+  EXPECT_FALSE(st.success());
+}
+
+TEST(SubprocessTest, DistinguishesKillFromExit) {
+  auto p = util::Subprocess::spawn({"/bin/sleep", "30"});
+  EXPECT_TRUE(p.running());
+  EXPECT_FALSE(p.poll().has_value());
+  const util::ExitStatus st = p.kill_and_wait();
+  EXPECT_TRUE(st.signaled);
+  EXPECT_EQ(st.term_signal, SIGKILL);
+  EXPECT_FALSE(st.exited);
+}
+
+TEST(SubprocessTest, ExecFailureSurfacesAs127) {
+  auto p = util::Subprocess::spawn({"/no/such/binary/anywhere"});
+  const util::ExitStatus st = p.wait();
+  EXPECT_TRUE(st.exited);
+  EXPECT_EQ(st.exit_code, 127);
+}
+
+TEST(SubprocessTest, WaitForTimesOutWithoutReaping) {
+  auto p = util::Subprocess::spawn({"/bin/sleep", "30"});
+  EXPECT_FALSE(p.wait_for(0.05).has_value());
+  EXPECT_TRUE(p.running());
+  p.kill_and_wait();
+}
+
+// ------------------------------------------------------ fault injection --
+
+TEST(FaultInjectionTest, ParsesSpecStrings) {
+  FaultInjection f;
+  std::string error;
+  ASSERT_TRUE(orchestrate::parse_inject_spec("crash=0.2,hang=0.1,truncate=0.05,corrupt=1", f,
+                                             &error))
+      << error;
+  EXPECT_DOUBLE_EQ(f.crash, 0.2);
+  EXPECT_DOUBLE_EQ(f.hang, 0.1);
+  EXPECT_DOUBLE_EQ(f.truncate, 0.05);
+  EXPECT_DOUBLE_EQ(f.corrupt, 1.0);
+
+  FaultInjection subset;
+  ASSERT_TRUE(orchestrate::parse_inject_spec("hang=0.5", subset, &error)) << error;
+  EXPECT_DOUBLE_EQ(subset.crash, 0.0);
+  EXPECT_DOUBLE_EQ(subset.hang, 0.5);
+
+  EXPECT_FALSE(orchestrate::parse_inject_spec("explode=0.5", subset, &error));
+  EXPECT_FALSE(orchestrate::parse_inject_spec("crash=1.5", subset, &error));
+  EXPECT_FALSE(orchestrate::parse_inject_spec("crash", subset, &error));
+}
+
+TEST(FaultInjectionTest, DrawIsSeededPerJobAttempt) {
+  FaultInjection f;
+  f.crash = 1.0;
+  EXPECT_EQ(f.draw(0, 1), InjectedFault::kCrashInject);
+  EXPECT_EQ(f.draw(7, 3), InjectedFault::kCrashInject);
+
+  f.attempt_limit = 1;  // only the first attempt of each job faults
+  EXPECT_EQ(f.draw(0, 1), InjectedFault::kCrashInject);
+  EXPECT_EQ(f.draw(0, 2), InjectedFault::kNoInject);
+
+  // A mixed schedule is a pure function of (seed, job, attempt).
+  FaultInjection mixed;
+  mixed.crash = mixed.hang = mixed.truncate = mixed.corrupt = 0.25;
+  mixed.seed = 42;
+  for (std::uint64_t job = 0; job < 8; ++job) {
+    EXPECT_EQ(mixed.draw(job, 1), mixed.draw(job, 1)) << "job " << job;
+  }
+}
+
+// ------------------------------------------------------------- fixtures --
+
+class OrchestrateTest : public ::testing::Test {
+ protected:
+  static const EnterpriseModel& model() {
+    static const EnterpriseModel m;
+    return m;
+  }
+  // D0 at a small scale: the byte-identity tests analyze it several times
+  // (once directly, once per orchestrated attempt).
+  static constexpr double kScale = 0.004;
+  // Tests that involve hang injection pay the full attempt deadline per
+  // hang, and that deadline must comfortably exceed an honest worker's
+  // runtime even under ASan on a loaded machine — so they run an even
+  // smaller scale, keeping kHangDeadline short AND safe.
+  static constexpr double kFaultScale = 0.002;
+  static constexpr double kHangDeadline = 10.0;
+
+  static std::size_t trace_count() {
+    static const std::size_t n =
+        SyntheticTraceSourceSet(dataset_by_name("D0", kScale), model()).size();
+    return n;
+  }
+
+  static std::string temp_path(const std::string& name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  }
+
+  // The single-process reference: same dataset, same fold, same renderer.
+  static std::string direct_report_at(double scale) {
+    const DatasetSpec spec = dataset_by_name("D0", scale);
+    const SyntheticTraceSourceSet sources(spec, model());
+    const AnalyzerConfig config = default_config_for_model(model().site());
+    std::vector<TraceShard> shards = analyze_trace_shards(sources, config, 0, sources.size());
+    DatasetAnalysis analysis = fold_shards(spec.name, std::move(shards), config);
+    const report::ReportInput input{&spec, &analysis};
+    const std::vector<report::ReportInput> inputs{input};
+    return report::full_report(inputs);
+  }
+  static const std::string& direct_report() {
+    static const std::string text = direct_report_at(kScale);
+    return text;
+  }
+  static const std::string& direct_fault_report() {
+    static const std::string text = direct_report_at(kFaultScale);
+    return text;
+  }
+
+  static orchestrate::OrchestratorConfig base_config(const std::string& work_name,
+                                                     double scale = kScale) {
+    orchestrate::OrchestratorConfig config;
+    config.dataset = "D0";
+    config.scale = scale;
+    config.shard_binary = ENTRACE_SHARD_BIN;
+    config.work_dir = temp_path(work_name);
+    config.workers = 2;
+    config.attempt_deadline = 60.0;  // generous: only hang tests shorten it
+    return config;
+  }
+
+  static std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+};
+
+// A valid snapshot image to mutilate (one empty shard is enough structure).
+std::vector<std::uint8_t> small_snapshot_image() {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "entrace_orch_img.esnap").string();
+  snap::SnapshotWriter writer(path, {"D0", 0.004, 22});
+  writer.add_shard(0, TraceShard{});
+  writer.close();
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  in.close();
+  std::filesystem::remove(path);
+  return bytes;
+}
+
+TEST(FaultInjectionTest, TruncationClassifiesAsTruncatedSnapshot) {
+  std::vector<std::uint8_t> bytes = small_snapshot_image();
+  const std::size_t original = bytes.size();
+  FaultInjection f;
+  orchestrate::truncate_snapshot_bytes(bytes, f, /*job=*/0, /*attempt=*/1);
+  ASSERT_LT(bytes.size(), original);
+  try {
+    snap::decode_snapshot(bytes);
+    FAIL() << "truncated snapshot must not decode";
+  } catch (const snap::SnapshotError& e) {
+    EXPECT_EQ(orchestrate::classify_snapshot_error(e), WorkerFault::kTruncatedSnapshot)
+        << e.what();
+  }
+}
+
+TEST(FaultInjectionTest, CorruptionClassifiesAsSnapshotRejected) {
+  std::vector<std::uint8_t> bytes = small_snapshot_image();
+  orchestrate::corrupt_snapshot_bytes(bytes);
+  try {
+    snap::decode_snapshot(bytes);
+    FAIL() << "corrupted snapshot must not decode";
+  } catch (const snap::SnapshotError& e) {
+    EXPECT_EQ(orchestrate::classify_snapshot_error(e), WorkerFault::kSnapshotRejected)
+        << e.what();
+  }
+}
+
+// ------------------------------------------------------- atomic emission --
+
+TEST(AtomicEmissionTest, SnapshotAppearsOnlyOnClose) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "entrace_orch_atomic.esnap").string();
+  std::filesystem::remove(path);
+  {
+    snap::SnapshotWriter writer(path, {"D0", 0.004, 22});
+    writer.add_shard(0, TraceShard{});
+    EXPECT_FALSE(std::filesystem::exists(path)) << "snapshot visible before close";
+    EXPECT_TRUE(std::filesystem::exists(path + ".tmp"));
+    writer.close();
+  }
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_NO_THROW(snap::read_snapshot(path));
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicEmissionTest, AbandonedWriterLeavesNothingBehind) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "entrace_orch_abandon.esnap").string();
+  std::filesystem::remove(path);
+  {
+    snap::SnapshotWriter writer(path, {"D0", 0.004, 22});
+    writer.add_shard(0, TraceShard{});
+    // No close(): the crashed-worker path.
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(AtomicEmissionTest, MetricsFileLeavesNoTmp) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "entrace_orch_metrics.json").string();
+  obs::Registry reg;
+  reg.counter("x", obs::MetricClass::kTiming)->add(3);
+  obs::write_metrics_file(reg, path);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+// ----------------------------------------------------------- supervision --
+
+TEST_F(OrchestrateTest, CleanRunMatchesDirectReport) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    orchestrate::OrchestratorConfig config =
+        base_config("entrace_orch_clean_" + std::to_string(workers));
+    config.workers = workers;
+    const orchestrate::OrchestrateResult result = orchestrate::orchestrate(config);
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(result.retries, 0u);
+    EXPECT_EQ(result.attempts, result.jobs.size());
+    EXPECT_EQ(orchestrate::render_report(result), direct_report()) << workers << " workers";
+  }
+}
+
+TEST_F(OrchestrateTest, EveryInjectedFaultKindIsRecoveredByRetry) {
+  struct Case {
+    const char* name;
+    void (*set)(FaultInjection&);
+    WorkerFault expect;
+  };
+  const Case cases[] = {
+      {"crash", [](FaultInjection& f) { f.crash = 1.0; }, WorkerFault::kCrash},
+      {"hang", [](FaultInjection& f) { f.hang = 1.0; }, WorkerFault::kTimeoutKill},
+      {"truncate", [](FaultInjection& f) { f.truncate = 1.0; }, WorkerFault::kTruncatedSnapshot},
+      {"corrupt", [](FaultInjection& f) { f.corrupt = 1.0; }, WorkerFault::kSnapshotRejected},
+  };
+  for (const Case& c : cases) {
+    orchestrate::OrchestratorConfig config =
+        base_config(std::string("entrace_orch_kind_") + c.name, kFaultScale);
+    config.jobs = 2;
+    config.retry.max_attempts = 3;
+    config.retry.base_delay = 0.01;
+    config.inject.attempt_limit = 1;  // first attempt always faults, retry recovers
+    c.set(config.inject);
+    if (c.expect == WorkerFault::kTimeoutKill) config.attempt_deadline = kHangDeadline;
+    const orchestrate::OrchestrateResult result = orchestrate::orchestrate(config);
+    EXPECT_TRUE(result.complete) << c.name;
+    EXPECT_EQ(result.fault_counts[c.expect], 2u) << c.name;
+    EXPECT_EQ(result.fault_counts.total_faults(), 2u) << c.name;
+    for (const orchestrate::JobOutcome& job : result.jobs) {
+      EXPECT_EQ(job.attempts, 2) << c.name;
+    }
+    EXPECT_EQ(orchestrate::render_report(result), direct_fault_report()) << c.name;
+  }
+}
+
+TEST_F(OrchestrateTest, MixedFaultScheduleIsByteIdenticalAtOneAndFourWorkers) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    orchestrate::OrchestratorConfig config =
+        base_config("entrace_orch_mixed_" + std::to_string(workers), kFaultScale);
+    config.workers = workers;
+    config.jobs = 4;
+    config.retry.max_attempts = 9;
+    config.retry.base_delay = 0.01;
+    config.attempt_deadline = kHangDeadline;
+    config.inject.crash = config.inject.hang = 0.2;
+    config.inject.truncate = config.inject.corrupt = 0.2;
+    config.inject.seed = 9;
+    const orchestrate::OrchestrateResult result = orchestrate::orchestrate(config);
+    ASSERT_TRUE(result.complete) << workers << " workers";
+    EXPECT_EQ(orchestrate::render_report(result), direct_fault_report())
+        << workers << " workers";
+  }
+}
+
+TEST_F(OrchestrateTest, ExhaustedBudgetDegradesToAccurateManifest) {
+  orchestrate::OrchestratorConfig config = base_config("entrace_orch_exhaust");
+  config.jobs = 4;
+  config.retry.max_attempts = 1;  // zero retries
+  config.inject.crash = 1.0;
+  const orchestrate::OrchestrateResult result = orchestrate::orchestrate(config);
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.manifest.missing.size(), trace_count());
+  EXPECT_EQ(result.shards_folded, 0u);
+  for (const orchestrate::JobOutcome& job : result.jobs) {
+    EXPECT_EQ(job.state, orchestrate::JobState::kFailed);
+    EXPECT_EQ(job.attempts, 1);
+  }
+  const std::string report = orchestrate::render_report(result);
+  EXPECT_NE(report.find("PARTIAL RESULTS"), std::string::npos);
+  EXPECT_NE(report.find("Coverage manifest"), std::string::npos);
+  EXPECT_NE(report.find("report body is omitted"), std::string::npos);
+}
+
+TEST_F(OrchestrateTest, PartialManifestNamesExactlyTheFailedJobRanges) {
+  // Find a seed whose 50% crash schedule fails some jobs and spares others
+  // (draw() is pure, so this scan is deterministic and instant).
+  FaultInjection probe;
+  probe.crash = 0.5;
+  std::uint64_t seed = 0;
+  for (std::uint64_t s = 1; s < 64 && seed == 0; ++s) {
+    probe.seed = s;
+    int crashed = 0;
+    for (std::uint64_t job = 0; job < 4; ++job) {
+      if (probe.draw(job, 1) == InjectedFault::kCrashInject) ++crashed;
+    }
+    if (crashed > 0 && crashed < 4) seed = s;
+  }
+  ASSERT_NE(seed, 0u);
+
+  orchestrate::OrchestratorConfig config = base_config("entrace_orch_partial");
+  config.jobs = 4;
+  config.retry.max_attempts = 1;
+  config.inject.crash = 0.5;
+  config.inject.seed = seed;
+  const orchestrate::OrchestrateResult result = orchestrate::orchestrate(config);
+  EXPECT_FALSE(result.complete);
+
+  std::vector<std::uint32_t> expected_missing;
+  std::size_t covered = 0;
+  for (const orchestrate::JobOutcome& job : result.jobs) {
+    if (job.state == orchestrate::JobState::kFailed) {
+      for (std::size_t t = job.lo; t < job.hi; ++t) {
+        expected_missing.push_back(static_cast<std::uint32_t>(t));
+      }
+    } else {
+      EXPECT_EQ(job.state, orchestrate::JobState::kDone);
+      covered += job.hi - job.lo;
+    }
+  }
+  EXPECT_FALSE(expected_missing.empty());
+  EXPECT_GT(covered, 0u);
+  EXPECT_EQ(result.manifest.missing, expected_missing);
+  EXPECT_EQ(result.shards_folded, covered);
+  const std::string report = orchestrate::render_report(result);
+  EXPECT_EQ(report.find("!!"), 0u) << "partial report must lead with the banner";
+}
+
+TEST_F(OrchestrateTest, RecordsOrchestrationMetrics) {
+  obs::Registry metrics;
+  orchestrate::OrchestratorConfig config = base_config("entrace_orch_metrics");
+  config.jobs = 2;
+  config.retry.max_attempts = 3;
+  config.retry.base_delay = 0.01;
+  config.inject.crash = 1.0;
+  config.inject.attempt_limit = 1;
+  config.metrics = &metrics;
+  const orchestrate::OrchestrateResult result = orchestrate::orchestrate(config);
+  ASSERT_TRUE(result.complete);
+  using obs::MetricClass;
+  EXPECT_EQ(metrics.counter("orchestrate.attempts", MetricClass::kTiming)->value(),
+            result.attempts);
+  EXPECT_EQ(metrics.counter("orchestrate.retries", MetricClass::kTiming)->value(),
+            result.retries);
+  EXPECT_EQ(metrics.counter("orchestrate.jobs.done", MetricClass::kTiming)->value(), 2u);
+  EXPECT_EQ(metrics.counter("orchestrate.fault.crash", MetricClass::kTiming)->value(), 2u);
+  EXPECT_GT(metrics.gauge("orchestrate.backoff.seconds", MetricClass::kTiming)->value(), 0.0);
+}
+
+// The merge tool's partial mode, driven through the real binaries.
+TEST_F(OrchestrateTest, MergeAllowPartialAcceptsIncompleteShardSet) {
+  const std::string shard_path = temp_path("entrace_orch_merge_part.esnap");
+  const std::string out_path = temp_path("entrace_orch_merge_part.txt");
+  {
+    auto p = util::Subprocess::spawn(
+        {ENTRACE_SHARD_BIN, shard_path, "D0", "0.004", "--traces", "0:2"});
+    ASSERT_TRUE(p.wait().success());
+  }
+  {
+    auto p = util::Subprocess::spawn(
+        {"/bin/sh", "-c", std::string("'") + ENTRACE_MERGE_BIN + "' '" + shard_path +
+                              "' > /dev/null 2>&1"});
+    EXPECT_EQ(p.wait().exit_code, 1) << "incomplete set without --allow-partial must fail";
+  }
+  {
+    auto p = util::Subprocess::spawn(
+        {"/bin/sh", "-c", std::string("'") + ENTRACE_MERGE_BIN + "' --allow-partial '" +
+                              shard_path + "' > '" + out_path + "' 2>/dev/null"});
+    EXPECT_EQ(p.wait().exit_code, 0);
+  }
+  const std::string out = read_file(out_path);
+  EXPECT_EQ(out.find("!!"), 0u);
+  EXPECT_NE(out.find("PARTIAL RESULTS"), std::string::npos);
+  EXPECT_NE(out.find("Coverage manifest"), std::string::npos);
+  std::filesystem::remove(shard_path);
+  std::filesystem::remove(out_path);
+}
+
+}  // namespace
+}  // namespace entrace

@@ -7,7 +7,12 @@
 // printed here is byte-identical to running enterprise_report over the
 // whole dataset in one process.
 //
-//   $ entrace_merge [--metrics-out file] a.esnap b.esnap ... > report.txt
+// --allow-partial accepts an incomplete shard set instead of failing: the
+// report is branded with the PARTIAL banner, prefixed with a coverage
+// manifest naming exactly the missing trace indices, and covers only the
+// traces that are present (orchestrate/coverage.h semantics).
+//
+//   $ entrace_merge [--metrics-out file] [--allow-partial] a.esnap ... > report.txt
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -20,6 +25,7 @@
 #include "core/report.h"
 #include "obs/exposition.h"
 #include "obs/stage_timer.h"
+#include "orchestrate/coverage.h"
 #include "snapshot/reader.h"
 #include "synth/synth_source.h"
 
@@ -27,16 +33,21 @@ using namespace entrace;
 
 int main(int argc, char** argv) {
   std::string metrics_out;
+  bool allow_partial = false;
   std::vector<const char*> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--allow-partial") == 0) {
+      allow_partial = true;
     } else {
       paths.push_back(argv[i]);
     }
   }
   if (paths.empty()) {
-    std::fprintf(stderr, "usage: %s [--metrics-out file] <shard.esnap> [more.esnap ...]\n",
+    std::fprintf(stderr,
+                 "usage: %s [--metrics-out file] [--allow-partial] <shard.esnap> "
+                 "[more.esnap ...]\n",
                  argv[0]);
     return 2;
   }
@@ -80,24 +91,24 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (shards.size() != meta.trace_count ||
-      (meta.trace_count > 0 && (shards.front().trace_index != 0 ||
-                                shards.back().trace_index != meta.trace_count - 1))) {
-    std::fprintf(stderr, "incomplete dataset: have %zu of %u trace shards", shards.size(),
+  std::vector<std::uint32_t> present;
+  present.reserve(shards.size());
+  for (const auto& s : shards) present.push_back(s.trace_index);
+  const orchestrate::CoverageManifest manifest = orchestrate::manifest_for(meta, present);
+  if (!manifest.complete()) {
+    if (!allow_partial) {
+      std::fprintf(stderr,
+                   "incomplete dataset: have %zu of %u trace shards; missing: %s\n"
+                   "(pass --allow-partial to merge what is present)\n",
+                   shards.size(), meta.trace_count, manifest.missing_ranges().c_str());
+      return 1;
+    }
+    std::fputs(orchestrate::partial_banner(manifest).c_str(), stdout);
+    std::fputs(manifest.render().c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fprintf(stderr, "merging PARTIAL shard set: %zu of %u traces\n", manifest.covered(),
                  meta.trace_count);
-    std::vector<bool> present(meta.trace_count, false);
-    for (const auto& s : shards) {
-      if (s.trace_index < meta.trace_count) present[s.trace_index] = true;
-    }
-    int listed = 0;
-    for (std::uint32_t t = 0; t < meta.trace_count && listed < 8; ++t) {
-      if (!present[t]) {
-        std::fprintf(stderr, "%s %u", listed == 0 ? "; missing:" : ",", t);
-        ++listed;
-      }
-    }
-    std::fprintf(stderr, "\n");
-    return 1;
+    if (shards.empty()) return 0;  // nothing to fold: banner + manifest is the report
   }
 
   const double decode_seconds =
@@ -115,10 +126,11 @@ int main(int argc, char** argv) {
   const DatasetSpec spec = dataset_by_name(meta.dataset, meta.scale);
   std::vector<TraceShard> trace_shards;
   trace_shards.reserve(shards.size());
+  const std::size_t shard_count = shards.size();
   for (auto& s : shards) trace_shards.push_back(std::move(s.shard));
   DatasetAnalysis analysis = fold_shards(spec.name, std::move(trace_shards),
                                          default_config_for_model(model.site()));
-  std::fprintf(stderr, "merged %u shards: %llu packets\n", meta.trace_count,
+  std::fprintf(stderr, "merged %zu shards: %llu packets\n", shard_count,
                static_cast<unsigned long long>(analysis.quality.packets_seen));
 
   const report::ReportInput input{&spec, &analysis};

@@ -1,0 +1,178 @@
+// entrace_orchestrate: fault-tolerant front end over the entrace_shard /
+// entrace_merge pipeline.
+//
+// Partitions a dataset's traces into jobs, dispatches them to worker
+// subprocesses, and survives the ways workers actually fail: crashes,
+// hangs (deadline-killed), truncated snapshots, CRC rejects, and
+// wrong-range output all land in a retry loop with seeded-jitter
+// exponential backoff (src/orchestrate).  For any fault schedule in which
+// every job eventually succeeds, the report printed here is byte-identical
+// to a direct single-process run.  When a job exhausts its attempt budget
+// the run degrades gracefully instead of dying: with --allow-partial it
+// exits 0 and brands the report PARTIAL with a coverage manifest naming
+// the missing traces.
+//
+// --inject drives the built-in deterministic fault harness (per-attempt
+// probabilities, seeded per job attempt) — the same knob the orchestrate
+// test suite and bench study use:
+//
+//   $ entrace_orchestrate D0 0.01 --workers 4 --retries 3 \
+//       --inject crash=0.2,hang=0.05,truncate=0.1,corrupt=0.1 > report.txt
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "orchestrate/supervisor.h"
+#include "util/cli.h"
+
+using namespace entrace;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [D0|D1|D2|D3|D4] [scale]\n"
+      "  [--jobs N]            trace-range partitions (default: one per worker)\n"
+      "  [--workers N]         concurrent worker subprocesses (default 2)\n"
+      "  [--shard-threads N]   --threads per worker (default 1)\n"
+      "  [--retries K]         retries per job after the first attempt (default 2)\n"
+      "  [--deadline S]        per-attempt wall-clock deadline, seconds (default 120)\n"
+      "  [--backoff S]         base retry delay, seconds (default 0.05)\n"
+      "  [--seed S]            fault-injection + backoff-jitter seed (default 1)\n"
+      "  [--inject SPEC]       crash=P,hang=P,truncate=P,corrupt=P per-attempt faults\n"
+      "  [--inject-attempts N] inject only into each job's first N attempts\n"
+      "  [--allow-partial]     exit 0 with a PARTIAL report when jobs exhaust retries\n"
+      "  [--work-dir DIR]      where per-job .esnap files live (default: ./orchestrate.work)\n"
+      "  [--keep-files]        keep the per-job .esnap files after the fold\n"
+      "  [--shard-bin PATH]    entrace_shard binary (default: next to this binary)\n"
+      "  [--metrics-out FILE]  write orchestration metrics (.json or .prom)\n"
+      "  [--verbose]           per-event progress on stderr\n",
+      argv0);
+  return 2;
+}
+
+// The worker binary ships next to this one; fall back to argv[0]'s
+// directory when /proc/self/exe is unavailable.
+std::string default_shard_binary(const char* argv0) {
+  std::error_code ec;
+  std::filesystem::path self = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) self = std::filesystem::absolute(argv0, ec);
+  return (self.parent_path() / "entrace_shard").string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  orchestrate::OrchestratorConfig config;
+  config.retry.max_attempts = 3;  // --retries 2
+  config.work_dir = "orchestrate.work";
+  bool allow_partial = false;
+  std::string metrics_out;
+  std::vector<const char*> positionals;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto flag_value = [&](const char* name) -> const char* {
+      if (std::strcmp(argv[i], name) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", name);
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (const char* v = flag_value("--jobs")) {
+      config.jobs = static_cast<std::size_t>(std::atoi(v));
+    } else if (const char* v = flag_value("--workers")) {
+      config.workers = static_cast<std::size_t>(std::atoi(v));
+    } else if (const char* v = flag_value("--shard-threads")) {
+      config.shard_threads = static_cast<std::size_t>(std::atoi(v));
+    } else if (const char* v = flag_value("--retries")) {
+      config.retry.max_attempts = std::atoi(v) + 1;
+    } else if (const char* v = flag_value("--deadline")) {
+      config.attempt_deadline = std::strtod(v, nullptr);
+    } else if (const char* v = flag_value("--backoff")) {
+      config.retry.base_delay = std::strtod(v, nullptr);
+    } else if (const char* v = flag_value("--seed")) {
+      const std::uint64_t seed = std::strtoull(v, nullptr, 10);
+      config.inject.seed = seed;
+      config.retry.seed = seed;
+    } else if (const char* v = flag_value("--inject")) {
+      std::string error;
+      if (!orchestrate::parse_inject_spec(v, config.inject, &error)) {
+        std::fprintf(stderr, "--inject: %s\n", error.c_str());
+        return usage(argv[0]);
+      }
+    } else if (const char* v = flag_value("--inject-attempts")) {
+      config.inject.attempt_limit = std::atoi(v);
+    } else if (const char* v = flag_value("--work-dir")) {
+      config.work_dir = v;
+    } else if (const char* v = flag_value("--shard-bin")) {
+      config.shard_binary = v;
+    } else if (const char* v = flag_value("--metrics-out")) {
+      metrics_out = v;
+    } else if (std::strcmp(argv[i], "--allow-partial") == 0) {
+      allow_partial = true;
+    } else if (std::strcmp(argv[i], "--keep-files") == 0) {
+      config.keep_files = true;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      config.verbose = true;
+    } else {
+      positionals.push_back(argv[i]);
+    }
+  }
+
+  cli::DatasetArgs dataset{config.dataset, config.scale};
+  std::string error;
+  const int consumed = cli::parse_dataset_args(positionals, dataset, &error);
+  if (consumed < 0 || static_cast<std::size_t>(consumed) != positionals.size()) {
+    std::fprintf(stderr, "%s\n", error.empty() ? "unrecognized arguments" : error.c_str());
+    return usage(argv[0]);
+  }
+  config.dataset = dataset.name;
+  config.scale = dataset.scale;
+  if (config.shard_binary.empty()) config.shard_binary = default_shard_binary(argv[0]);
+
+  obs::Registry metrics;
+  config.metrics = &metrics;
+
+  orchestrate::OrchestrateResult result;
+  try {
+    result = orchestrate::orchestrate(config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "orchestrate: %s\n", e.what());
+    return 2;
+  }
+
+  std::fprintf(stderr,
+               "orchestrate: %zu jobs, %llu attempts (%llu retries), %llu faults; "
+               "%zu of %u traces covered\n",
+               result.jobs.size(), static_cast<unsigned long long>(result.attempts),
+               static_cast<unsigned long long>(result.retries),
+               static_cast<unsigned long long>(result.fault_counts.total_faults()),
+               result.manifest.covered(), result.manifest.trace_count);
+
+  const std::string report = orchestrate::render_report(result);
+  std::fputs(report.c_str(), stdout);
+
+  if (!metrics_out.empty()) {
+    try {
+      obs::write_metrics_file(metrics, metrics_out);
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--metrics-out: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (!result.complete && !allow_partial) {
+    std::fprintf(stderr,
+                 "orchestrate: incomplete run (missing traces %s) and --allow-partial not set\n",
+                 result.manifest.missing_ranges().c_str());
+    return 1;
+  }
+  return 0;
+}

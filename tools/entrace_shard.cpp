@@ -10,11 +10,22 @@
 // shards that never finished (partial files carry no end marker and are
 // rejected by the reader).
 //
+// --inject-fault is the worker half of the orchestration fault harness
+// (src/orchestrate/fault.h): `crash` _exits mid-write after the first shard
+// is encoded, leaving a partial .tmp behind for the atomic-rename emission
+// to discard; `hang` stalls before the analysis starts so a supervisor
+// deadline kill stays cheap.
+//
 //   $ entrace_shard out.esnap [D0|..|D4] [scale] [--traces lo:hi]
 //                   [--threads N] [--resume] [--metrics-out file]
+//                   [--inject-fault crash|hang]
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/analyzer.h"
@@ -32,7 +43,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <out.esnap> [D0|D1|D2|D3|D4] [scale] [--traces lo:hi] "
-               "[--threads N] [--resume] [--metrics-out file]\n"
+               "[--threads N] [--resume] [--metrics-out file] [--inject-fault crash|hang]\n"
                "  analyzes traces [lo, hi) of the dataset (default: all) and snapshots\n"
                "  the per-trace shards; merge the .esnap files with entrace_merge.\n",
                argv0);
@@ -49,10 +60,17 @@ int main(int argc, char** argv) {
   std::size_t lo = 0, hi = SIZE_MAX;
   bool have_range = false, resume = false;
   std::size_t threads = 0;
-  std::string metrics_out;
+  std::string metrics_out, inject_fault;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--inject-fault") == 0 && i + 1 < argc) {
+      inject_fault = argv[++i];
+      if (inject_fault != "crash" && inject_fault != "hang") {
+        std::fprintf(stderr, "--inject-fault wants crash or hang, got '%s'\n",
+                     inject_fault.c_str());
+        return usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--traces") == 0 && i + 1 < argc) {
       if (!cli::parse_index_range(argv[++i], lo, hi)) {
         std::fprintf(stderr, "bad --traces range '%s' (want lo:hi with lo < hi)\n", argv[i]);
@@ -91,18 +109,23 @@ int main(int argc, char** argv) {
   if (resume) {
     try {
       const snapshot::Snapshot existing = snapshot::read_snapshot(out_path);
-      if (existing.meta == meta && existing.shards.size() == hi - lo &&
-          !existing.shards.empty() && existing.shards.front().trace_index == lo &&
-          existing.shards.back().trace_index == hi - 1) {
+      const std::string mismatch = snapshot::describe_range_mismatch(existing, meta, lo, hi);
+      if (mismatch.empty()) {
         std::fprintf(stderr, "%s: already holds %s traces [%zu, %zu), skipping\n",
                      out_path.c_str(), spec.name.c_str(), lo, hi);
         return 0;
       }
-      std::fprintf(stderr, "%s: exists but covers a different slice, re-analyzing\n",
-                   out_path.c_str());
+      std::fprintf(stderr, "%s: exists but does not match the requested slice (%s), re-analyzing\n",
+                   out_path.c_str(), mismatch.c_str());
     } catch (const std::exception&) {
       // Missing or partial (no end marker) file: fall through and redo it.
     }
+  }
+
+  if (inject_fault == "hang") {
+    // Stall before any work starts: the supervisor's deadline kill then
+    // costs one short wait, not a full analysis.
+    for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
   }
 
   AnalyzerConfig config = default_config_for_model(model.site());
@@ -118,6 +141,12 @@ int main(int argc, char** argv) {
       packets += shards[i].quality.packets_seen;
       writer.add_shard(static_cast<std::uint32_t>(lo + i), shards[i]);
       encode_stage.add_items(1);
+      if (inject_fault == "crash") {
+        // Die mid-write, after real bytes hit the .tmp file: the snapshot
+        // must never appear at out_path (atomic-rename emission) and the
+        // supervisor must classify the nonzero exit as a crash.
+        _exit(42);
+      }
     }
     writer.close();
   }
