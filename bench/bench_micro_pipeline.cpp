@@ -46,6 +46,9 @@
 
 #include "bench_common.h"
 #include "core/analyzer.h"
+#include "core/incremental.h"
+#include "snapshot/retention.h"
+#include "snapshot/window.h"
 #include "orchestrate/supervisor.h"
 #include "flow/flow_table.h"
 #include "net/decoder.h"
@@ -826,6 +829,169 @@ void run_orchestrate_study() {
   std::filesystem::remove_all(dir);
 }
 
+// ---- daemon steady-state study ----------------------------------------------
+
+// Continuous-operation cost of the windowed engine (core/incremental.h) in
+// the daemon's own loop shape: merged time-ordered replay -> feed -> rotate
+// at window boundaries -> .esnap checkpoint -> retention aging, with flow
+// eviction and slot reclaim on.  Swept over window counts (coarse to fine
+// rotation) with reps interleaved across configurations; per configuration:
+// sustained ingest pps (best rep), the peak resident set sampled at each
+// rotation, and the rotation stall — the wall pause a rotate + checkpoint +
+// age cycle inflicts on the ingest loop (max and mean).
+struct DaemonRun {
+  std::size_t target_windows = 0;
+  std::uint64_t windows = 0;
+  double seconds = 0.0;
+  double pps = 0.0;
+  double max_stall_s = 0.0;
+  double mean_stall_s = 0.0;
+  std::uint64_t peak_rss_kb = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t drained = 0;
+};
+
+struct DaemonStudy {
+  double scale = 0.0;
+  int reps = 0;
+  std::uint64_t packets = 0;
+  std::vector<DaemonRun> runs;
+  bool ok = false;
+};
+
+DaemonStudy g_daemon_study;  // picked up by the JSON writer
+
+std::uint64_t sample_rss_kb() {
+#ifdef __linux__
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long pages_total = 0, pages_resident = 0;
+  const int got = std::fscanf(f, "%llu %llu", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return pages_resident * static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE)) / 1024;
+#else
+  return 0;
+#endif
+}
+
+void run_daemon_study() {
+  const double scale = env_double("ENTRACE_DAEMON_SCALE", 0.02);
+  const int reps = env_int("ENTRACE_BENCH_REPS", 3);
+  EnterpriseModel model;
+  const DatasetSpec spec = dataset_by_name("D3", scale);
+  const TraceSet set = generate_dataset(spec, model);
+  const std::uint64_t packets = set.total_packets();
+  AnalyzerConfig config = default_config_for_model(model.site());
+  config.threads = 1;  // serial: rotation stalls are not hidden by idle workers
+
+  // Window widths derive from the merged-timeline span so the sweep holds
+  // its target rotation counts at any scale.
+  double span = 0.0;
+  {
+    const MergedPacketStream probe = merged_stream(set);
+    double lo = 1e300, hi = -1e300;
+    for (std::size_t i = 0; i < probe.source_count(); ++i) {
+      const TraceMeta& m = probe.source(i).meta();
+      lo = std::min(lo, m.start_ts);
+      hi = std::max(hi, m.start_ts + m.duration);
+    }
+    span = hi - lo;
+  }
+  if (span <= 0.0 || packets == 0) return;
+
+  const std::size_t window_counts[] = {8, 32, 128};
+  std::vector<DaemonRun> runs(std::size(window_counts));
+  for (std::size_t i = 0; i < runs.size(); ++i) runs[i].target_windows = window_counts[i];
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "entrace_bench_daemon").string();
+
+  std::printf(
+      "---- daemon steady state (D3, scale %.3f, %llu packets, interleaved best of %d) ----\n",
+      scale, static_cast<unsigned long long>(packets), reps);
+  // Interleave reps across window configurations, same rationale as the
+  // batch study: load drift must not land entirely on one configuration.
+  for (int r = 0; r < reps; ++r) {
+    for (DaemonRun& out : runs) {
+      std::filesystem::remove_all(dir);
+      std::filesystem::create_directories(dir);
+      MergedPacketStream stream = merged_stream(set);
+      std::vector<TraceMeta> metas;
+      for (std::size_t s = 0; s < stream.source_count(); ++s) {
+        metas.push_back(stream.source(s).meta());
+      }
+      IncrementalOptions opts;
+      opts.window_seconds = span / static_cast<double>(out.target_windows);
+      opts.evict = true;
+      opts.reclaim = true;
+      IncrementalAnalyzer analyzer(std::move(metas), config, opts);
+      snapshot::RetentionManager retention(dir, 4);
+      const snapshot::SnapshotMeta meta{spec.name, scale,
+                                        static_cast<std::uint32_t>(set.traces.size())};
+
+      using clock = std::chrono::steady_clock;
+      double stall_total = 0.0, stall_max = 0.0;
+      std::uint64_t rss_peak = 0;
+      const auto checkpoint = [&](WindowShard&& w) {
+        const auto s0 = clock::now();
+        const std::string path = dir + "/" + snapshot::window_file_name(w.index);
+        snapshot::WindowSummary sum;
+        sum.index = w.index;
+        sum.start_ts = w.start_ts;
+        sum.end_ts = w.end_ts;
+        for (const TraceShard& shard : w.shards) sum.packets += shard.total_packets;
+        sum.snapshot_bytes = snapshot::write_window_snapshot(path, meta, w);
+        retention.add_window(sum, path);
+        const double stall = std::chrono::duration<double>(clock::now() - s0).count();
+        stall_total += stall;
+        stall_max = std::max(stall_max, stall);
+        rss_peak = std::max(rss_peak, sample_rss_kb());
+      };
+
+      std::vector<PacketView> views(256);
+      const auto t0 = clock::now();
+      for (;;) {
+        const std::size_t got = stream.next_batch(views.data(), views.size());
+        if (got == 0) break;
+        analyzer.feed(views.data(), got);
+        while (analyzer.window_complete()) checkpoint(analyzer.rotate());
+      }
+      checkpoint(analyzer.finish(&stream));
+      const double seconds = std::chrono::duration<double>(clock::now() - t0).count();
+
+      if (r == 0 || seconds < out.seconds) {
+        out.windows = analyzer.windows_rotated();
+        out.seconds = seconds;
+        out.pps = seconds > 0 ? static_cast<double>(packets) / seconds : 0.0;
+        out.max_stall_s = stall_max;
+        out.mean_stall_s =
+            analyzer.windows_rotated() > 0
+                ? stall_total / static_cast<double>(analyzer.windows_rotated())
+                : 0.0;
+        out.peak_rss_kb = rss_peak;
+        out.evicted = analyzer.evicted_total();
+        out.drained = analyzer.drained_total();
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+
+  for (const DaemonRun& r : runs) {
+    std::printf(
+        "  windows@%-4zu %8.3fs  %12.0f pps  (rotated %llu, stall max %.4fs mean %.4fs, "
+        "peak rss %llu KB, evicted %llu)\n",
+        r.target_windows, r.seconds, r.pps, static_cast<unsigned long long>(r.windows),
+        r.max_stall_s, r.mean_stall_s, static_cast<unsigned long long>(r.peak_rss_kb),
+        static_cast<unsigned long long>(r.evicted));
+  }
+
+  g_daemon_study.scale = scale;
+  g_daemon_study.reps = reps;
+  g_daemon_study.packets = packets;
+  g_daemon_study.runs = runs;
+  g_daemon_study.ok = true;
+}
+
 void run_pipeline_scaling() {
   const double scale = benchutil::env_scale();
   const int reps = env_int("ENTRACE_BENCH_REPS", 3);
@@ -979,6 +1145,30 @@ void run_pipeline_scaling() {
       }
       std::fprintf(json, "    ]\n  },\n");
     }
+    // Daemon steady-state study (see run_daemon_study).
+    if (g_daemon_study.ok) {
+      std::fprintf(json,
+                   "  \"daemon\": {\n    \"dataset\": \"D3\",\n    \"scale\": %.4f,\n"
+                   "    \"reps\": %d,\n    \"interleaved\": true,\n    \"packets\": %llu,\n"
+                   "    \"runs\": [\n",
+                   g_daemon_study.scale, g_daemon_study.reps,
+                   static_cast<unsigned long long>(g_daemon_study.packets));
+      for (std::size_t i = 0; i < g_daemon_study.runs.size(); ++i) {
+        const DaemonRun& r = g_daemon_study.runs[i];
+        std::fprintf(json,
+                     "      {\"target_windows\": %zu, \"windows\": %llu, \"seconds\": %.4f, "
+                     "\"pps\": %.1f, \"rotation_stall_max_s\": %.6f, "
+                     "\"rotation_stall_mean_s\": %.6f, \"peak_rss_kb\": %llu, "
+                     "\"evicted\": %llu, \"drained\": %llu}%s\n",
+                     r.target_windows, static_cast<unsigned long long>(r.windows), r.seconds,
+                     r.pps, r.max_stall_s, r.mean_stall_s,
+                     static_cast<unsigned long long>(r.peak_rss_kb),
+                     static_cast<unsigned long long>(r.evicted),
+                     static_cast<unsigned long long>(r.drained),
+                     i + 1 < g_daemon_study.runs.size() ? "," : "");
+      }
+      std::fprintf(json, "    ]\n  },\n");
+    }
     // Snapshot shard study (see run_snapshot_study; empty without fork).
     std::fprintf(json,
                  "  \"snapshot\": {\n    \"dataset\": \"D1\",\n    \"scale\": %.4f,\n"
@@ -1040,6 +1230,7 @@ int main(int argc, char** argv) {
   // Spawns workers via fork+exec (async-signal-safe), so unlike the studies
   // above it is fine to run after threads have existed.
   entrace::run_orchestrate_study();
+  entrace::run_daemon_study();
   entrace::run_pipeline_scaling();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scaling-only") == 0) return 0;

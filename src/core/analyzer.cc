@@ -1,75 +1,15 @@
 #include "core/analyzer.h"
 
 #include <algorithm>
-#include <array>
 #include <chrono>
 
-#include "net/decoder.h"
+#include "core/incremental.h"
 #include "obs/stage_timer.h"
 #include "util/thread_pool.h"
 
 namespace entrace {
 
 namespace {
-
-// End-of-trace semantic telemetry: copies the layer-local stat structs
-// (SourceStats, CaptureQuality, FlowStats, AppEvents sizes) into the
-// shard's registry.  Runs once per trace after the stream is drained —
-// nothing here touches the per-packet hot loop.
-void record_trace_metrics(const PacketSource& source, TraceShard& shard) {
-  using obs::MetricClass;
-  obs::Registry& reg = shard.metrics;
-
-  const SourceStats& src = source.stats();
-  reg.counter("source.packets", MetricClass::kSemantic, "packets pulled from trace sources")
-      ->add(src.packets);
-  reg.counter("source.captured_bytes", MetricClass::kSemantic, "captured bytes after snaplen")
-      ->add(src.captured_bytes);
-  reg.counter("source.wire_bytes", MetricClass::kSemantic, "original on-the-wire bytes")
-      ->add(src.wire_bytes);
-
-  const CaptureQuality& q = shard.quality;
-  reg.counter("decode.packets_seen", MetricClass::kSemantic, "packets entering decode")
-      ->add(q.packets_seen);
-  reg.counter("decode.packets_ok", MetricClass::kSemantic, "packets surviving decode+checksums")
-      ->add(q.packets_ok);
-  reg.counter("decode.packets_dropped", MetricClass::kSemantic, "packets excluded from analysis")
-      ->add(q.packets_dropped);
-  for (const auto& [kind, n] : q.anomalies.as_map()) {
-    reg.counter("decode.anomaly." + kind, MetricClass::kSemantic, "anomaly occurrences")->add(n);
-  }
-
-  const FlowStats& f = shard.table->stats();
-  reg.counter("flow.packets", MetricClass::kSemantic, "packets processed by the flow table")
-      ->add(shard.table->packets_processed());
-  reg.counter("flow.conns_opened", MetricClass::kSemantic, "connections opened")
-      ->add(f.conns_opened);
-  reg.counter("flow.conns_closed", MetricClass::kSemantic, "connections closed")
-      ->add(f.conns_closed);
-  reg.counter("flow.tcp_retransmissions", MetricClass::kSemantic, "TCP retransmitted segments")
-      ->add(f.tcp_retransmissions);
-  reg.counter("flow.keepalive_retx", MetricClass::kSemantic, "1-byte keepalive retransmissions")
-      ->add(f.keepalive_retx);
-  reg.counter("flow.tcp_tuple_reuse", MetricClass::kSemantic,
-              "live 5-tuples reused by a new-ISN SYN")
-      ->add(f.tcp_tuple_reuse);
-  reg.counter("flow.idle_splits", MetricClass::kSemantic, "UDP/ICMP flows split on idle timeout")
-      ->add(f.idle_splits);
-
-  const AppEvents& ev = shard.events;
-  reg.counter("app.events.http", MetricClass::kSemantic, "HTTP transactions")->add(ev.http.size());
-  reg.counter("app.events.smtp", MetricClass::kSemantic, "SMTP commands")->add(ev.smtp.size());
-  reg.counter("app.events.dns", MetricClass::kSemantic, "DNS transactions")->add(ev.dns.size());
-  reg.counter("app.events.nbns", MetricClass::kSemantic, "NBNS transactions")->add(ev.nbns.size());
-  reg.counter("app.events.nbss", MetricClass::kSemantic, "NBSS events")->add(ev.nbss.size());
-  reg.counter("app.events.cifs", MetricClass::kSemantic, "CIFS commands")->add(ev.cifs.size());
-  reg.counter("app.events.dcerpc", MetricClass::kSemantic, "DCE/RPC calls")->add(ev.dcerpc.size());
-  reg.counter("app.events.epm", MetricClass::kSemantic, "EPM mappings")->add(ev.epm.size());
-  reg.counter("app.events.nfs", MetricClass::kSemantic, "NFS calls")->add(ev.nfs.size());
-  reg.counter("app.events.ncp", MetricClass::kSemantic, "NCP calls")->add(ev.ncp.size());
-  reg.counter("app.events.total", MetricClass::kSemantic, "application events, all protocols")
-      ->add(ev.total());
-}
 
 // Thread-pool scheduling telemetry (timing class: queue depth and task
 // latency depend on the thread count and the OS scheduler).
@@ -86,57 +26,6 @@ void record_pool_metrics(const ThreadPool& pool, obs::Registry& reg) {
   reg.gauge("pool.max_task_seconds", MetricClass::kTiming, "slowest single trace job")
       ->set(ps.max_task_seconds);
 }
-
-// Direct-mapped filter in front of the per-shard host std::sets.  Which set
-// an address lands in is a pure function of the address (site config and
-// subnet id are fixed per trace) and the sets dedup anyway, so suppressing
-// repeats of recently seen addresses cannot change any result — it only
-// skips the rb-tree walk that otherwise runs twice per IPv4 packet.
-// Sentinel 0xFFFFFFFF is the broadcast address, which is filtered out
-// before the cache is consulted.
-class HostSeenCache {
- public:
-  HostSeenCache() { slots_.fill(0xFFFFFFFFu); }
-
-  // Returns true if addr was already in the cache (safe to skip).
-  bool test_and_set(std::uint32_t addr) {
-    std::uint32_t& slot = slots_[(addr * 0x9E3779B1u) >> (32 - kBits)];
-    if (slot == addr) return true;
-    slot = addr;
-    return false;
-  }
-
- private:
-  static constexpr unsigned kBits = 10;
-  std::array<std::uint32_t, 1u << kBits> slots_;
-};
-
-// Same idea for ScannerDetector::observe, which is idempotent per
-// (src, dst) pair — a repeat insert into the per-source seen-set changes
-// nothing — so suppressing recently seen pairs cannot alter the verdict.
-// Packet streams are bursty per connection, so a small direct-mapped cache
-// absorbs most of the per-packet hash-map lookups.  A separate valid flag
-// (not a sentinel key) keeps even degenerate pairs like broadcast->broadcast
-// exact under fuzzed traces.
-class PairSeenCache {
- public:
-  PairSeenCache() { valid_.fill(0); }
-
-  bool test_and_set(std::uint32_t src, std::uint32_t dst) {
-    const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
-    const std::size_t i =
-        static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> (64 - kBits));
-    if (valid_[i] != 0 && keys_[i] == key) return true;
-    keys_[i] = key;
-    valid_[i] = 1;
-    return false;
-  }
-
- private:
-  static constexpr unsigned kBits = 12;
-  std::array<std::uint64_t, 1u << kBits> keys_;
-  std::array<std::uint8_t, 1u << kBits> valid_;
-};
 
 }  // namespace
 
@@ -158,182 +47,43 @@ AnalyzerConfig default_config_for_model(const SiteConfig& site) {
 // packet for files, one slice for synthetic regeneration, zero copies for
 // in-memory traces) between disk and results.
 void analyze_trace(PacketSource& source, const AnalyzerConfig& config, TraceShard& shard) {
-  const TraceMeta& meta = source.meta();
-  shard.subnet_id = meta.subnet_id;
-  const bool payload = config.payload_analysis.value_or(meta.snaplen >= 200);
-  ProtocolDispatcher dispatcher(shard.registry, shard.events, payload,
-                                &shard.quality.anomalies);
-  shard.table = std::make_unique<FlowTable>(config.flow, &dispatcher);
-  shard.load.trace_name = meta.name;
+  // The engine itself lives in core/incremental.h: one TraceStream fed to
+  // exhaustion is exactly the historical fused pass, and finish_batch moves
+  // its state into the shard without the windowed copy step — so the batch
+  // and windowed pipelines share one implementation and cannot drift.
+  TraceStream stream(source.meta(), config);
 
   obs::Registry* reg = config.collect_metrics ? &shard.metrics : nullptr;
   obs::StageScope stage(reg, "trace");
-  // The only metric touched inside the per-packet loop: one lower_bound
-  // over 8 bounds plus two adds.  Registered once, incremented via the raw
-  // handle; null when collection is off.
-  obs::Histogram* pkt_bytes =
-      reg == nullptr
-          ? nullptr
-          : reg->histogram("source.packet_bytes", obs::MetricClass::kSemantic,
-                           {64, 128, 256, 512, 1024, 1514, 4096, 16384},
-                           "wire length of analyzed packets");
 
-  HostSeenCache host_cache;
-  PairSeenCache pair_cache;
-
-  // Per-packet work after decode, shared between the scalar reference loop
-  // and the batched stage loops.  tally_one covers the accounting that is
-  // additive and flow-independent; flow_one drives the flow table and the
-  // retransmission load proxy.  The batch path runs tally over a whole
-  // batch before flow touches it — legal because neither stage reads the
-  // other's state, and flow_one preserves packet order within the batch.
-  auto tally_one = [&](const DecodedPacket& d) {
-    // Headline tallies count analyzed packets only (see the accounting
-    // rule in analyzer.h): total_packets == packets_ok == l3.total.
-    ++shard.quality.packets_ok;
-    ++shard.total_packets;
-    shard.total_wire_bytes += d.wire_len;
-    if (pkt_bytes != nullptr) pkt_bytes->observe(static_cast<double>(d.wire_len));
-    shard.l3.add(d.l3);
-    shard.load.add_packet(d.ts, d.wire_len);
-    if (d.l3 != L3Kind::kIpv4) return;
-    ++shard.ip_proto_packets[d.ip_proto];
-    if (!pair_cache.test_and_set(d.src.value(), d.dst.value())) {
-      shard.detector.observe(d.src, d.dst);
-    }
-    for (const Ipv4Address addr : {d.src, d.dst}) {
-      if (addr.is_multicast() || addr.is_broadcast()) continue;
-      if (host_cache.test_and_set(addr.value())) continue;
-      if (config.site.is_internal(addr)) {
-        shard.lbnl_hosts.insert(addr.value());
-        if (config.site.subnet_of(addr) == meta.subnet_id) {
-          shard.monitored_hosts.insert(addr.value());
-        }
-      } else {
-        shard.remote_hosts.insert(addr.value());
-      }
-    }
-  };
-  auto flow_one = [&](const DecodedPacket& d, std::uint64_t key_lo, std::uint64_t key_hi,
-                      bool keyed) {
-    if (d.l3 != L3Kind::kIpv4) return;
-    const PacketVerdict verdict =
-        keyed ? shard.table->process(d, key_lo, key_hi) : shard.table->process(d);
-    if (verdict.conn != nullptr && d.is_tcp()) {
-      const bool wan = !config.site.is_internal(verdict.conn->key.src) ||
-                       !config.site.is_internal(verdict.conn->key.dst);
-      if (verdict.keepalive_retx) {
-        // §6 excludes 1-byte keepalive retransmissions from the loss proxy.
-        ++shard.load.keepalive_excluded;
-      } else {
-        auto& pkts = wan ? shard.load.wan_tcp_pkts : shard.load.ent_tcp_pkts;
-        auto& retx = wan ? shard.load.wan_retx : shard.load.ent_retx;
-        ++pkts;
-        if (verdict.tcp_retransmission) ++retx;
-      }
-    }
-  };
-
+  double source_s = 0.0;
+  std::uint64_t batches = 0;
   if (config.batch_size <= 1) {
-    // Scalar reference loop: one virtual pull and one decode per packet.
-    // Kept verbatim as the equivalence oracle for the batched path.
-    while (const RawPacket* pulled = source.next()) {
-      ++shard.quality.packets_seen;
-      const auto decoded = decode_packet(*pulled, &shard.quality.anomalies);
-      if (!decoded || decoded->checksum_bad()) {
-        // Either nothing to attribute (not even an Ethernet header) or the
-        // header bytes are demonstrably corrupt: addresses/ports can't be
-        // trusted, so the packet is excluded from all traffic accounting
-        // (Bro's checksum handling on the paper's traces behaves the same).
-        ++shard.quality.packets_dropped;
-        continue;
-      }
-      tally_one(*decoded);
-      flow_one(*decoded, 0, 0, false);
-    }
+    // Scalar reference loop: one virtual pull and one decode per packet,
+    // kept as the equivalence oracle for the batched path.
+    while (const RawPacket* pulled = source.next()) stream.feed_packet(*pulled);
   } else {
     // Batched pipeline: one virtual next_batch call amortized over up to
-    // batch_size packets, then staged loops (decode -> tally -> flow) over
-    // parallel per-batch arrays.  The decode stage precomputes each
-    // flow-eligible packet's packed canonical key so the flow stage probes
-    // the open-addressing table without re-deriving tuples.  Views stay
-    // valid until the next next_batch call, so payload spans inside
-    // DecodedPacket are safe for the whole batch.
+    // batch_size packets; the stream runs the staged decode -> tally ->
+    // flow loops over the views, which stay valid until the next call.
     const std::size_t batch = config.batch_size;
     std::vector<PacketView> views(batch);
-    std::vector<DecodedPacket> decoded(batch);
-    std::vector<std::uint64_t> key_lo(batch), key_hi(batch);
-    std::vector<std::uint8_t> ok(batch), keyed(batch);
     using clock = std::chrono::steady_clock;
     const bool timed = reg != nullptr;
-    double source_s = 0.0, decode_s = 0.0, tally_s = 0.0, flow_s = 0.0;
-    std::uint64_t batches = 0;
-    auto lap = [last = clock::time_point{}, timed](double& acc) mutable {
-      if (!timed) return;
-      const auto now = clock::now();
-      if (last != clock::time_point{}) acc += std::chrono::duration<double>(now - last).count();
-      last = now;
-    };
-    double warm = 0.0;  // first lap() only arms the timer
     for (;;) {
-      lap(warm);
+      const auto t0 = timed ? clock::now() : clock::time_point{};
       const std::size_t got = source.next_batch(views.data(), batch);
-      lap(source_s);
+      if (timed) source_s += std::chrono::duration<double>(clock::now() - t0).count();
       if (got == 0) break;
       ++batches;
-      for (std::size_t i = 0; i < got; ++i) {
-        ++shard.quality.packets_seen;
-        const bool good =
-            decode_packet_into(views[i].data, views[i].ts, views[i].wire_len, decoded[i],
-                               &shard.quality.anomalies) &&
-            !decoded[i].checksum_bad();
-        ok[i] = good ? 1 : 0;
-        keyed[i] = 0;
-        if (!good) {
-          ++shard.quality.packets_dropped;
-          continue;
-        }
-        const DecodedPacket& d = decoded[i];
-        if (d.l3 == L3Kind::kIpv4 && d.l4_ok && (d.is_tcp() || d.is_udp() || d.is_icmp())) {
-          const FiveTuple key = flow_tuple_of(d).canonical();
-          key_lo[i] = key.packed_lo();
-          key_hi[i] = key.packed_hi();
-          keyed[i] = 1;
-        }
-      }
-      lap(decode_s);
-      for (std::size_t i = 0; i < got; ++i) {
-        if (ok[i]) tally_one(decoded[i]);
-      }
-      lap(tally_s);
-      for (std::size_t i = 0; i < got; ++i) {
-        if (ok[i]) flow_one(decoded[i], key_lo[i], key_hi[i], keyed[i] != 0);
-      }
-      lap(flow_s);
-    }
-    if (timed) {
-      obs::record_stage(reg, "batch.source", source_s, batches);
-      obs::record_stage(reg, "batch.decode", decode_s, shard.quality.packets_seen);
-      obs::record_stage(reg, "batch.tally", tally_s, shard.quality.packets_ok);
-      obs::record_stage(reg, "batch.flow", flow_s, shard.quality.packets_ok);
+      stream.feed(views.data(), got);
     }
   }
-  shard.table->flush();
-  // TCP 5-tuple reuse is a capture-accounting fact (informational flag on
-  // ok packets), recorded whether or not telemetry is on.
-  if (shard.table->stats().tcp_tuple_reuse != 0) {
-    shard.quality.anomalies.add(AnomalyKind::kTcpTupleReuse,
-                                shard.table->stats().tcp_tuple_reuse);
-  }
-  // Source-layer anomalies (pcap record damage, salvaged truncations) are
-  // complete once the stream is drained; fold them into the shard so the
-  // dataset's anomaly accounting covers the file layer too.
-  shard.quality.anomalies.merge(source.anomalies());
-  if (reg != nullptr) {
-    stage.add_items(shard.quality.packets_seen);
-    record_trace_metrics(source, shard);
-  }
-  // Dispatcher can be dropped; events and registry outlive it.
+  stream.finish_batch(source, shard, source_s, batches);
+  if (reg != nullptr) stage.add_items(shard.quality.packets_seen);
+  // stage (stage.trace) records into shard.metrics on scope exit, after
+  // finish_batch has moved the stream's registry in — same final order as
+  // the historical single-function pass.
 }
 
 std::vector<TraceShard> analyze_trace_shards(const TraceSourceSet& sources,

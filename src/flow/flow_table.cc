@@ -1,5 +1,7 @@
 #include "flow/flow_table.h"
 
+#include <algorithm>
+
 namespace entrace {
 namespace {
 
@@ -61,11 +63,24 @@ FlowTable::Entry& FlowTable::find_or_create(const DecodedPacket& pkt, std::uint6
   conn.last_ts = pkt.ts;
   if (pkt.is_icmp()) conn.icmp_type = pkt.icmp_type;
   conn.multicast = pkt.dst.is_multicast() || pkt.dst.is_broadcast();
-  connections_.push_back(conn);
+  conn.open_seq = stats_.conns_opened;
   ++stats_.conns_opened;
-  entries_.push_back(Entry{connections_.size() - 1, {}, {}, false});
-  active_.insert(key_lo, key_hi, static_cast<std::uint32_t>(entries_.size() - 1));
-  return entries_.back();
+  std::size_t index;
+  if (reclaim_ && !free_entries_.empty()) {
+    index = free_entries_.back();
+    free_entries_.pop_back();
+    connections_[index] = conn;
+    entries_[index] = Entry{index, {}, {}, false};
+  } else {
+    index = connections_.size();
+    connections_.push_back(conn);
+    entries_.push_back(Entry{index, {}, {}, false});
+  }
+  Entry& e = entries_[index];
+  e.key_lo = key_lo;
+  e.key_hi = key_hi;
+  active_.insert(key_lo, key_hi, static_cast<std::uint32_t>(index));
+  return e;
 }
 
 PacketVerdict FlowTable::process(const DecodedPacket& pkt) {
@@ -87,6 +102,7 @@ PacketVerdict FlowTable::process(const DecodedPacket& pkt, std::uint64_t key_lo,
 
   bool created = false;
   Entry& e = find_or_create(pkt, key_lo, key_hi, created);
+  mark_dirty(e);
   Connection& conn = conn_of(e);
   // ICMP flow keys are port-symmetric; direction is by address there.
   const Direction dir =
@@ -249,6 +265,7 @@ void FlowTable::process_udp(Entry& e, const DecodedPacket& pkt, Direction dir) {
 void FlowTable::close_entry(Entry& e) {
   if (e.closed) return;
   e.closed = true;
+  mark_dirty(e);
   ++stats_.conns_closed;
   Connection& conn = conn_of(e);
   if (conn.state == ConnState::kPending) {
@@ -263,13 +280,98 @@ void FlowTable::close_entry(Entry& e) {
   if (observer_) observer_->on_close(conn);
 }
 
-void FlowTable::flush() {
-  // Insertion-order walk: every erase path (fresh SYN, idle split, tuple
+void FlowTable::drain_all() {
+  // Creation-order walk: every erase path (fresh SYN, idle split, tuple
   // reuse) closes before unmapping and close_entry is a no-op on closed
   // entries, so this closes exactly the still-live flows — in a
-  // deterministic order, unlike iterating the hash map.
-  for (Entry& entry : entries_) close_entry(entry);
+  // deterministic order, unlike iterating the hash map.  Only flows this
+  // call closes count as drained: they are the ones the stream's end cut
+  // mid-conversation.
+  if (!reclaim_) {
+    // Without reclamation, slot order is creation order.
+    for (Entry& entry : entries_) {
+      if (entry.closed) continue;
+      ++stats_.drained;
+      close_entry(entry);
+    }
+  } else {
+    // Recycled slots break the index == open order identity; sort the
+    // still-open flows by open_seq so the drain (and its on_close event
+    // order) stays creation-ordered.
+    std::vector<std::uint32_t> open;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (!entries_[i].closed) open.push_back(static_cast<std::uint32_t>(i));
+    }
+    std::sort(open.begin(), open.end(), [this](std::uint32_t a, std::uint32_t b) {
+      return connections_[a].open_seq < connections_[b].open_seq;
+    });
+    for (std::uint32_t i : open) {
+      ++stats_.drained;
+      close_entry(entries_[i]);
+    }
+  }
   active_.clear();
+}
+
+std::size_t FlowTable::evict_idle(double now) {
+  std::size_t closed_count = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    if (e.freed) continue;
+    Connection& conn = conn_of(e);
+    double timeout;
+    if (conn.key.proto == ipproto::kTcp) {
+      if (config_.tcp_idle_timeout <= 0.0) continue;
+      timeout = config_.tcp_idle_timeout;
+    } else if (conn.key.proto == ipproto::kUdp) {
+      timeout = config_.udp_flow_timeout;
+    } else {
+      timeout = config_.icmp_flow_timeout;
+    }
+    if (now - conn.last_ts <= timeout) continue;
+    if (e.closed) {
+      // FIN/RST leaves the tuple mapped so late packets keep attributing to
+      // the finished connection; once the idle timeout passes, release the
+      // key too — exactly when a live flow would have been split anyway.
+      unmap_if_owner(i);
+      continue;
+    }
+    ++stats_.evicted;
+    ++closed_count;
+    close_entry(e);
+    unmap_if_owner(i);
+  }
+  return closed_count;
+}
+
+std::vector<std::uint32_t> FlowTable::take_dirty() {
+  std::vector<std::uint32_t> out = std::move(dirty_);
+  dirty_.clear();
+  std::sort(out.begin(), out.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return connections_[a].open_seq < connections_[b].open_seq;
+  });
+  for (std::uint32_t i : out) entries_[i].dirty = false;
+  return out;
+}
+
+std::size_t FlowTable::reclaim_closed() {
+  if (!reclaim_) return 0;
+  std::size_t reclaimed = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    if (e.freed || !e.closed || e.dirty) continue;
+    unmap_if_owner(i);
+    e.freed = true;
+    free_entries_.push_back(static_cast<std::uint32_t>(i));
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
+void FlowTable::unmap_if_owner(std::size_t index) {
+  Entry& e = entries_[index];
+  const std::size_t slot = active_.find_slot(e.key_lo, e.key_hi);
+  if (slot != FlowMap::kNoSlot && active_.value_at(slot) == index) active_.erase_slot(slot);
 }
 
 }  // namespace entrace

@@ -55,6 +55,12 @@ struct PacketVerdict {
 struct FlowConfig {
   double udp_flow_timeout = 60.0;  // idle gap that splits a UDP flow
   double icmp_flow_timeout = 60.0;
+  // Idle gap after which evict_idle() closes a live TCP connection.  0
+  // disables time-driven TCP eviction (the batch default: TCP connections
+  // end only via FIN/RST or the end-of-stream drain, exactly as before).
+  // UDP/ICMP eviction always uses the flow timeouts above, mirroring the
+  // lazy split the next same-tuple packet would have performed.
+  double tcp_idle_timeout = 0.0;
 };
 
 // Churn counters the table maintains about its own operation — the
@@ -71,6 +77,11 @@ struct FlowStats {
   std::uint64_t tcp_tuple_reuse = 0;
   // UDP/ICMP flows split because the idle timeout elapsed.
   std::uint64_t idle_splits = 0;
+  // Still-open flows administratively classified by the end-of-stream
+  // drain_all() — the flows a stream's end cut mid-conversation.
+  std::uint64_t drained = 0;
+  // Live flows closed by a time-driven evict_idle() sweep.
+  std::uint64_t evicted = 0;
 };
 
 // The tuple a packet's flow is keyed on: the 5-tuple, except that ICMP
@@ -106,8 +117,45 @@ class FlowTable {
   // handles the general case and delegates here.
   PacketVerdict process(const DecodedPacket& pkt, std::uint64_t key_lo, std::uint64_t key_hi);
 
-  // Finalize: mark dangling TCP connections, emit on_close callbacks.
-  void flush();
+  // End-of-stream drain: classify and close every still-open flow (counted
+  // in stats().drained), emit on_close callbacks, clear the active map.
+  // Idempotent; the windowed engine calls it at final drain and the batch
+  // path reaches it through flush(), so both account cut-off flows the
+  // same way.
+  void drain_all();
+
+  // Finalize a batch run — an alias for drain_all(), kept as the
+  // historical analyzer entry point.
+  void flush() { drain_all(); }
+
+  // Time-driven expiry sweep for endless streams: closes (and unmaps) every
+  // live flow idle longer than its protocol's timeout as of stream time
+  // `now` (UDP/ICMP: the flow timeouts, matching the lazy split the next
+  // same-tuple packet would force; TCP: config.tcp_idle_timeout when > 0).
+  // Also unmaps already-closed entries that still hold their key (FIN/RST
+  // leaves the tuple mapped so late packets keep attributing), bounding the
+  // active map.  Deterministic: walks entries in creation order against
+  // stream time, never wall time.  Returns the number of live flows closed
+  // (also summed into stats().evicted).
+  std::size_t evict_idle(double now);
+
+  // ---- windowed-engine support ---------------------------------------------
+  // Indices (into connections()) of every connection touched — created,
+  // updated by a packet, or closed — since the last take_dirty() call,
+  // ordered by open_seq.  The incremental analyzer snapshots exactly these
+  // per window; a batch run never calls it and pays only a flag test per
+  // packet.
+  std::vector<std::uint32_t> take_dirty();
+
+  // Bounded-memory mode for endless streams: after take_dirty() has
+  // captured a window, reclaim_closed() recycles the slots of connections
+  // that are closed and already snapshotted, so the deque stops growing
+  // once churn is balanced.  Recycling breaks the index == open order
+  // identity (open_seq keeps the true order), so batch runs — whose report
+  // path walks the deque — must never enable it.
+  void enable_reclaim() { reclaim_ = true; }
+  std::size_t reclaim_closed();
+  std::size_t live_entries() const { return entries_.size() - free_entries_.size(); }
 
   const std::deque<Connection>& connections() const { return connections_; }
   std::deque<Connection>& connections() { return connections_; }
@@ -125,6 +173,12 @@ class FlowTable {
     DirState orig;
     DirState resp;
     bool closed = false;
+    bool dirty = false;  // touched since the last take_dirty()
+    bool freed = false;  // slot parked on the reclaim free list
+    // The packed canonical flow key, kept so eviction and reclamation can
+    // unmap the entry without re-deriving the tuple.
+    std::uint64_t key_lo = 0;
+    std::uint64_t key_hi = 0;
   };
 
   Connection& conn_of(Entry& e) { return connections_[e.conn_index]; }
@@ -133,19 +187,34 @@ class FlowTable {
   PacketVerdict process_tcp(Entry& e, const DecodedPacket& pkt, Direction dir);
   void process_udp(Entry& e, const DecodedPacket& pkt, Direction dir);
   void close_entry(Entry& e);
+  void mark_dirty(Entry& e) {
+    if (!e.dirty) {
+      e.dirty = true;
+      dirty_.push_back(static_cast<std::uint32_t>(e.conn_index));
+    }
+  }
+  // Unmap the entry's key if this entry still owns it (a split may have
+  // re-pointed the key at a successor entry).
+  void unmap_if_owner(std::size_t index);
 
   Config config_;
   FlowObserver* observer_;
   std::deque<Connection> connections_;
-  // Entries are created 1:1 with connections and never erased — an entry
-  // whose key leaves the active map keeps its terminal state here, which
-  // gives flush() a deterministic insertion-order walk (close_entry is
-  // idempotent, so closing everything equals closing the live subset).
-  // active_ only maps the packed canonical key of live flows to an index.
+  // Entries are created 1:1 with connections (entries_[i].conn_index == i)
+  // and erased never — an entry whose key leaves the active map keeps its
+  // terminal state here, which gives drain_all() a deterministic
+  // creation-order walk (close_entry is idempotent, so closing everything
+  // equals closing the live subset).  In reclaim mode a closed, already-
+  // snapshotted slot is parked on free_entries_ and reused by the next
+  // connection instead of growing the deque.  active_ only maps the packed
+  // canonical key of live flows to an index.
   std::vector<Entry> entries_;
   FlowMap active_;
   std::uint64_t packets_ = 0;
   FlowStats stats_;
+  std::vector<std::uint32_t> dirty_;
+  bool reclaim_ = false;
+  std::vector<std::uint32_t> free_entries_;
 };
 
 }  // namespace entrace

@@ -1,0 +1,135 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace entrace::obs {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+// Best-effort full write; a client that hangs up mid-response is its own
+// problem (SIGPIPE is suppressed via MSG_NOSIGNAL).
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer(std::uint16_t port, Handler handler) : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("http: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("http: bind 127.0.0.1:") + std::to_string(port) +
+                             " failed: " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("http: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+HttpServer::~HttpServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void HttpServer::start() {
+  if (started_) return;
+  started_ = true;
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+void HttpServer::serve_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);  // 100 ms stop-poll granularity
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  // One read is enough for the requests we serve (short GET lines); keep
+  // reading until the header terminator or 8 KiB, whichever first.
+  std::string req;
+  char buf[2048];
+  while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos &&
+         req.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse resp;
+  const std::size_t sp1 = req.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos : req.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos || req.compare(0, sp1, "GET") != 0) {
+    resp = HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"};
+  } else {
+    const std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+    try {
+      resp = handler_(path);
+    } catch (const std::exception& e) {
+      resp = HttpResponse{500, "text/plain; charset=utf-8", std::string(e.what()) + "\n"};
+    }
+  }
+
+  std::string out = "HTTP/1.0 " + std::to_string(resp.status) + " " + status_text(resp.status) +
+                    "\r\nContent-Type: " + resp.content_type +
+                    "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += resp.body;
+  send_all(fd, out);
+}
+
+}  // namespace entrace::obs

@@ -1,0 +1,64 @@
+// Minimal embedded HTTP/1.0 server for daemon observability.
+//
+// Serves GET requests from a single background thread; each connection is
+// read, answered, and closed (Connection: close), so there is no keep-alive
+// state and no request pipelining to manage.  The handler runs on the
+// server thread — implementations snapshot shared state under their own
+// lock and return a complete body; nothing here retains a request between
+// calls.  Scope is deliberately tiny (one scrape endpoint set, trusted
+// network): no TLS, no chunked encoding, no request bodies.  This mirrors
+// what in-process metric endpoints in collectors ship — enough for
+// `curl http://host:port/metrics` and a Prometheus scrape loop.
+//
+// Lifecycle: the constructor binds + listens (throwing on failure, e.g.
+// port in use), start() launches the accept loop, and stop()/destructor
+// join it.  Port 0 binds an ephemeral port; port() reports the actual one,
+// which is how tests run servers concurrently without port collisions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace entrace::obs {
+
+struct HttpResponse {
+  int status = 200;  // 200, 404, 500
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  // Called on the server thread with the request path (e.g. "/metrics").
+  using Handler = std::function<HttpResponse(const std::string& path)>;
+
+  // Binds 127.0.0.1:port and listens; throws std::runtime_error on failure.
+  HttpServer(std::uint16_t port, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  void start();
+  void stop();
+
+  // The bound port (resolves 0 to the kernel-assigned ephemeral port).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  Handler handler_;
+  std::thread thread_;
+  // Written by stop(), polled by the accept loop between 100 ms waits.
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+};
+
+}  // namespace entrace::obs

@@ -72,14 +72,44 @@ std::unique_ptr<PacketSource> PcapFileSourceSet::open(std::size_t index) const {
 
 MergedPacketStream::MergedPacketStream(std::vector<std::unique_ptr<PacketSource>> sources)
     : sources_(std::move(sources)) {
-  heap_.reserve(sources_.size());
-  for (std::size_t i = 0; i < sources_.size(); ++i) {
-    if (const RawPacket* pkt = sources_[i]->next()) heap_.push_back({pkt, i});
+  meta_.name = "merged";
+  meta_.subnet_id = -1;
+  meta_.snaplen = 0;
+  double start = 0.0, end = 0.0;
+  bool have_window = false;
+  for (const auto& src : sources_) {
+    const TraceMeta& m = src->meta();
+    meta_.snaplen = std::max(meta_.snaplen, m.snaplen);
+    if (m.duration > 0.0) {
+      if (!have_window || m.start_ts < start) start = m.start_ts;
+      if (!have_window || m.start_ts + m.duration > end) end = m.start_ts + m.duration;
+      have_window = true;
+    }
   }
-  std::make_heap(heap_.begin(), heap_.end(), later);
+  if (have_window) {
+    meta_.start_ts = start;
+    meta_.duration = end - start;
+  }
+  // Priming is lazy (first pull/pull_batch): the old eager heap prime
+  // consumed one packet per sub-source through the scalar path, which a
+  // batch consumer's buffers would then never see.
 }
 
-const RawPacket* MergedPacketStream::next() {
+const AnomalyCounts& MergedPacketStream::anomalies() const {
+  merged_anomalies_ = AnomalyCounts{};
+  for (const auto& src : sources_) merged_anomalies_.merge(src->anomalies());
+  return merged_anomalies_;
+}
+
+const RawPacket* MergedPacketStream::pull() {
+  if (mode_ == Mode::kNone) {
+    mode_ = Mode::kScalar;
+    heap_.reserve(sources_.size());
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      if (const RawPacket* pkt = sources_[i]->next()) heap_.push_back({pkt, i});
+    }
+    std::make_heap(heap_.begin(), heap_.end(), later);
+  }
   if (pending_ != SIZE_MAX) {
     // The previously returned packet is dead now; its source can advance.
     if (const RawPacket* pkt = sources_[pending_]->next()) {
@@ -96,11 +126,11 @@ const RawPacket* MergedPacketStream::next() {
   return head.pkt;
 }
 
-std::size_t MergedPacketStream::next_batch(PacketView* out, std::size_t n) {
+std::size_t MergedPacketStream::pull_batch(PacketView* out, std::size_t n) {
   constexpr std::size_t kHeadBatch = 64;
-  if (!batch_primed_) {
+  if (mode_ == Mode::kNone) {
+    mode_ = Mode::kBatch;
     bufs_.resize(sources_.size());
-    batch_primed_ = true;
   }
   // Refill exhausted buffers only on entry: the caller is done with the
   // previous batch's views by contract, so they may die now.
@@ -112,6 +142,8 @@ std::size_t MergedPacketStream::next_batch(PacketView* out, std::size_t n) {
     b.views.resize(got);
     b.pos = 0;
     if (got == 0) b.eof = true;
+    // Stamp attribution once per refill; consumers demux on view.source.
+    for (PacketView& v : b.views) v.source = static_cast<std::uint32_t>(i);
   }
   std::size_t k = 0;
   while (k < n) {

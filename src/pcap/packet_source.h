@@ -40,6 +40,11 @@ struct PacketView {
   double ts = 0.0;
   std::uint32_t wire_len = 0;
   std::span<const std::uint8_t> data;
+  // Originating sub-source for multi-trace streams: MergedPacketStream sets
+  // it to the merged source's index so a consumer (the incremental
+  // analyzer's per-trace demux) can attribute each packet without a side
+  // channel.  Single-trace sources leave it 0.
+  std::uint32_t source = 0;
 };
 
 // Trace-level metadata a source knows before the first packet is pulled.
@@ -252,24 +257,47 @@ class PcapFileSourceSet final : public TraceSourceSet {
 
 // Streams the union of several PacketSources in global timestamp order
 // (ties broken by source index, matching the old TraceSet::merged()
-// stable sort) while holding only one packet per source in memory.
+// stable sort) while holding only one buffered batch per source in memory.
 // Precondition: each source yields nondecreasing timestamps, which holds
 // for generated traces (sorted at emission) and normal captures.
-class MergedPacketStream {
+//
+// A PacketSource itself, so it composes with any source consumer — the
+// paced replay wrapper (pcap/replay.h) and the daemon's ingest loop run on
+// the same next_batch() contract as single-trace analysis.  pull_batch is
+// the real k-way merge at batch granularity (no per-packet virtual call);
+// each view's `source` field carries the originating sub-source index so a
+// demuxing consumer can attribute packets per trace.  The scalar pull()
+// path returns RawPackets, which carry no attribution — multi-trace
+// consumers must use next_batch().  Do not mix next() and next_batch() on
+// the same stream.
+class MergedPacketStream final : public PacketSource {
  public:
   explicit MergedPacketStream(std::vector<std::unique_ptr<PacketSource>> sources);
 
+  // Synthesized metadata: name "merged", snaplen = max over sub-sources,
+  // start_ts = min, duration spanning all sub-source windows.
+  const TraceMeta& meta() const override { return meta_; }
+
+  // Aggregated source-layer anomalies across every sub-source (recomputed
+  // per call; complete once the stream is drained).
+  const AnomalyCounts& anomalies() const override;
+
+  // Sub-source access for per-trace accounting (stats / anomalies of one
+  // constituent trace).
+  std::size_t source_count() const { return sources_.size(); }
+  const PacketSource& source(std::size_t i) const { return *sources_[i]; }
+
+ protected:
   // Next packet in merged order, or nullptr when every source is drained.
   // The pointee stays valid until the next call.
-  const RawPacket* next();
+  const RawPacket* pull() override;
 
   // Batched merge: each source keeps a buffered batch of heads, and the
   // merge pops the global (ts, source index) minimum into `out`.  When a
   // source's buffer runs dry mid-batch the call returns short (refilling
   // would invalidate views already handed out); 0 means fully drained.
-  // Yields the exact packet sequence next() yields.  Do not mix next()
-  // and next_batch() on the same stream.
-  std::size_t next_batch(PacketView* out, std::size_t n);
+  // Yields the exact packet sequence pull() yields.
+  std::size_t pull_batch(PacketView* out, std::size_t n) override;
 
  private:
   struct Head {
@@ -291,7 +319,14 @@ class MergedPacketStream {
     bool eof = false;
   };
   std::vector<SourceBuf> bufs_;
-  bool batch_primed_ = false;
+  // The first pull decides which merge engine owns the sub-sources (the
+  // heap of scalar heads or the per-source view buffers); priming happens
+  // lazily there so neither mode consumes packets the other would miss.
+  enum class Mode : std::uint8_t { kNone, kScalar, kBatch };
+  Mode mode_ = Mode::kNone;
+
+  TraceMeta meta_;
+  mutable AnomalyCounts merged_anomalies_;
 };
 
 // Convenience: a merged stream over the traces of an in-memory TraceSet

@@ -34,35 +34,65 @@ void ProtocolDispatcher::on_new_connection(Connection& conn) {
   if (!payload_analysis_) return;
   if (AppParser* parser = make_parser(conn, app)) {
     parser->set_anomaly_sink(anomalies_);
-    conn.parser_slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.push_back(parser);
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = parser;
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(parser);
+      slot_sizes_.push_back(0);
+    }
+    slot_sizes_[slot] = pending_size_;
+    conn.parser_slot = slot;
   }
+}
+
+// All parsers align within max_align_t, so blocks are interchangeable
+// between same-sized types; keying the free lists on the rounded size alone
+// is enough.
+template <typename T, typename... Args>
+T* ProtocolDispatcher::alloc_parser(Args&&... args) {
+  static_assert(alignof(T) <= alignof(std::max_align_t));
+  const std::uint32_t size = static_cast<std::uint32_t>(
+      (sizeof(T) + alignof(std::max_align_t) - 1) & ~(alignof(std::max_align_t) - 1));
+  pending_size_ = size;
+  for (FreeList& fl : free_mem_) {
+    if (fl.size == size && !fl.blocks.empty()) {
+      void* p = fl.blocks.back();
+      fl.blocks.pop_back();
+      return new (p) T(std::forward<Args>(args)...);
+    }
+  }
+  void* p = arena_.allocate(size, alignof(std::max_align_t));
+  return new (p) T(std::forward<Args>(args)...);
 }
 
 AppParser* ProtocolDispatcher::make_parser(const Connection& conn, AppProtocol app) {
   switch (app) {
     case AppProtocol::kHttp:
-      return arena_.make<HttpParser>(events_.http);
+      return alloc_parser<HttpParser>(events_.http);
     case AppProtocol::kSmtp:
-      return arena_.make<SmtpParser>(events_.smtp);
+      return alloc_parser<SmtpParser>(events_.smtp);
     case AppProtocol::kDns:
-      if (conn.key.proto == ipproto::kUdp) return arena_.make<DnsParser>(events_.dns);
+      if (conn.key.proto == ipproto::kUdp) return alloc_parser<DnsParser>(events_.dns);
       return nullptr;
     case AppProtocol::kNetbiosNs:
-      return arena_.make<NbnsParser>(events_.nbns);
+      return alloc_parser<NbnsParser>(events_.nbns);
     case AppProtocol::kNetbiosSsn:
-      return arena_.make<CifsParser>(events_, /*netbios_framing=*/true);
+      return alloc_parser<CifsParser>(events_, /*netbios_framing=*/true);
     case AppProtocol::kCifs:
-      return arena_.make<CifsParser>(events_, /*netbios_framing=*/false);
+      return alloc_parser<CifsParser>(events_, /*netbios_framing=*/false);
     case AppProtocol::kEndpointMapper:
     case AppProtocol::kDceRpc:
       if (conn.key.proto == ipproto::kTcp)
-        return arena_.make<DceRpcParser>(events_.dcerpc, events_.epm);
+        return alloc_parser<DceRpcParser>(events_.dcerpc, events_.epm);
       return nullptr;
     case AppProtocol::kNfs:
-      return arena_.make<NfsParser>(events_.nfs, conn.key.proto == ipproto::kTcp);
+      return alloc_parser<NfsParser>(events_.nfs, conn.key.proto == ipproto::kTcp);
     case AppProtocol::kNcp:
-      if (conn.key.proto == ipproto::kTcp) return arena_.make<NcpParser>(events_.ncp);
+      if (conn.key.proto == ipproto::kTcp) return alloc_parser<NcpParser>(events_.ncp);
       return nullptr;
     default:
       return nullptr;
@@ -93,10 +123,21 @@ void ProtocolDispatcher::on_close(Connection& conn) {
   AppParser*& slot = slots_[conn.parser_slot];
   slot->on_close(conn);
   // Run the destructor now so stream buffers are released mid-trace, as
-  // the old map erase did; the arena block itself lives until teardown.
+  // the old map erase did, then recycle the block and the slot index for
+  // the next parser of the same size.
+  void* block = static_cast<void*>(slot);
+  const std::uint32_t size = slot_sizes_[conn.parser_slot];
   slot->~AppParser();
   slot = nullptr;
+  free_slots_.push_back(conn.parser_slot);
   conn.parser_slot = Connection::kNoParser;
+  for (FreeList& fl : free_mem_) {
+    if (fl.size == size) {
+      fl.blocks.push_back(block);
+      return;
+    }
+  }
+  free_mem_.push_back(FreeList{size, {block}});
 }
 
 }  // namespace entrace

@@ -31,9 +31,17 @@ class ProtocolDispatcher : public FlowObserver {
                std::uint32_t wire_len) override;
   void on_close(Connection& conn) override;
 
+  // The windowed engine moves the contents of `events_` out at each window
+  // rotation (the vectors themselves stay alive, so parser references remain
+  // valid).  This resets the EPM registration cursor to match the now-empty
+  // event vectors; dynamic endpoints already registered stay registered.
+  void on_events_rotated() { registered_epm_ = 0; }
+
  private:
   AppParser* make_parser(const Connection& conn, AppProtocol app);
   void register_new_epm_mappings();
+  template <typename T, typename... Args>
+  T* alloc_parser(Args&&... args);
 
   AppRegistry& registry_;
   AppEvents& events_;
@@ -43,8 +51,19 @@ class ProtocolDispatcher : public FlowObserver {
   // by Connection::parser_slot — no per-connection heap new/delete and no
   // pointer-keyed hash lookup per data packet.  A slot is nulled (and its
   // parser destroyed) at on_close; the destructor sweeps whatever remains.
+  // Closed parsers' arena blocks and slot indices are recycled through
+  // per-size free lists, so an endless stream's dispatcher footprint is
+  // bounded by the peak number of simultaneously open parsed connections.
   Arena arena_;
   std::vector<AppParser*> slots_;
+  std::vector<std::uint32_t> slot_sizes_;
+  std::vector<std::uint32_t> free_slots_;
+  struct FreeList {
+    std::uint32_t size;
+    std::vector<void*> blocks;
+  };
+  std::vector<FreeList> free_mem_;
+  std::uint32_t pending_size_ = 0;  // rounded size of the parser alloc_parser just made
   std::size_t registered_epm_ = 0;
 };
 

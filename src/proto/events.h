@@ -199,4 +199,25 @@ struct AppEvents {
   void merge(AppEvents&& other);
 };
 
+// Rewrite every event's connection pointer through `fn` (old pointer in,
+// new pointer out).  The windowed engine uses this twice: once at rotation
+// to point a window's events at the window's own connection copies, and
+// once at reconstruction to point them at the reassembled per-trace table.
+template <typename Fn>
+void remap_event_connections(AppEvents& ev, Fn&& fn) {
+  auto apply = [&](auto& vec) {
+    for (auto& e : vec) e.conn = fn(e.conn);
+  };
+  apply(ev.http);
+  apply(ev.smtp);
+  apply(ev.dns);
+  apply(ev.nbns);
+  apply(ev.nbss);
+  apply(ev.cifs);
+  apply(ev.dcerpc);
+  apply(ev.epm);
+  apply(ev.nfs);
+  apply(ev.ncp);
+}
+
 }  // namespace entrace

@@ -41,7 +41,10 @@ inline constexpr char kMagic[kMagicSize] = {'E', 'N', 'T', 'R', 'S', 'N', 'A', '
 // v2: kTraceMetrics section added to the per-trace run, and the anomaly
 // taxonomy gained kTcpTupleReuse (the kCaptureQuality section embeds the
 // kind count, so v1 readers reject v2 files at the version check first).
-inline constexpr std::uint32_t kFormatVersion = 2;
+// v3: each encoded connection carries open_seq (u64, per-trace open order),
+// the reassembly key the windowed incremental engine uses to merge
+// per-window connection deltas back into exact batch deque order.
+inline constexpr std::uint32_t kFormatVersion = 3;
 // magic + version: where the first section begins.
 inline constexpr std::size_t kHeaderSize = kMagicSize + 4;
 // type + length preceding each payload, and the trailing crc.

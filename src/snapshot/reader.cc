@@ -52,6 +52,7 @@ Connection decode_connection(ByteReader& r) {
   c.icmp_type = r.u8();
   c.app_id = r.u16();
   c.multicast = r.u8() != 0;
+  c.open_seq = r.u64();  // v3
   return c;
 }
 

@@ -1,0 +1,43 @@
+#include "snapshot/retention.h"
+
+#include <cstdio>
+
+#include <fstream>
+#include <sstream>
+
+namespace entrace::snapshot {
+
+std::string to_json_line(const WindowSummary& s) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"window\":" << s.index << ",\"start_ts\":" << s.start_ts
+      << ",\"end_ts\":" << s.end_ts << ",\"packets\":" << s.packets
+      << ",\"wire_bytes\":" << s.wire_bytes << ",\"connections\":" << s.connections
+      << ",\"app_events\":" << s.app_events << ",\"snapshot_bytes\":" << s.snapshot_bytes << "}";
+  return out.str();
+}
+
+RetentionManager::RetentionManager(std::string dir, std::size_t keep_full)
+    : dir_(std::move(dir)), summary_path_(dir_ + "/summary.jsonl"), keep_full_(keep_full) {}
+
+std::size_t RetentionManager::add_window(const WindowSummary& summary,
+                                         const std::string& esnap_path) {
+  tier0_.push_back(Tier0Entry{summary, esnap_path});
+  std::size_t aged = 0;
+  while (tier0_.size() > keep_full_) {
+    const Tier0Entry& old = tier0_.front();
+    {
+      // Append-only: one complete JSON line per aged window.  A crash mid-
+      // append tears at most the final line, which readers skip.
+      std::ofstream out(summary_path_, std::ios::app);
+      out << to_json_line(old.summary) << "\n";
+    }
+    std::remove(old.path.c_str());
+    tier0_.pop_front();
+    ++summarized_;
+    ++aged;
+  }
+  return aged;
+}
+
+}  // namespace entrace::snapshot

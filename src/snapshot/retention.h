@@ -1,0 +1,71 @@
+// Window checkpoint retention: tiered aging for endless operation.
+//
+// A daemon that checkpoints every rotated window would fill the disk at a
+// rate proportional to traffic; keeping only the last K windows would lose
+// all history.  The middle ground — the tiering scheme time-series engines
+// use (full-resolution recent pages, downsampled older ones) — applied to
+// window snapshots:
+//
+//   tier 0: the most recent `keep_full` windows stay as complete .esnap
+//           files (full per-connection / per-event resolution, usable for
+//           exact reconstruction via snapshot/window.h);
+//   tier 1: older windows are downsampled to a one-line JSON summary
+//           (headline tallies only) appended to `summary.jsonl`, and the
+//           .esnap file is deleted.
+//
+// Aging is driven by add_window() at each checkpoint, so disk usage is
+// bounded by keep_full full windows plus one summary line per window ever
+// rotated — flat-RSS, flat-disk steady state (the soak test's invariant).
+// The summary file is append-only and crash-tolerant: a torn final line is
+// ignorable, and every complete line is self-contained JSON.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace entrace::snapshot {
+
+// Tier-1 record: what survives after a window ages out of full resolution.
+struct WindowSummary {
+  std::uint64_t index = 0;
+  double start_ts = 0.0;
+  double end_ts = 0.0;
+  std::uint64_t packets = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t connections = 0;  // connection deltas carried by the window
+  std::uint64_t app_events = 0;
+  std::uint64_t snapshot_bytes = 0;  // size of the aged .esnap
+};
+
+std::string to_json_line(const WindowSummary& s);
+
+class RetentionManager {
+ public:
+  // `dir` is the checkpoint directory (summaries land in dir/summary.jsonl);
+  // `keep_full` is the tier-0 window count (0 = summarize immediately).
+  RetentionManager(std::string dir, std::size_t keep_full);
+
+  // Register a freshly checkpointed window, then age anything beyond
+  // keep_full: append its summary line and delete its .esnap.  Returns the
+  // number of windows aged to tier 1 by this call.
+  std::size_t add_window(const WindowSummary& summary, const std::string& esnap_path);
+
+  std::size_t tier0_count() const { return tier0_.size(); }
+  std::uint64_t tier1_count() const { return summarized_; }
+  const std::string& summary_path() const { return summary_path_; }
+
+ private:
+  struct Tier0Entry {
+    WindowSummary summary;
+    std::string path;
+  };
+
+  std::string dir_;
+  std::string summary_path_;
+  std::size_t keep_full_;
+  std::deque<Tier0Entry> tier0_;
+  std::uint64_t summarized_ = 0;
+};
+
+}  // namespace entrace::snapshot

@@ -1,0 +1,108 @@
+#include "snapshot/window.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "snapshot/reader.h"
+#include "snapshot/writer.h"
+
+namespace entrace::snapshot {
+
+std::string window_file_name(std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "window-%08llu.esnap",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+std::uint64_t write_window_snapshot(const std::string& path, const SnapshotMeta& meta,
+                                    const WindowShard& window) {
+  SnapshotWriter writer(path, meta);
+  for (std::size_t i = 0; i < window.shards.size(); ++i) {
+    writer.add_shard(static_cast<std::uint32_t>(i), window.shards[i]);
+  }
+  writer.close();
+  return writer.bytes_written();
+}
+
+WindowShard read_window_snapshot(const std::string& path) {
+  Snapshot snap = read_snapshot(path);
+  WindowShard win;
+  win.shards.reserve(snap.shards.size());
+  for (SnapshotShard& s : snap.shards) win.shards.push_back(std::move(s.shard));
+  return win;
+}
+
+std::vector<TraceShard> merge_window_shards(std::vector<WindowShard>&& windows,
+                                            const AnalyzerConfig& config) {
+  std::size_t traces = 0;
+  for (const WindowShard& w : windows) traces = std::max(traces, w.shards.size());
+
+  std::vector<TraceShard> out;
+  out.reserve(traces);
+  for (std::size_t t = 0; t < traces; ++t) out.emplace_back(config.scanner);
+
+  for (std::size_t t = 0; t < traces; ++t) {
+    TraceShard& dst = out[t];
+    dst.table = std::make_unique<FlowTable>(config.flow);
+    std::deque<Connection>& conns = dst.table->connections();
+    // open_seq -> reassembled deque index.  Windows partition time and
+    // open_seq is assigned in creation order, so first appearances arrive
+    // already in open_seq order: the deque reassembles in exact batch order
+    // without a final sort.
+    std::unordered_map<std::uint64_t, std::size_t> by_seq;
+    bool first = true;
+
+    for (WindowShard& w : windows) {
+      if (t >= w.shards.size()) continue;
+      TraceShard& ws = w.shards[t];
+      if (first) {
+        dst.subnet_id = ws.subnet_id;
+        dst.load.trace_name = ws.load.trace_name;
+        first = false;
+      }
+      dst.total_packets += ws.total_packets;
+      dst.total_wire_bytes += ws.total_wire_bytes;
+      dst.l3.merge(ws.l3);
+      dst.ip_proto_packets.merge(ws.ip_proto_packets);
+      dst.monitored_hosts.insert(ws.monitored_hosts.begin(), ws.monitored_hosts.end());
+      dst.lbnl_hosts.insert(ws.lbnl_hosts.begin(), ws.lbnl_hosts.end());
+      dst.remote_hosts.insert(ws.remote_hosts.begin(), ws.remote_hosts.end());
+      dst.detector.merge(ws.detector);
+      dst.registry.merge_dynamic_endpoints(ws.registry);
+      dst.quality.merge(ws.quality);
+      dst.load.merge(ws.load);
+      dst.metrics.merge(ws.metrics);
+
+      // Upsert this window's connection deltas: a delta is the connection's
+      // cumulative state as of the window end, so the latest window's copy
+      // wins wholesale.
+      std::unordered_map<const Connection*, const Connection*> remap;
+      if (ws.table != nullptr) {
+        remap.reserve(ws.table->connections().size());
+        for (const Connection& c : ws.table->connections()) {
+          const auto [it, fresh] = by_seq.try_emplace(c.open_seq, conns.size());
+          if (fresh) {
+            conns.push_back(c);
+          } else {
+            conns[it->second] = c;
+          }
+          remap.emplace(&c, &conns[it->second]);
+        }
+      }
+      remap_event_connections(ws.events, [&](const Connection* c) {
+        const auto it = remap.find(c);
+        if (it == remap.end()) {
+          throw std::logic_error(
+              "window event references a connection absent from its window's delta");
+        }
+        return it->second;
+      });
+      dst.events.merge(std::move(ws.events));
+    }
+  }
+  return out;
+}
+
+}  // namespace entrace::snapshot

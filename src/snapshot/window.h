@@ -1,0 +1,54 @@
+// Per-window snapshots and their reassembly.
+//
+// The windowed engine (core/incremental.h) rotates self-contained per-trace
+// deltas: every member of a window's TraceShard either sums associatively
+// (tallies, interval series, capture quality, semantic metrics) or carries
+// its own keys for exact reassembly (connections by Connection::open_seq,
+// events referencing the window's own connection copies).  That makes a
+// WindowShard expressible in the unmodified .esnap format (format v3 adds
+// open_seq to the connection encoding) — a window checkpoint IS an ordinary
+// snapshot file, written by the same crash-safe writer the shard processes
+// use, and readable by the same hardened reader.
+//
+// merge_window_shards() is the inverse of rotation: folding the window
+// deltas of a run — in window order — back into one TraceShard per trace
+// that is byte-identical to what a one-shot batch run would have produced,
+// which is the invariant the daemon's checkpoints are trusted on
+// (tests/daemon_test.cc pins it at 1 and 4 threads).  Connection deltas
+// upsert by open_seq (a later window's copy of the same connection is its
+// cumulative state — last writer wins); events remap onto the reassembled
+// deque and append in window order, reproducing the serial emission order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/incremental.h"
+#include "snapshot/format.h"
+
+namespace entrace::snapshot {
+
+// Canonical checkpoint file name for a rotated window: "window-00000042.esnap".
+std::string window_file_name(std::uint64_t index);
+
+// Write one rotated window as an ordinary .esnap snapshot (crash-safe
+// tmp+rename, end marker, per-section CRCs).  Shards are encoded in
+// trace-index order, so the file round-trips through read_snapshot.
+// Returns the bytes written (the retention tier records it).
+std::uint64_t write_window_snapshot(const std::string& path, const SnapshotMeta& meta,
+                                    const WindowShard& window);
+
+// Read a window checkpoint back into a WindowShard (shards in trace-index
+// order; index/start/end are not part of the .esnap format — the caller
+// supplies window order, e.g. from sorted file names).
+WindowShard read_window_snapshot(const std::string& path);
+
+// Fold window deltas (in window order) back into one TraceShard per trace,
+// byte-identical to a one-shot batch run over the same packets.  Consumes
+// the windows (events move out, connections copy into fresh tables built
+// with config.flow).
+std::vector<TraceShard> merge_window_shards(std::vector<WindowShard>&& windows,
+                                            const AnalyzerConfig& config);
+
+}  // namespace entrace::snapshot

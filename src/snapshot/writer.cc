@@ -57,6 +57,7 @@ void encode_connection(ByteWriter& w, const Connection& c) {
   w.u8(c.icmp_type);
   w.u16(c.app_id);
   w.u8(c.multicast ? 1 : 0);
+  w.u64(c.open_seq);  // v3: per-trace open order (windowed reassembly key)
 }
 
 void encode_series(ByteWriter& w, const IntervalSeries& s) {

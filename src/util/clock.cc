@@ -1,0 +1,18 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace entrace::util {
+
+double SystemClock::now() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::sleep(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace entrace::util

@@ -1,21 +1,8 @@
 #include "util/retry.h"
 
-#include <chrono>
-#include <thread>
-
 #include "util/rng.h"
 
 namespace entrace::util {
-
-double SystemClock::now() {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-void SystemClock::sleep(double seconds) {
-  if (seconds <= 0) return;
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-}
 
 double RetryPolicy::backoff_seconds(std::uint64_t job, int failed_attempts) const {
   if (failed_attempts < 1) failed_attempts = 1;

@@ -1,6 +1,6 @@
 // Retry scheduling for supervised workers: a seeded-jitter exponential
-// backoff policy plus the clock abstraction that makes supervision code
-// testable without sleeping.
+// backoff policy against the util/clock.h abstraction, which makes
+// supervision code testable without sleeping.
 //
 // The policy is a pure function of (seed, job, attempt): the delay before
 // retrying job J after its A-th failed attempt is the same on every run and
@@ -14,39 +14,9 @@
 
 #include <cstdint>
 
+#include "util/clock.h"
+
 namespace entrace::util {
-
-// Monotonic seconds + sleep, virtual so tests can substitute a fake that
-// advances instantly.  `now()` has an arbitrary epoch; only differences
-// are meaningful.
-class Clock {
- public:
-  virtual ~Clock() = default;
-  virtual double now() = 0;
-  virtual void sleep(double seconds) = 0;
-};
-
-// std::chrono::steady_clock-backed implementation used outside tests.
-class SystemClock final : public Clock {
- public:
-  double now() override;
-  void sleep(double seconds) override;
-};
-
-// Test clock: now() is a plain counter and sleep() advances it without
-// blocking, so retry/backoff schedules can be unit-tested in microseconds.
-class FakeClock final : public Clock {
- public:
-  explicit FakeClock(double start = 0.0) : now_(start) {}
-  double now() override { return now_; }
-  void sleep(double seconds) override {
-    if (seconds > 0) now_ += seconds;
-  }
-  void advance(double seconds) { now_ += seconds; }
-
- private:
-  double now_;
-};
 
 // Exponential backoff with bounded multiplicative jitter and a per-job
 // attempt budget.  `max_attempts` counts every launch of the job including

@@ -1,0 +1,447 @@
+// entrace_daemon: continuous windowed analysis over a paced replay.
+//
+// The batch tools (entrace_shard/merge) answer "what was in this capture";
+// the daemon answers "what is on the wire right now".  It replays a
+// synthetic dataset as if it were a set of live taps — every trace merged
+// into one time-ordered stream (MergedPacketStream), released on the
+// capture's own timeline scaled by --speedup (PacedReplaySource) — and runs
+// the windowed incremental engine over it:
+//
+//   ingest batches -> IncrementalAnalyzer::feed (per-trace demux, threads)
+//     -> rotate() at each --window boundary
+//     -> checkpoint the window as an ordinary .esnap (snapshot/window.h)
+//     -> age old checkpoints through the retention tiers (summary.jsonl)
+//
+// while serving observability over HTTP (--http-port):
+//   /metrics        Prometheus text (daemon.* operational metrics)
+//   /metrics.json   the same, as JSON
+//   /window/latest  summary of the most recently checkpointed window
+//   /status.json    event-loop status (windows, packets, live flows, ...)
+//   /healthz        liveness
+//
+// SIGTERM/SIGINT drain gracefully: the loop stops pulling, still-open flows
+// are classified (flow.drained), the final partial window is checkpointed,
+// and the process exits 0 — no analyzed packet is ever lost to a shutdown.
+// Flow eviction (--window-scoped evict_idle) and slot reclamation keep
+// memory flat over unbounded runs; --exact disables both for replays that
+// must reconstruct byte-identically to a batch run.
+//
+//   $ entrace_daemon [D0|..|D4] [scale] --out DIR [--window SEC] [--speedup X]
+//                    [--http-port P] [--retain K] [--max-windows N]
+//                    [--threads N] [--repeat R] [--batch N] [--fake-clock]
+//                    [--exact] [--metrics-out file]
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "core/incremental.h"
+#include "obs/exposition.h"
+#include "obs/http_server.h"
+#include "pcap/replay.h"
+#include "snapshot/retention.h"
+#include "snapshot/window.h"
+#include "synth/synth_source.h"
+#include "util/cli.h"
+#include "util/clock.h"
+
+using namespace entrace;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [D0|D1|D2|D3|D4] [scale] --out DIR [--window SEC] [--speedup X]\n"
+      "          [--http-port P] [--retain K] [--max-windows N] [--threads N]\n"
+      "          [--repeat R] [--batch N] [--fake-clock] [--exact] [--metrics-out file]\n"
+      "  replays the dataset as a paced live stream, rotating and checkpointing\n"
+      "  one .esnap window every SEC seconds of capture time; SIGTERM drains.\n",
+      argv0);
+  return 2;
+}
+
+// Re-timestamps a source by a constant offset — the repeat wrapper shifts
+// each replay cycle past the previous one so stream time keeps advancing.
+class TimeShiftedSource final : public PacketSource {
+ public:
+  TimeShiftedSource(std::unique_ptr<PacketSource> inner, double offset)
+      : inner_(std::move(inner)), offset_(offset), meta_(inner_->meta()) {
+    meta_.start_ts += offset_;
+  }
+
+  const TraceMeta& meta() const override { return meta_; }
+  const AnomalyCounts& anomalies() const override { return inner_->anomalies(); }
+
+ protected:
+  const RawPacket* pull() override {
+    const RawPacket* pkt = inner_->next();
+    if (pkt == nullptr) return nullptr;
+    shifted_ = *pkt;
+    shifted_.ts += offset_;
+    return &shifted_;
+  }
+
+  std::size_t pull_batch(PacketView* out, std::size_t n) override {
+    const std::size_t got = inner_->next_batch(out, n);
+    for (std::size_t i = 0; i < got; ++i) out[i].ts += offset_;
+    return got;
+  }
+
+ private:
+  std::unique_ptr<PacketSource> inner_;
+  double offset_;
+  TraceMeta meta_;
+  RawPacket shifted_;
+};
+
+// Replays the merged dataset --repeat times, each cycle time-shifted by the
+// capture span, turning a finite dataset into an arbitrarily long stream
+// (the soak workload).  Each cycle reopens the sources, so memory does not
+// grow with the repeat count.
+class RepeatingMergedSource final : public PacketSource {
+ public:
+  using OpenFn = std::function<std::vector<std::unique_ptr<PacketSource>>()>;
+
+  RepeatingMergedSource(OpenFn open, int repeats) : open_(std::move(open)), repeats_(repeats) {
+    current_ = std::make_unique<MergedPacketStream>(open_());
+    meta_ = current_->meta();
+    span_ = meta_.duration;
+    meta_.duration *= repeats_ > 0 ? repeats_ : 1;
+  }
+
+  const TraceMeta& meta() const override { return meta_; }
+  const AnomalyCounts& anomalies() const override { return current_->anomalies(); }
+
+ protected:
+  const RawPacket* pull() override {
+    for (;;) {
+      const RawPacket* pkt = current_->next();
+      if (pkt != nullptr) return pkt;
+      if (!next_cycle()) return nullptr;
+    }
+  }
+
+  std::size_t pull_batch(PacketView* out, std::size_t n) override {
+    for (;;) {
+      const std::size_t got = current_->next_batch(out, n);
+      if (got != 0) return got;
+      if (!next_cycle()) return 0;
+    }
+  }
+
+ private:
+  bool next_cycle() {
+    if (++cycle_ >= repeats_) return false;
+    std::vector<std::unique_ptr<PacketSource>> shifted;
+    for (auto& src : open_()) {
+      shifted.push_back(
+          std::make_unique<TimeShiftedSource>(std::move(src), span_ * cycle_));
+    }
+    current_ = std::make_unique<MergedPacketStream>(std::move(shifted));
+    return true;
+  }
+
+  OpenFn open_;
+  int repeats_;
+  int cycle_ = 0;
+  double span_ = 0.0;
+  std::unique_ptr<MergedPacketStream> current_;
+  TraceMeta meta_;
+};
+
+// Shared between the event loop (writer) and the HTTP thread (reader).
+struct DaemonStatus {
+  std::mutex mu;
+  std::uint64_t packets = 0;
+  std::uint64_t windows = 0;
+  double stream_ts = 0.0;
+  std::size_t live_flows = 0;
+  std::uint64_t drained = 0;
+  std::uint64_t evicted = 0;
+  std::size_t tier0 = 0;
+  std::uint64_t tier1 = 0;
+  bool draining = false;
+  std::string latest_window_json;  // empty until the first checkpoint
+};
+
+obs::HttpResponse handle_http(DaemonStatus& st, const std::string& path) {
+  if (path == "/healthz") return {200, "text/plain; charset=utf-8", "ok\n"};
+
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (path == "/metrics" || path == "/metrics.json") {
+    using obs::MetricClass;
+    obs::Registry reg;
+    reg.counter("daemon.packets", MetricClass::kSemantic, "packets ingested")->add(st.packets);
+    reg.counter("daemon.windows_rotated", MetricClass::kSemantic, "windows rotated")
+        ->add(st.windows);
+    reg.counter("daemon.flows_drained", MetricClass::kSemantic,
+                "flows classified by end-of-stream drains")
+        ->add(st.drained);
+    reg.counter("daemon.flows_evicted", MetricClass::kSemantic, "flows closed by idle eviction")
+        ->add(st.evicted);
+    reg.gauge("daemon.live_flows", MetricClass::kTiming, "live flow-table entries")
+        ->set(static_cast<double>(st.live_flows));
+    reg.gauge("daemon.stream_ts", MetricClass::kTiming, "latest capture timestamp ingested")
+        ->set(st.stream_ts);
+    reg.gauge("daemon.tier0_windows", MetricClass::kTiming, "full-resolution checkpoints kept")
+        ->set(static_cast<double>(st.tier0));
+    reg.counter("daemon.tier1_windows", MetricClass::kTiming,
+                "checkpoints aged to summary lines")
+        ->add(st.tier1);
+    if (path == "/metrics") {
+      return {200, "text/plain; version=0.0.4", obs::render_prometheus(reg)};
+    }
+    return {200, "application/json", obs::render_json(reg)};
+  }
+  if (path == "/window/latest") {
+    if (st.latest_window_json.empty()) {
+      return {404, "text/plain; charset=utf-8", "no window checkpointed yet\n"};
+    }
+    return {200, "application/json", st.latest_window_json + "\n"};
+  }
+  if (path == "/status.json") {
+    std::ostringstream out;
+    out.precision(17);
+    out << "{\"packets\":" << st.packets << ",\"windows_rotated\":" << st.windows
+        << ",\"stream_ts\":" << st.stream_ts << ",\"live_flows\":" << st.live_flows
+        << ",\"flows_drained\":" << st.drained << ",\"flows_evicted\":" << st.evicted
+        << ",\"tier0_windows\":" << st.tier0 << ",\"tier1_windows\":" << st.tier1
+        << ",\"draining\":" << (st.draining ? "true" : "false") << "}\n";
+    return {200, "application/json", out.str()};
+  }
+  return {404, "text/plain; charset=utf-8", "unknown path\n"};
+}
+
+snapshot::WindowSummary summarize(const WindowShard& win) {
+  snapshot::WindowSummary s;
+  s.index = win.index;
+  s.start_ts = win.start_ts;
+  s.end_ts = win.end_ts;
+  for (const TraceShard& shard : win.shards) {
+    s.packets += shard.total_packets;
+    s.wire_bytes += shard.total_wire_bytes;
+    if (shard.table != nullptr) s.connections += shard.table->connections().size();
+    s.app_events += shard.events.total();
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<const char*> positionals;
+  std::string out_dir, metrics_out;
+  double window_seconds = 60.0;
+  double speedup = 0.0;  // 0 = unpaced (as fast as the generators produce)
+  int http_port = -1;
+  std::size_t retain = 4;
+  std::uint64_t max_windows = 0;  // 0 = until the stream ends
+  std::size_t threads = 0;
+  int repeat = 1;
+  std::size_t batch = 256;
+  bool fake_clock = false, exact = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto has_value = [&](const char* flag) {
+      return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+    };
+    if (has_value("--out")) {
+      out_dir = argv[++i];
+    } else if (has_value("--window")) {
+      window_seconds = std::atof(argv[++i]);
+    } else if (has_value("--speedup")) {
+      speedup = std::atof(argv[++i]);
+    } else if (has_value("--http-port")) {
+      http_port = std::atoi(argv[++i]);
+    } else if (has_value("--retain")) {
+      retain = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (has_value("--max-windows")) {
+      max_windows = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (has_value("--threads")) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (has_value("--repeat")) {
+      repeat = std::atoi(argv[++i]);
+    } else if (has_value("--batch")) {
+      batch = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (has_value("--metrics-out")) {
+      metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--fake-clock") == 0) {
+      fake_clock = true;
+    } else if (std::strcmp(argv[i], "--exact") == 0) {
+      exact = true;
+    } else {
+      positionals.push_back(argv[i]);
+    }
+  }
+  cli::DatasetArgs dataset{"D3", 0.008};
+  std::string error;
+  const int consumed = cli::parse_dataset_args(positionals, dataset, &error);
+  if (consumed < 0 || static_cast<std::size_t>(consumed) != positionals.size()) {
+    std::fprintf(stderr, "%s\n", error.empty() ? "unrecognized arguments" : error.c_str());
+    return usage(argv[0]);
+  }
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "--out DIR is required (window checkpoints land there)\n");
+    return usage(argv[0]);
+  }
+  if (window_seconds <= 0.0 || repeat < 1 || batch == 0) {
+    std::fprintf(stderr, "--window must be > 0, --repeat >= 1, --batch >= 1\n");
+    return usage(argv[0]);
+  }
+  ::mkdir(out_dir.c_str(), 0777);  // EEXIST is fine; writes below report real errors
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  const EnterpriseModel model;
+  const DatasetSpec spec = dataset_by_name(dataset.name, dataset.scale);
+  const SyntheticTraceSourceSet sources(spec, model);
+
+  // Open every tap once for the analyzer's metadata, then hand the open
+  // recipe to the repeat wrapper so later cycles reopen fresh sources.
+  const auto open_all = [&sources]() {
+    std::vector<std::unique_ptr<PacketSource>> opened;
+    opened.reserve(sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) opened.push_back(sources.open(i));
+    return opened;
+  };
+  std::vector<TraceMeta> metas;
+  {
+    auto probe = open_all();
+    metas.reserve(probe.size());
+    for (const auto& src : probe) metas.push_back(src->meta());
+  }
+
+  std::unique_ptr<PacketSource> stream;
+  const MergedPacketStream* merged_for_finish = nullptr;
+  if (repeat == 1) {
+    auto merged = std::make_unique<MergedPacketStream>(open_all());
+    merged_for_finish = merged.get();
+    stream = std::move(merged);
+  } else {
+    stream = std::make_unique<RepeatingMergedSource>(open_all, repeat);
+  }
+
+  util::SystemClock system_clock;
+  util::FakeClock test_clock;
+  util::Clock& clock = fake_clock ? static_cast<util::Clock&>(test_clock) : system_clock;
+  PacedReplaySource paced(*stream, clock, speedup);
+
+  AnalyzerConfig config = default_config_for_model(model.site());
+  config.threads = threads;
+  config.batch_size = batch;
+  IncrementalOptions options;
+  options.window_seconds = window_seconds;
+  options.evict = !exact;
+  options.reclaim = !exact;
+  IncrementalAnalyzer analyzer(metas, config, options);
+
+  snapshot::RetentionManager retention(out_dir, retain);
+  const snapshot::SnapshotMeta snap_meta{spec.name, dataset.scale,
+                                         static_cast<std::uint32_t>(sources.size())};
+
+  DaemonStatus status;
+  std::unique_ptr<obs::HttpServer> http;
+  if (http_port >= 0) {
+    http = std::make_unique<obs::HttpServer>(
+        static_cast<std::uint16_t>(http_port),
+        [&status](const std::string& path) { return handle_http(status, path); });
+    http->start();
+    std::fprintf(stderr, "entrace_daemon: http on 127.0.0.1:%u\n", http->port());
+  }
+
+  const auto checkpoint = [&](const WindowShard& win) {
+    const std::string path = out_dir + "/" + snapshot::window_file_name(win.index);
+    snapshot::WindowSummary summary = summarize(win);
+    summary.snapshot_bytes = snapshot::write_window_snapshot(path, snap_meta, win);
+    retention.add_window(summary, path);
+    std::lock_guard<std::mutex> lock(status.mu);
+    status.windows = analyzer.windows_rotated();
+    status.tier0 = retention.tier0_count();
+    status.tier1 = retention.tier1_count();
+    status.latest_window_json = snapshot::to_json_line(summary);
+  };
+
+  std::vector<PacketView> views(batch);
+  std::uint64_t packets = 0;
+  bool source_drained = false;
+  while (g_stop == 0) {
+    const std::size_t got = paced.next_batch(views.data(), batch);
+    if (got == 0) {
+      source_drained = true;
+      break;
+    }
+    packets += got;
+    analyzer.feed(views.data(), got);
+    while (analyzer.window_complete()) {
+      checkpoint(analyzer.rotate());
+      std::fprintf(stderr, "entrace_daemon: window %llu done, %zu live flows\n",
+                   static_cast<unsigned long long>(analyzer.windows_rotated() - 1),
+                   analyzer.live_entries());
+    }
+    {
+      std::lock_guard<std::mutex> lock(status.mu);
+      status.packets = packets;
+      status.stream_ts = analyzer.max_ts();
+      status.live_flows = analyzer.live_entries();
+      status.drained = analyzer.drained_total();
+      status.evicted = analyzer.evicted_total();
+    }
+    if (max_windows != 0 && analyzer.windows_rotated() >= max_windows) break;
+  }
+
+  // Graceful drain: classify still-open flows and flush the final partial
+  // window, whether the stream ended or a signal asked us to stop.
+  {
+    std::lock_guard<std::mutex> lock(status.mu);
+    status.draining = true;
+  }
+  if (analyzer.saw_packets()) checkpoint(analyzer.finish(merged_for_finish));
+  {
+    std::lock_guard<std::mutex> lock(status.mu);
+    status.packets = packets;
+    status.live_flows = analyzer.live_entries();
+    status.drained = analyzer.drained_total();
+    status.evicted = analyzer.evicted_total();
+  }
+  std::fprintf(stderr,
+               "entrace_daemon: %s after %llu packets, %llu windows (%zu full, %llu aged), "
+               "%llu flows drained\n",
+               g_stop != 0 ? "drained on signal" : (source_drained ? "stream complete" : "window limit"),
+               static_cast<unsigned long long>(packets),
+               static_cast<unsigned long long>(analyzer.windows_rotated()),
+               retention.tier0_count(), static_cast<unsigned long long>(retention.tier1_count()),
+               static_cast<unsigned long long>(analyzer.drained_total()));
+
+  if (!metrics_out.empty()) {
+    obs::Registry reg;
+    using obs::MetricClass;
+    reg.counter("daemon.packets", MetricClass::kSemantic, "packets ingested")->add(packets);
+    reg.counter("daemon.windows_rotated", MetricClass::kSemantic, "windows rotated")
+        ->add(analyzer.windows_rotated());
+    reg.counter("daemon.flows_drained", MetricClass::kSemantic,
+                "flows classified by end-of-stream drains")
+        ->add(analyzer.drained_total());
+    reg.counter("daemon.flows_evicted", MetricClass::kSemantic, "flows closed by idle eviction")
+        ->add(analyzer.evicted_total());
+    try {
+      obs::write_metrics_file(reg, metrics_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--metrics-out: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (http != nullptr) http->stop();
+  return 0;
+}
