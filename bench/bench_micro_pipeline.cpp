@@ -33,6 +33,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -45,6 +46,8 @@
 #endif
 
 #include "bench_common.h"
+#include "cluster/coordinator.h"
+#include "cluster/worker.h"
 #include "core/analyzer.h"
 #include "core/incremental.h"
 #include "snapshot/retention.h"
@@ -829,6 +832,124 @@ void run_orchestrate_study() {
   std::filesystem::remove_all(dir);
 }
 
+// ---- cluster dispatch study -------------------------------------------------
+
+// Network-hop cost of the cluster layer (src/cluster): the same dataset
+// dispatched over 1/2/4 loopback workers at 0/10/20% injected network
+// faults (refuse/disconnect/corrupt-frame/hang in equal shares).  Workers
+// are in-process WorkerServer threads on real TCP sockets, so the study
+// prices framing + streaming + validation + retry, not process spawning.
+struct ClusterRun {
+  std::size_t workers = 0;
+  double fault_rate = 0.0;
+  double seconds = 0.0;
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t faults = 0;
+  bool complete = false;
+};
+
+struct ClusterStudy {
+  double scale = 0.0;
+  double direct_seconds = 0.0;
+  std::vector<ClusterRun> runs;
+  bool ok = false;
+};
+
+ClusterStudy g_cluster_study;  // picked up by the JSON writer
+
+void run_cluster_study() {
+  const double scale = env_double("ENTRACE_CLUSTER_SCALE", 0.01);
+  EnterpriseModel model;
+  const DatasetSpec spec = dataset_by_name("D0", scale);
+  AnalyzerConfig config = default_config_for_model(model.site());
+  config.threads = 1;
+
+  std::printf("---- cluster dispatch (D0, scale %.3f, loopback workers) ----\n", scale);
+
+  const SyntheticTraceSourceSet sources(spec, model);
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<TraceShard> shards = analyze_trace_shards(sources, config, 0, sources.size());
+    const DatasetAnalysis a = fold_shards(spec.name, std::move(shards), config);
+    benchmark::DoNotOptimize(a.total_packets);
+  }
+  g_cluster_study.direct_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  g_cluster_study.scale = scale;
+  std::printf("  direct (in-process, 1 thread): %6.2fs\n", g_cluster_study.direct_seconds);
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    std::vector<std::unique_ptr<cluster::WorkerServer>> servers;
+    std::vector<std::thread> threads;
+    std::vector<std::string> endpoints;
+    try {
+      for (std::size_t i = 0; i < workers; ++i) {
+        cluster::WorkerConfig wc;
+        wc.name = "bench-w" + std::to_string(i);
+        servers.push_back(std::make_unique<cluster::WorkerServer>(wc));
+        endpoints.push_back("127.0.0.1:" + std::to_string(servers.back()->port()));
+      }
+    } catch (const std::exception& e) {
+      std::printf("  %zu workers: cannot bind loopback sockets (%s)\n", workers, e.what());
+      return;
+    }
+    for (auto& server : servers) {
+      threads.emplace_back([&server] { server->serve(); });
+    }
+
+    for (const double rate : {0.0, 0.1, 0.2}) {
+      cluster::ClusterConfig cc;
+      cc.dataset = spec.name;
+      cc.scale = scale;
+      cc.endpoints = endpoints;
+      cc.jobs = 8;  // more, smaller jobs: more per-attempt fault draws per run
+      cc.retry.max_attempts = 10;  // generous: every job must eventually succeed
+      cc.retry.base_delay = 0.02;
+      cc.retry.max_delay = 0.5;
+      cc.heartbeat_interval = 0.05;
+      cc.heartbeat_deadline = 2.0;  // injected hangs pay this per draw
+      cc.inject.refuse = cc.inject.disconnect = rate / 4.0;
+      cc.inject.corrupt = cc.inject.hang = rate / 4.0;
+      cc.inject.seed = 17;
+      const auto t1 = std::chrono::steady_clock::now();
+      orchestrate::OrchestrateResult result;
+      try {
+        result = cluster::run_cluster(cc);
+      } catch (const std::exception& e) {
+        std::printf("  %zu workers, fault rate %.0f%%: measurement failed (%s)\n", workers,
+                    rate * 100, e.what());
+        for (auto& server : servers) server->stop();
+        for (auto& thread : threads) thread.join();
+        return;
+      }
+      ClusterRun run;
+      run.workers = workers;
+      run.fault_rate = rate;
+      run.seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t1).count();
+      run.attempts = result.attempts;
+      run.retries = result.retries;
+      run.faults = result.fault_counts.total_faults();
+      run.complete = result.complete;
+      g_cluster_study.runs.push_back(run);
+      std::printf(
+          "  %zu workers, fault rate %3.0f%%: %6.2fs (%.2fx vs direct), %llu attempts, "
+          "%llu retries%s\n",
+          workers, rate * 100, run.seconds,
+          g_cluster_study.direct_seconds > 0 ? run.seconds / g_cluster_study.direct_seconds
+                                             : 0.0,
+          static_cast<unsigned long long>(run.attempts),
+          static_cast<unsigned long long>(run.retries),
+          run.complete ? "" : "  [INCOMPLETE]");
+    }
+
+    for (auto& server : servers) server->stop();
+    for (auto& thread : threads) thread.join();
+  }
+  g_cluster_study.ok = !g_cluster_study.runs.empty();
+}
+
 // ---- daemon steady-state study ----------------------------------------------
 
 // Continuous-operation cost of the windowed engine (core/incremental.h) in
@@ -1145,6 +1266,30 @@ void run_pipeline_scaling() {
       }
       std::fprintf(json, "    ]\n  },\n");
     }
+    // Cluster dispatch study (see run_cluster_study).
+    if (g_cluster_study.ok) {
+      std::fprintf(json,
+                   "  \"cluster\": {\n    \"dataset\": \"D0\",\n    \"scale\": %.4f,\n"
+                   "    \"direct_seconds\": %.4f,\n    \"runs\": [\n",
+                   g_cluster_study.scale, g_cluster_study.direct_seconds);
+      for (std::size_t i = 0; i < g_cluster_study.runs.size(); ++i) {
+        const ClusterRun& r = g_cluster_study.runs[i];
+        std::fprintf(json,
+                     "      {\"workers\": %zu, \"fault_rate\": %.2f, \"seconds\": %.4f, "
+                     "\"overhead_vs_direct\": %.3f, \"attempts\": %llu, \"retries\": %llu, "
+                     "\"faults\": %llu, \"complete\": %s}%s\n",
+                     r.workers, r.fault_rate, r.seconds,
+                     g_cluster_study.direct_seconds > 0
+                         ? r.seconds / g_cluster_study.direct_seconds
+                         : 0.0,
+                     static_cast<unsigned long long>(r.attempts),
+                     static_cast<unsigned long long>(r.retries),
+                     static_cast<unsigned long long>(r.faults),
+                     r.complete ? "true" : "false",
+                     i + 1 < g_cluster_study.runs.size() ? "," : "");
+      }
+      std::fprintf(json, "    ]\n  },\n");
+    }
     // Daemon steady-state study (see run_daemon_study).
     if (g_daemon_study.ok) {
       std::fprintf(json,
@@ -1213,6 +1358,14 @@ int main(int argc, char** argv) {
       return 0;
     }
   }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cluster-only") == 0) {
+      // Just the loopback-worker dispatch study, no JSON (only
+      // run_pipeline_scaling holds the JSON pen).
+      entrace::run_cluster_study();
+      return entrace::g_cluster_study.ok ? 0 : 1;
+    }
+  }
   // The memory study must run before anything creates a thread: each
   // measurement forks, and fork() from a multi-threaded parent is unsafe.
   entrace::run_memory_study();
@@ -1230,6 +1383,9 @@ int main(int argc, char** argv) {
   // Spawns workers via fork+exec (async-signal-safe), so unlike the studies
   // above it is fine to run after threads have existed.
   entrace::run_orchestrate_study();
+  // Loopback TCP workers on in-process threads (thread-safe by now: the
+  // fork-based studies above have already finished).
+  entrace::run_cluster_study();
   entrace::run_daemon_study();
   entrace::run_pipeline_scaling();
   for (int i = 1; i < argc; ++i) {

@@ -1,0 +1,96 @@
+#include "cluster/fault.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace entrace::cluster {
+
+const char* to_string(NetInjectedFault fault) {
+  switch (fault) {
+    case NetInjectedFault::kNoInject:
+      return "none";
+    case NetInjectedFault::kRefuseInject:
+      return "refuse";
+    case NetInjectedFault::kDisconnectInject:
+      return "disconnect";
+    case NetInjectedFault::kCorruptFrameInject:
+      return "corrupt-frame";
+    case NetInjectedFault::kHangInject:
+      return "hang";
+    case NetInjectedFault::kNetFaultCount:
+      break;
+  }
+  return "?";
+}
+
+orchestrate::WorkerFault expected_fault(NetInjectedFault injected) {
+  switch (injected) {
+    case NetInjectedFault::kRefuseInject:
+      return orchestrate::WorkerFault::kConnectRefused;
+    case NetInjectedFault::kDisconnectInject:
+      return orchestrate::WorkerFault::kDisconnect;
+    case NetInjectedFault::kCorruptFrameInject:
+      return orchestrate::WorkerFault::kCorruptFrame;
+    case NetInjectedFault::kHangInject:
+      return orchestrate::WorkerFault::kHeartbeatTimeout;
+    case NetInjectedFault::kNoInject:
+    case NetInjectedFault::kNetFaultCount:
+      break;
+  }
+  return orchestrate::WorkerFault::kNone;
+}
+
+NetInjectedFault NetFaultInjection::draw(std::uint64_t job, int attempt) const {
+  if (!any() || attempt > attempt_limit) return NetInjectedFault::kNoInject;
+  // Same fork-per-(job, attempt) idiom as orchestrate::FaultInjection: the
+  // schedule is independent of dispatch order and endpoint count.
+  Rng rng = Rng(seed).fork(job).fork(static_cast<std::uint64_t>(attempt));
+  if (rng.bernoulli(refuse)) return NetInjectedFault::kRefuseInject;
+  if (rng.bernoulli(disconnect)) return NetInjectedFault::kDisconnectInject;
+  if (rng.bernoulli(corrupt)) return NetInjectedFault::kCorruptFrameInject;
+  if (rng.bernoulli(hang)) return NetInjectedFault::kHangInject;
+  return NetInjectedFault::kNoInject;
+}
+
+bool parse_net_inject_spec(const std::string& spec, NetFaultInjection& out, std::string* error) {
+  for (const std::string_view part : split(spec, ',')) {
+    if (part.empty()) continue;
+    const std::size_t eq = part.find('=');
+    if (eq == std::string_view::npos) {
+      if (error != nullptr) {
+        *error = "--net-inject entry '" + std::string(part) + "' is not key=probability";
+      }
+      return false;
+    }
+    const std::string key(part.substr(0, eq));
+    const std::string value(part.substr(eq + 1));
+    char* end = nullptr;
+    const double p = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      if (error != nullptr) {
+        *error = "--net-inject " + key + "=" + value + " is not a probability in [0, 1]";
+      }
+      return false;
+    }
+    if (key == "refuse") {
+      out.refuse = p;
+    } else if (key == "disconnect") {
+      out.disconnect = p;
+    } else if (key == "corrupt") {
+      out.corrupt = p;
+    } else if (key == "hang") {
+      out.hang = p;
+    } else {
+      if (error != nullptr) {
+        *error = "--net-inject key '" + key + "' unknown (want refuse|disconnect|corrupt|hang)";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace entrace::cluster

@@ -1,18 +1,24 @@
 #include "obs/http_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
 #include <stdexcept>
+
+#include "util/net_io.h"
 
 namespace entrace::obs {
 
 namespace {
+
+// Hard cap on what a client may send before we answer 400 and hang up: a
+// request line plus headers for the endpoints served here fits in a few
+// hundred bytes, so anything approaching the cap is garbage or abuse.
+constexpr std::size_t kMaxRequestBytes = 8192;
+// A connected client that never finishes its request line is cut off after
+// this long so it cannot wedge the single accept thread.
+constexpr int kRequestReadTimeoutMs = 2000;
 
 const char* status_text(int status) {
   switch (status) {
@@ -27,44 +33,13 @@ const char* status_text(int status) {
   }
 }
 
-// Best-effort full write; a client that hangs up mid-response is its own
-// problem (SIGPIPE is suppressed via MSG_NOSIGNAL).
-void send_all(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) return;
-    off += static_cast<std::size_t>(n);
-  }
-}
-
 }  // namespace
 
 HttpServer::HttpServer(std::uint16_t port, Handler handler) : handler_(std::move(handler)) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("http: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error(std::string("http: bind 127.0.0.1:") + std::to_string(port) +
-                             " failed: " + std::strerror(err));
-  }
-  if (::listen(listen_fd_, 16) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("http: listen() failed");
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
+  std::string error;
+  util::ScopedFd fd = util::tcp_listen(port, &port_, &error);
+  if (!fd.valid()) throw std::runtime_error("http: " + error);
+  listen_fd_ = fd.release();
 }
 
 HttpServer::~HttpServer() {
@@ -99,21 +74,30 @@ void HttpServer::serve_loop() {
 }
 
 void HttpServer::handle_connection(int fd) {
-  // One read is enough for the requests we serve (short GET lines); keep
-  // reading until the header terminator or 8 KiB, whichever first.
+  // Read until the request-line terminator, the size cap, the read
+  // timeout, or a mid-request hangup — whichever comes first.  All of the
+  // abnormal endings fall through to the 400 path below; none of them may
+  // take the accept loop down (malformed-request tests pin this).
   std::string req;
   char buf[2048];
-  while (req.size() < 8192 && req.find("\r\n\r\n") == std::string::npos &&
-         req.find('\n') == std::string::npos) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+  bool overlong = false;
+  while (req.find("\r\n\r\n") == std::string::npos && req.find('\n') == std::string::npos) {
+    if (req.size() >= kMaxRequestBytes) {
+      overlong = true;
+      break;
+    }
+    if (util::poll_in(fd, kRequestReadTimeoutMs) != 1) break;
+    const long n = util::recv_some(fd, buf, sizeof(buf));
+    if (n <= 0) break;  // peer closed mid-request or hard error
     req.append(buf, static_cast<std::size_t>(n));
   }
+  if (req.empty()) return;  // connect-and-close probe: nothing to answer
 
   HttpResponse resp;
   const std::size_t sp1 = req.find(' ');
   const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos : req.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos || req.compare(0, sp1, "GET") != 0) {
+  if (overlong || sp1 == std::string::npos || sp2 == std::string::npos ||
+      req.compare(0, sp1, "GET") != 0) {
     resp = HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"};
   } else {
     const std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
@@ -129,7 +113,9 @@ void HttpServer::handle_connection(int fd) {
                     "\r\nContent-Length: " + std::to_string(resp.body.size()) +
                     "\r\nConnection: close\r\n\r\n";
   out += resp.body;
-  send_all(fd, out);
+  // Partial writes and EINTR are handled inside; a client that hangs up
+  // mid-response is its own problem.
+  util::send_all(fd, out.data(), out.size());
 }
 
 }  // namespace entrace::obs

@@ -22,6 +22,14 @@ const char* to_string(WorkerFault fault) {
       return "snapshot-rejected";
     case WorkerFault::kWrongTraceRange:
       return "wrong-trace-range";
+    case WorkerFault::kConnectRefused:
+      return "connect-refused";
+    case WorkerFault::kDisconnect:
+      return "disconnect";
+    case WorkerFault::kCorruptFrame:
+      return "corrupt-frame";
+    case WorkerFault::kHeartbeatTimeout:
+      return "heartbeat-timeout";
     case WorkerFault::kCount:
       break;
   }

@@ -33,6 +33,14 @@ enum class WorkerFault : std::uint8_t {
   kTruncatedSnapshot,  // exit 0 but the snapshot is missing or cut short
   kSnapshotRejected,   // exit 0 but the snapshot failed CRC/structural validation
   kWrongTraceRange,    // snapshot decodes but covers the wrong dataset slice
+  // Network fault kinds, observed by the cluster coordinator (cluster/
+  // coordinator.h) rather than the process supervisor.  They live in the
+  // same taxonomy so retry budgets, per-fault counters, and coverage
+  // manifests treat a dead TCP peer exactly like a dead child process.
+  kConnectRefused,     // endpoint unreachable: dial failed or timed out
+  kDisconnect,         // connection dropped mid-stream before DONE
+  kCorruptFrame,       // frame failed CRC/structural validation
+  kHeartbeatTimeout,   // worker stopped sending frames past the deadline
   kCount
 };
 

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <vector>
 
 namespace entrace::snapshot {
 
@@ -52,6 +53,16 @@ class RetentionManager {
   std::size_t add_window(const WindowSummary& summary, const std::string& esnap_path);
 
   std::size_t tier0_count() const { return tier0_.size(); }
+
+  // Paths of the retained full-resolution checkpoints, oldest first — the
+  // window order render_windowed_report expects.
+  std::vector<std::string> tier0_paths() const {
+    std::vector<std::string> paths;
+    paths.reserve(tier0_.size());
+    for (const Tier0Entry& e : tier0_) paths.push_back(e.path);
+    return paths;
+  }
+
   std::uint64_t tier1_count() const { return summarized_; }
   const std::string& summary_path() const { return summary_path_; }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/report.h"
 #include "snapshot/reader.h"
 #include "snapshot/writer.h"
 
@@ -103,6 +104,21 @@ std::vector<TraceShard> merge_window_shards(std::vector<WindowShard>&& windows,
     }
   }
   return out;
+}
+
+std::string render_windowed_report(const std::vector<std::string>& window_paths,
+                                   const DatasetSpec& spec, const AnalyzerConfig& config) {
+  std::vector<WindowShard> windows;
+  windows.reserve(window_paths.size());
+  for (std::size_t i = 0; i < window_paths.size(); ++i) {
+    WindowShard win = read_window_snapshot(window_paths[i]);
+    win.index = i;  // window order is the caller's path order
+    windows.push_back(std::move(win));
+  }
+  DatasetAnalysis analysis =
+      fold_shards(spec.name, merge_window_shards(std::move(windows), config), config);
+  const report::ReportInput input{&spec, &analysis};
+  return report::full_report({&input, 1});
 }
 
 }  // namespace entrace::snapshot

@@ -26,6 +26,7 @@
 
 #include "core/incremental.h"
 #include "snapshot/format.h"
+#include "synth/dataset_spec.h"
 
 namespace entrace::snapshot {
 
@@ -50,5 +51,14 @@ WindowShard read_window_snapshot(const std::string& path);
 // with config.flow).
 std::vector<TraceShard> merge_window_shards(std::vector<WindowShard>&& windows,
                                             const AnalyzerConfig& config);
+
+// Read the given window checkpoints (in window order — oldest first), fold
+// them via merge_window_shards, and render the full paper report over the
+// result.  This is what a report "over the retained history" means for a
+// long-running daemon: the answer covers exactly the tier-0 windows, no
+// more.  Throws SnapshotError / std::runtime_error when a checkpoint is
+// unreadable (e.g. it aged out between listing and reading).
+std::string render_windowed_report(const std::vector<std::string>& window_paths,
+                                   const DatasetSpec& spec, const AnalyzerConfig& config);
 
 }  // namespace entrace::snapshot

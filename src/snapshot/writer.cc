@@ -179,13 +179,35 @@ void encode_host_set(ByteWriter& w, const std::set<std::uint32_t>& hosts) {
 SnapshotWriter::SnapshotWriter(const std::string& path, const SnapshotMeta& meta)
     : path_(path),
       tmp_path_(path + ".tmp"),
-      out_(tmp_path_, std::ios::binary | std::ios::trunc) {
+      out_(tmp_path_, std::ios::binary | std::ios::trunc),
+      sink_(&out_) {
   if (!out_) throw std::runtime_error("snapshot writer: cannot create " + tmp_path_);
-  out_.write(kMagic, kMagicSize);
+  write_header(meta);
+}
+
+SnapshotWriter::SnapshotWriter(std::ostream& sink, const SnapshotMeta& meta) : sink_(&sink) {
+  write_header(meta);
+}
+
+SnapshotWriter::~SnapshotWriter() {
+  // Abandoned without close() (exception unwind): nothing was ever renamed
+  // onto the destination, so just drop the partial .tmp.  A hard-killed
+  // process skips this too, which is fine — the .tmp is not the
+  // destination name and the next attempt truncates it.  Stream-sink mode
+  // has nothing to clean up; the caller owns the (now end-marker-less,
+  // reader-rejected) bytes.
+  if (!closed_ && !tmp_path_.empty()) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void SnapshotWriter::write_header(const SnapshotMeta& meta) {
+  sink_->write(kMagic, kMagicSize);
   ByteWriter version;
   version.u32(kFormatVersion);
-  out_.write(reinterpret_cast<const char*>(version.bytes().data()),
-             static_cast<std::streamsize>(version.bytes().size()));
+  sink_->write(reinterpret_cast<const char*>(version.bytes().data()),
+               static_cast<std::streamsize>(version.bytes().size()));
   offset_ = kHeaderSize;
 
   ByteWriter w;
@@ -195,31 +217,20 @@ SnapshotWriter::SnapshotWriter(const std::string& path, const SnapshotMeta& meta
   write_section(SectionType::kDatasetMeta, w);
 }
 
-SnapshotWriter::~SnapshotWriter() {
-  // Abandoned without close() (exception unwind): nothing was ever renamed
-  // onto the destination, so just drop the partial .tmp.  A hard-killed
-  // process skips this too, which is fine — the .tmp is not the
-  // destination name and the next attempt truncates it.
-  if (!closed_) {
-    out_.close();
-    std::remove(tmp_path_.c_str());
-  }
-}
-
 void SnapshotWriter::write_section(SectionType type, const ByteWriter& payload) {
   const std::vector<std::uint8_t>& bytes = payload.bytes();
   ByteWriter frame;
   frame.u32(static_cast<std::uint32_t>(type));
   frame.u64(bytes.size());
-  out_.write(reinterpret_cast<const char*>(frame.bytes().data()),
-             static_cast<std::streamsize>(frame.bytes().size()));
-  out_.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
+  sink_->write(reinterpret_cast<const char*>(frame.bytes().data()),
+               static_cast<std::streamsize>(frame.bytes().size()));
+  sink_->write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
   ByteWriter trailer;
   trailer.u32(crc32(bytes));
-  out_.write(reinterpret_cast<const char*>(trailer.bytes().data()),
-             static_cast<std::streamsize>(trailer.bytes().size()));
-  if (!out_) throw std::runtime_error("snapshot writer: write failed on " + path_);
+  sink_->write(reinterpret_cast<const char*>(trailer.bytes().data()),
+               static_cast<std::streamsize>(trailer.bytes().size()));
+  if (!*sink_) throw std::runtime_error("snapshot writer: write failed on " + path_);
   offset_ += kSectionHeaderSize + bytes.size() + kSectionTrailerSize;
 }
 
@@ -368,8 +379,12 @@ void SnapshotWriter::add_shard(std::uint32_t trace_index, const TraceShard& shar
 void SnapshotWriter::close() {
   if (closed_) return;
   write_section(SectionType::kEnd, ByteWriter());
-  out_.flush();
-  if (!out_) throw std::runtime_error("snapshot writer: flush failed on " + tmp_path_);
+  sink_->flush();
+  if (!*sink_) throw std::runtime_error("snapshot writer: flush failed on " + tmp_path_);
+  if (tmp_path_.empty()) {
+    closed_ = true;
+    return;
+  }
   out_.close();
   // The rename is the commit point: only a byte-complete snapshot (end
   // marker flushed) ever appears under the destination name.

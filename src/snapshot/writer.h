@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <ostream>
 #include <string>
 
 #include "core/analyzer.h"
@@ -31,6 +32,15 @@ class SnapshotWriter {
   // Opens the file and writes magic + version + the dataset-meta section.
   // Throws std::runtime_error when the file cannot be created.
   SnapshotWriter(const std::string& path, const SnapshotMeta& meta);
+
+  // Stream-sink mode: encode the same byte stream into `sink` (e.g. an
+  // ostringstream) instead of a file.  close() writes the end marker and
+  // flushes; there is no tmp/rename because there is no destination path —
+  // the cluster worker streams these bytes over TCP, where the DONE
+  // message's whole-stream CRC plays the commit-point role the atomic
+  // rename plays on disk.  `sink` must outlive the writer.
+  SnapshotWriter(std::ostream& sink, const SnapshotMeta& meta);
+
   ~SnapshotWriter();
 
   SnapshotWriter(const SnapshotWriter&) = delete;
@@ -50,11 +60,13 @@ class SnapshotWriter {
   std::uint64_t bytes_written() const { return offset_; }
 
  private:
+  void write_header(const SnapshotMeta& meta);
   void write_section(SectionType type, const ByteWriter& payload);
 
-  std::string path_;
-  std::string tmp_path_;
-  std::ofstream out_;
+  std::string path_;      // empty in stream-sink mode
+  std::string tmp_path_;  // empty in stream-sink mode
+  std::ofstream out_;     // unopened in stream-sink mode
+  std::ostream* sink_ = nullptr;  // &out_ in file mode, the caller's stream otherwise
   std::uint64_t offset_ = 0;
   std::int64_t last_index_ = -1;
   bool closed_ = false;

@@ -16,6 +16,7 @@
 //   /metrics        Prometheus text (daemon.* operational metrics)
 //   /metrics.json   the same, as JSON
 //   /window/latest  summary of the most recently checkpointed window
+//   /report         full paper report folded over the retained tier-0 windows
 //   /status.json    event-loop status (windows, packets, live flows, ...)
 //   /healthz        liveness
 //
@@ -173,10 +174,34 @@ struct DaemonStatus {
   std::uint64_t tier1 = 0;
   bool draining = false;
   std::string latest_window_json;  // empty until the first checkpoint
+  std::vector<std::string> tier0_paths;  // retained checkpoints, oldest first
 };
 
-obs::HttpResponse handle_http(DaemonStatus& st, const std::string& path) {
+obs::HttpResponse handle_http(DaemonStatus& st, const DatasetSpec& spec,
+                              const AnalyzerConfig& config, const std::string& path) {
   if (path == "/healthz") return {200, "text/plain; charset=utf-8", "ok\n"};
+
+  if (path == "/report") {
+    // Fold the retained tier-0 checkpoints back into the full paper report.
+    // The fold reads files and can take a while, so it runs outside the
+    // status lock; a checkpoint racing us can age a window out from under
+    // the read, which answers 500 rather than a torn report.
+    std::vector<std::string> paths;
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      paths = st.tier0_paths;
+    }
+    if (paths.empty()) {
+      return {404, "text/plain; charset=utf-8", "no window checkpointed yet\n"};
+    }
+    try {
+      return {200, "text/plain; charset=utf-8",
+              snapshot::render_windowed_report(paths, spec, config)};
+    } catch (const std::exception& e) {
+      return {500, "text/plain; charset=utf-8",
+              std::string("report unavailable (checkpoint aged out?): ") + e.what() + "\n"};
+    }
+  }
 
   std::lock_guard<std::mutex> lock(st.mu);
   if (path == "/metrics" || path == "/metrics.json") {
@@ -355,8 +380,9 @@ int main(int argc, char** argv) {
   std::unique_ptr<obs::HttpServer> http;
   if (http_port >= 0) {
     http = std::make_unique<obs::HttpServer>(
-        static_cast<std::uint16_t>(http_port),
-        [&status](const std::string& path) { return handle_http(status, path); });
+        static_cast<std::uint16_t>(http_port), [&status, &spec, &config](const std::string& path) {
+          return handle_http(status, spec, config, path);
+        });
     http->start();
     std::fprintf(stderr, "entrace_daemon: http on 127.0.0.1:%u\n", http->port());
   }
@@ -370,6 +396,7 @@ int main(int argc, char** argv) {
     status.windows = analyzer.windows_rotated();
     status.tier0 = retention.tier0_count();
     status.tier1 = retention.tier1_count();
+    status.tier0_paths = retention.tier0_paths();
     status.latest_window_json = snapshot::to_json_line(summary);
   };
 

@@ -16,18 +16,32 @@
 // probabilities, seeded per job attempt) — the same knob the orchestrate
 // test suite and bench study use:
 //
-//   $ entrace_orchestrate D0 0.01 --workers 4 --retries 3 \
+//   $ entrace_orchestrate D0 0.01 --workers 4 --retries 3 ..
 //       --inject crash=0.2,hang=0.05,truncate=0.1,corrupt=0.1 > report.txt
+//
+// --cluster switches from subprocess workers to network workers
+// (src/cluster): jobs are dispatched over TCP to entrace_worker endpoints
+// and the .esnap bytes stream back in CRC-framed chunks, with the same
+// retry/fault/partial semantics.  --cluster-workers spawns N loopback
+// workers locally (tests, bench) and tears them down afterwards:
+//
+//   $ entrace_orchestrate D0 0.01 --cluster-workers 2 ..
+//       --net-inject refuse=0.1,disconnect=0.1 > report.txt
+//   $ entrace_orchestrate D0 0.01 --cluster 10.0.0.5:7461,10.0.0.6:7461
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "cluster/coordinator.h"
 #include "obs/exposition.h"
 #include "orchestrate/supervisor.h"
 #include "util/cli.h"
+#include "util/subprocess.h"
 
 using namespace entrace;
 
@@ -51,18 +65,73 @@ int usage(const char* argv0) {
       "  [--keep-files]        keep the per-job .esnap files after the fold\n"
       "  [--shard-bin PATH]    entrace_shard binary (default: next to this binary)\n"
       "  [--metrics-out FILE]  write orchestration metrics (.json or .prom)\n"
-      "  [--verbose]           per-event progress on stderr\n",
+      "  [--verbose]           per-event progress on stderr\n"
+      "cluster mode (network workers instead of subprocesses):\n"
+      "  [--cluster H:P,...]     dispatch to these entrace_worker endpoints\n"
+      "  [--cluster-workers N]   spawn N loopback workers and use them\n"
+      "  [--worker-bin PATH]     entrace_worker binary (default: next to this binary)\n"
+      "  [--net-inject SPEC]     refuse=P,disconnect=P,corrupt=P,hang=P per-attempt faults\n"
+      "  [--net-inject-attempts N] inject only into each job's first N attempts\n"
+      "  [--hb-interval S]       worker heartbeat cadence, seconds (default 0.1)\n"
+      "  [--hb-timeout S]        silence deadline before a worker is hung (default 5)\n",
       argv0);
   return 2;
 }
 
-// The worker binary ships next to this one; fall back to argv[0]'s
+// The worker binaries ship next to this one; fall back to argv[0]'s
 // directory when /proc/self/exe is unavailable.
-std::string default_shard_binary(const char* argv0) {
+std::string sibling_binary(const char* argv0, const char* name) {
   std::error_code ec;
   std::filesystem::path self = std::filesystem::read_symlink("/proc/self/exe", ec);
   if (ec) self = std::filesystem::absolute(argv0, ec);
-  return (self.parent_path() / "entrace_shard").string();
+  return (self.parent_path() / name).string();
+}
+
+// Spawn N loopback entrace_worker processes, discover their
+// kernel-assigned ports through --port-file, and return the endpoints.
+// Throws on spawn or discovery failure; `spawned` always holds whatever
+// was launched so the caller's teardown reaps it.
+std::vector<std::string> spawn_loopback_workers(const std::string& worker_bin,
+                                                const std::string& work_dir, std::size_t count,
+                                                bool verbose,
+                                                std::vector<util::Subprocess>& spawned) {
+  std::filesystem::create_directories(work_dir);
+  std::vector<std::string> port_files;
+  for (std::size_t w = 0; w < count; ++w) {
+    const std::string port_file =
+        (std::filesystem::path(work_dir) / ("worker_" + std::to_string(w) + ".port")).string();
+    std::error_code ec;
+    std::filesystem::remove(port_file, ec);
+    std::vector<std::string> argv = {worker_bin, "--port-file", port_file, "--name",
+                                     "w" + std::to_string(w)};
+    if (verbose) argv.push_back("--verbose");
+    spawned.push_back(util::Subprocess::spawn(argv));
+    port_files.push_back(port_file);
+  }
+
+  std::vector<std::string> endpoints;
+  for (std::size_t w = 0; w < count; ++w) {
+    // The port file appears via rename, so a file that exists is complete.
+    for (int tick = 0;; ++tick) {
+      if (std::filesystem::exists(port_files[w])) break;
+      if (!spawned[w].running()) {
+        throw std::runtime_error("worker " + std::to_string(w) + " exited before binding");
+      }
+      if (tick >= 1000) {
+        throw std::runtime_error("worker " + std::to_string(w) + " never published its port");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::FILE* f = std::fopen(port_files[w].c_str(), "r");
+    unsigned port = 0;
+    if (f == nullptr || std::fscanf(f, "%u", &port) != 1 || port == 0 || port > 65535) {
+      if (f != nullptr) std::fclose(f);
+      throw std::runtime_error("bad port file " + port_files[w]);
+    }
+    std::fclose(f);
+    endpoints.push_back("127.0.0.1:" + std::to_string(port));
+  }
+  return endpoints;
 }
 
 }  // namespace
@@ -73,6 +142,11 @@ int main(int argc, char** argv) {
   config.work_dir = "orchestrate.work";
   bool allow_partial = false;
   std::string metrics_out;
+  std::string cluster_spec;
+  std::size_t cluster_workers = 0;
+  std::string worker_bin;
+  cluster::NetFaultInjection net_inject;
+  double hb_interval = 0.1, hb_timeout = 5.0;
   std::vector<const char*> positionals;
 
   for (int i = 1; i < argc; ++i) {
@@ -100,6 +174,25 @@ int main(int argc, char** argv) {
       const std::uint64_t seed = std::strtoull(v, nullptr, 10);
       config.inject.seed = seed;
       config.retry.seed = seed;
+      net_inject.seed = seed;
+    } else if (const char* v = flag_value("--cluster")) {
+      cluster_spec = v;
+    } else if (const char* v = flag_value("--cluster-workers")) {
+      cluster_workers = static_cast<std::size_t>(std::atoi(v));
+    } else if (const char* v = flag_value("--worker-bin")) {
+      worker_bin = v;
+    } else if (const char* v = flag_value("--net-inject")) {
+      std::string error;
+      if (!cluster::parse_net_inject_spec(v, net_inject, &error)) {
+        std::fprintf(stderr, "--net-inject: %s\n", error.c_str());
+        return usage(argv[0]);
+      }
+    } else if (const char* v = flag_value("--net-inject-attempts")) {
+      net_inject.attempt_limit = std::atoi(v);
+    } else if (const char* v = flag_value("--hb-interval")) {
+      hb_interval = std::strtod(v, nullptr);
+    } else if (const char* v = flag_value("--hb-timeout")) {
+      hb_timeout = std::strtod(v, nullptr);
     } else if (const char* v = flag_value("--inject")) {
       std::string error;
       if (!orchestrate::parse_inject_spec(v, config.inject, &error)) {
@@ -134,23 +227,56 @@ int main(int argc, char** argv) {
   }
   config.dataset = dataset.name;
   config.scale = dataset.scale;
-  if (config.shard_binary.empty()) config.shard_binary = default_shard_binary(argv[0]);
+  if (config.shard_binary.empty()) config.shard_binary = sibling_binary(argv[0], "entrace_shard");
 
   obs::Registry metrics;
   config.metrics = &metrics;
 
+  const bool cluster_mode = !cluster_spec.empty() || cluster_workers > 0;
+  const char* mode = cluster_mode ? "cluster" : "orchestrate";
   orchestrate::OrchestrateResult result;
+  std::vector<util::Subprocess> spawned;
   try {
-    result = orchestrate::orchestrate(config);
+    if (cluster_mode) {
+      cluster::ClusterConfig cc;
+      cc.dataset = config.dataset;
+      cc.scale = config.scale;
+      cc.jobs = config.jobs;
+      cc.shard_threads = config.shard_threads;
+      cc.retry = config.retry;
+      cc.inject = net_inject;
+      cc.heartbeat_interval = hb_interval;
+      cc.heartbeat_deadline = hb_timeout;
+      cc.metrics = &metrics;
+      cc.verbose = config.verbose;
+      if (!cluster_spec.empty()) {
+        std::string eperr;
+        if (!cluster::parse_endpoints(cluster_spec, cc.endpoints, &eperr)) {
+          std::fprintf(stderr, "--cluster: %s\n", eperr.c_str());
+          return usage(argv[0]);
+        }
+      }
+      if (cluster_workers > 0) {
+        if (worker_bin.empty()) worker_bin = sibling_binary(argv[0], "entrace_worker");
+        const std::vector<std::string> local = spawn_loopback_workers(
+            worker_bin, config.work_dir, cluster_workers, config.verbose, spawned);
+        cc.endpoints.insert(cc.endpoints.end(), local.begin(), local.end());
+      }
+      result = cluster::run_cluster(cc);
+      for (util::Subprocess& worker : spawned) worker.kill_and_wait();
+    } else {
+      result = orchestrate::orchestrate(config);
+    }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "orchestrate: %s\n", e.what());
+    for (util::Subprocess& worker : spawned) worker.kill_and_wait();
+    std::fprintf(stderr, "%s: %s\n", mode, e.what());
     return 2;
   }
 
   std::fprintf(stderr,
-               "orchestrate: %zu jobs, %llu attempts (%llu retries), %llu faults; "
+               "%s: %zu jobs, %llu attempts (%llu retries), %llu faults; "
                "%zu of %u traces covered\n",
-               result.jobs.size(), static_cast<unsigned long long>(result.attempts),
+               mode, result.jobs.size(), static_cast<unsigned long long>(result.attempts),
                static_cast<unsigned long long>(result.retries),
                static_cast<unsigned long long>(result.fault_counts.total_faults()),
                result.manifest.covered(), result.manifest.trace_count);
@@ -170,7 +296,7 @@ int main(int argc, char** argv) {
 
   if (!result.complete && !allow_partial) {
     std::fprintf(stderr,
-                 "orchestrate: incomplete run (missing traces %s) and --allow-partial not set\n",
+                 "%s: incomplete run (missing traces %s) and --allow-partial not set\n", mode,
                  result.manifest.missing_ranges().c_str());
     return 1;
   }
