@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <stdexcept>
 
 #include "util/net_io.h"
@@ -19,6 +20,9 @@ constexpr std::size_t kMaxRequestBytes = 8192;
 // A connected client that never finishes its request line is cut off after
 // this long so it cannot wedge the single accept thread.
 constexpr int kRequestReadTimeoutMs = 2000;
+// With a worker pool, at most this many accepted connections may wait for
+// a handler; beyond it the accept loop sheds load by closing.
+constexpr std::size_t kMaxQueuedConnections = 64;
 
 const char* status_text(int status) {
   switch (status) {
@@ -35,7 +39,8 @@ const char* status_text(int status) {
 
 }  // namespace
 
-HttpServer::HttpServer(std::uint16_t port, Handler handler) : handler_(std::move(handler)) {
+HttpServer::HttpServer(std::uint16_t port, Handler handler, std::size_t workers)
+    : handler_(std::move(handler)), workers_(workers) {
   std::string error;
   util::ScopedFd fd = util::tcp_listen(port, &port_, &error);
   if (!fd.valid()) throw std::runtime_error("http: " + error);
@@ -51,6 +56,9 @@ void HttpServer::start() {
   if (started_) return;
   started_ = true;
   stopping_.store(false, std::memory_order_release);
+  for (std::size_t i = 0; i < workers_; ++i) {
+    pool_.emplace_back([this] { worker_loop(); });
+  }
   thread_ = std::thread([this] { serve_loop(); });
 }
 
@@ -58,6 +66,16 @@ void HttpServer::stop() {
   if (!started_) return;
   stopping_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
+  queue_cv_.notify_all();
+  for (std::thread& t : pool_) {
+    if (t.joinable()) t.join();
+  }
+  pool_.clear();
+  // Connections still queued were never answered; close them so the peers
+  // see a hangup instead of a leak.
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  for (const int fd : queue_) ::close(fd);
+  queue_.clear();
   started_ = false;
 }
 
@@ -68,6 +86,38 @@ void HttpServer::serve_loop() {
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (workers_ == 0) {
+      handle_connection(fd);
+      ::close(fd);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.size() >= kMaxQueuedConnections) {
+        ::close(fd);  // shed load; the client sees a hangup and retries
+        continue;
+      }
+      queue_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpServer::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait_for(lock, std::chrono::milliseconds(100), [this] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      fd = queue_.front();
+      queue_.pop_front();
+    }
     handle_connection(fd);
     ::close(fd);
   }
@@ -100,7 +150,12 @@ void HttpServer::handle_connection(int fd) {
       req.compare(0, sp1, "GET") != 0) {
     resp = HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"};
   } else {
-    const std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+    // Dispatch on the bare path: "GET /healthz?probe=1" must reach the
+    // /healthz handler, not 404.  (Fragments never legitimately appear in
+    // a request target, but a client that sends one gets the same mercy.)
+    const std::size_t cut = path.find_first_of("?#");
+    if (cut != std::string::npos) path.resize(cut);
     try {
       resp = handler_(path);
     } catch (const std::exception& e) {

@@ -1,11 +1,69 @@
 #include "snapshot/retention.h"
 
 #include <cstdio>
+#include <cstring>
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <stdexcept>
 
 namespace entrace::snapshot {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// "window-00000042.esnap" -> 42.
+bool parse_window_file(const std::string& name, std::uint64_t& index) {
+  unsigned long long v = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "window-%8llu.esnap%n", &v, &consumed) != 1) return false;
+  if (static_cast<std::size_t>(consumed) != name.size()) return false;
+  index = v;
+  return true;
+}
+
+// "sketch1-00000000-00000007.esnap" -> tier 1, [0, 7].
+bool parse_sketch_file(const std::string& name, int& tier, std::uint64_t& first,
+                       std::uint64_t& last) {
+  int t = 0;
+  unsigned long long a = 0, b = 0;
+  int consumed = 0;
+  if (std::sscanf(name.c_str(), "sketch%d-%8llu-%8llu.esnap%n", &t, &a, &b, &consumed) != 3) {
+    return false;
+  }
+  if (static_cast<std::size_t>(consumed) != name.size()) return false;
+  if ((t != 1 && t != 2) || a > b) return false;
+  tier = t;
+  first = a;
+  last = b;
+  return true;
+}
+
+std::uint64_t file_size_or_zero(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t n = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(n);
+}
+
+// Extract the "window":N field of a summary line; nullopt on a torn or
+// foreign line (both are skipped — the file is append-only and a crash may
+// tear the final line).
+std::optional<std::uint64_t> summary_line_index(const std::string& line) {
+  static constexpr char kKey[] = "\"window\":";
+  const std::size_t at = line.find(kKey);
+  if (at == std::string::npos) return std::nullopt;
+  const char* s = line.c_str() + at + sizeof(kKey) - 1;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
 
 std::string to_json_line(const WindowSummary& s) {
   std::ostringstream out;
@@ -17,27 +75,307 @@ std::string to_json_line(const WindowSummary& s) {
   return out.str();
 }
 
+WindowSummary summarize_window(const WindowShard& win) {
+  WindowSummary s;
+  s.index = win.index;
+  s.start_ts = win.start_ts;
+  s.end_ts = win.end_ts;
+  for (const TraceShard& shard : win.shards) {
+    s.packets += shard.total_packets;
+    s.wire_bytes += shard.total_wire_bytes;
+    if (shard.table != nullptr) s.connections += shard.table->connections().size();
+    s.app_events += shard.events.total();
+  }
+  return s;
+}
+
+std::string sketch_file_name(int tier, std::uint64_t first_window, std::uint64_t last_window) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "sketch%d-%08llu-%08llu.esnap", tier,
+                static_cast<unsigned long long>(first_window),
+                static_cast<unsigned long long>(last_window));
+  return buf;
+}
+
 RetentionManager::RetentionManager(std::string dir, std::size_t keep_full)
     : dir_(std::move(dir)), summary_path_(dir_ + "/summary.jsonl"), keep_full_(keep_full) {}
 
-std::size_t RetentionManager::add_window(const WindowSummary& summary,
-                                         const std::string& esnap_path) {
-  tier0_.push_back(Tier0Entry{summary, esnap_path});
-  std::size_t aged = 0;
-  while (tier0_.size() > keep_full_) {
-    const Tier0Entry& old = tier0_.front();
-    {
-      // Append-only: one complete JSON line per aged window.  A crash mid-
-      // append tears at most the final line, which readers skip.
-      std::ofstream out(summary_path_, std::ios::app);
-      out << to_json_line(old.summary) << "\n";
-    }
-    std::remove(old.path.c_str());
-    tier0_.pop_front();
-    ++summarized_;
-    ++aged;
+RetentionManager::RetentionManager(std::string dir, const RetentionOptions& opts,
+                                   const AnalyzerConfig& config, const SnapshotMeta& meta)
+    : dir_(std::move(dir)),
+      summary_path_(dir_ + "/summary.jsonl"),
+      keep_full_(opts.keep_full),
+      sketch_every_(opts.sketch_every),
+      config_(config),
+      meta_(meta) {
+  if (sketch_every_ < 2) {
+    throw std::invalid_argument("RetentionOptions::sketch_every must be >= 2");
   }
-  return aged;
+  recover_scan();
+}
+
+AgeResult RetentionManager::add_window(const WindowSummary& summary,
+                                       const std::string& esnap_path) {
+  AgeResult r;
+  // A restarted run re-using an index path replaces the recovered entry —
+  // the file on disk was just overwritten, so the old accounting is stale.
+  for (auto it = tier0_.begin(); it != tier0_.end(); ++it) {
+    if (it->path == esnap_path) {
+      bytes_ -= it->summary.snapshot_bytes;
+      tier0_.erase(it);
+      break;
+    }
+  }
+  tier0_.push_back(Tier0Entry{summary, esnap_path});
+  bytes_ += summary.snapshot_bytes;
+  age_down(r);
+  return r;
+}
+
+void RetentionManager::age_down(AgeResult& r) {
+  while (tier0_.size() > keep_full_) {
+    Tier0Entry old = std::move(tier0_.front());
+    tier0_.pop_front();
+    // Headline tier first: one complete JSON line per aged window.  A crash
+    // mid-append tears at most the final line, which readers skip.
+    if (!append_summary(old.summary)) note_io_error(r);
+    ++summarized_;
+    ++r.aged;
+    if (sketch_every_ >= 2) {
+      // The window keeps its .esnap until the sketch covering it has been
+      // renamed into place (crash safety: no window is ever only-in-flight).
+      pending_.push_back(FileEntry{old.summary.index, old.summary.index, old.path,
+                                   old.summary.snapshot_bytes});
+    } else {
+      if (std::remove(old.path.c_str()) != 0) note_io_error(r);
+      bytes_ -= old.summary.snapshot_bytes;
+    }
+  }
+  if (sketch_every_ < 2) return;
+  while (pending_.size() >= sketch_every_) {
+    if (!fold_into(pending_, sketch_every_, 1, tier1_, r)) break;
+  }
+  while (tier1_.size() >= sketch_every_) {
+    if (!fold_into(tier1_, sketch_every_, 2, tier2_, r)) break;
+  }
+  // Tier-2 compaction: fold the whole tier into one sketch so it never
+  // exceeds sketch_every files no matter how long the run.
+  while (tier2_.size() >= sketch_every_) {
+    if (!fold_into(tier2_, tier2_.size(), 2, tier2_, r)) break;
+  }
+}
+
+bool RetentionManager::append_summary(const WindowSummary& s) {
+  std::ofstream out(summary_path_, std::ios::app);
+  if (!out) return false;
+  const std::string line = to_json_line(s) + "\n";
+  out << line;
+  out.flush();
+  if (!out) return false;
+  bytes_ += line.size();
+  return true;
+}
+
+bool RetentionManager::fold_into(std::deque<FileEntry>& src, std::size_t count, int out_tier,
+                                 std::deque<FileEntry>& dst, AgeResult& r) {
+  std::vector<WindowShard> windows;
+  windows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    try {
+      WindowShard w = read_window_snapshot(src[i].path);
+      w.index = src[i].first;
+      windows.push_back(std::move(w));
+    } catch (const std::exception&) {
+      // A damaged input would wedge the tier forever if we kept retrying
+      // it: drop the entry (its headline line survives in summary.jsonl)
+      // and let the next aging pass fold the survivors.
+      note_io_error(r);
+      std::remove(src[i].path.c_str());
+      bytes_ -= src[i].bytes;
+      src.erase(src.begin() + static_cast<std::ptrdiff_t>(i));
+      return false;
+    }
+  }
+
+  WindowShard merged;
+  merged.index = src.front().first;
+  merged.start_ts = windows.front().start_ts;
+  merged.end_ts = windows.back().end_ts;
+  merged.shards = merge_window_shards(std::move(windows), config_);
+
+  FileEntry out;
+  out.first = src.front().first;
+  out.last = src[count - 1].last;
+  out.path = dir_ + "/" + sketch_file_name(out_tier, out.first, out.last);
+  try {
+    // Crash-safe tmp+rename inside the writer: the sketch either exists
+    // complete or not at all, and the inputs are deleted only afterwards.
+    out.bytes = write_window_snapshot(out.path, meta_, merged);
+  } catch (const std::exception&) {
+    note_io_error(r);  // inputs intact; retried on the next aging pass
+    return false;
+  }
+  ++r.folds;
+  ++folds_;
+  bytes_ += out.bytes;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (std::remove(src.front().path.c_str()) != 0) note_io_error(r);
+    bytes_ -= src.front().bytes;
+    src.pop_front();
+  }
+  dst.push_back(std::move(out));
+  return true;
+}
+
+void RetentionManager::note_io_error(AgeResult& r) {
+  ++r.io_errors;
+  ++io_errors_;
+}
+
+void RetentionManager::recover_scan() {
+  // Headline tier: count recovered summary lines and find the highest
+  // summarized window index — windows at or below it already aged out of
+  // tier 0 before the crash, so they re-enter as pending, not tier-0
+  // (re-summarizing them would duplicate their lines).
+  std::optional<std::uint64_t> max_summarized;
+  {
+    std::ifstream in(summary_path_);
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::optional<std::uint64_t> idx = summary_line_index(line);
+      if (!idx.has_value()) continue;  // torn final line or foreign content
+      ++summarized_;
+      if (!max_summarized.has_value() || *idx > *max_summarized) max_summarized = *idx;
+    }
+  }
+  bytes_ += file_size_or_zero(summary_path_);
+
+  struct WindowCandidate {
+    std::uint64_t index = 0;
+    std::string path;
+    std::uint64_t bytes = 0;
+    WindowSummary summary;
+  };
+  std::vector<WindowCandidate> windows;
+  std::vector<FileEntry> tier1, tier2;
+
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    const std::string path = entry.path().string();
+    std::uint64_t index = 0, first = 0, last = 0;
+    int tier = 0;
+    if (parse_window_file(name, index)) {
+      // Validate by decoding (torn checkpoints from a crash are rejected);
+      // the decoded shards also rebuild the headline summary the entry
+      // needs when it eventually ages (timestamps are not in the format and
+      // recover as zero — headline counts stay exact).
+      try {
+        WindowShard w = read_window_snapshot(path);
+        w.index = index;
+        WindowCandidate c;
+        c.index = index;
+        c.path = path;
+        c.bytes = file_size_or_zero(path);
+        c.summary = summarize_window(w);
+        c.summary.snapshot_bytes = c.bytes;
+        windows.push_back(std::move(c));
+      } catch (const std::exception&) {
+        ++recovery_rejected_;
+        std::remove(path.c_str());
+      }
+    } else if (parse_sketch_file(name, tier, first, last)) {
+      try {
+        read_window_snapshot(path);  // torn sketch rejected, run continues
+        FileEntry e{first, last, path, file_size_or_zero(path)};
+        (tier == 1 ? tier1 : tier2).push_back(std::move(e));
+      } catch (const std::exception&) {
+        ++recovery_rejected_;
+        std::remove(path.c_str());
+      }
+    }
+  }
+
+  const auto by_first = [](const FileEntry& a, const FileEntry& b) { return a.first < b.first; };
+  std::sort(tier1.begin(), tier1.end(), by_first);
+  std::sort(tier2.begin(), tier2.end(), by_first);
+  std::sort(windows.begin(), windows.end(),
+            [](const WindowCandidate& a, const WindowCandidate& b) { return a.index < b.index; });
+
+  // Drop range duplicates: a crash between a sketch's rename and its input
+  // deletes leaves both on disk, and folding the inputs again would double-
+  // count their windows.  Higher tiers win (they are the rename that
+  // committed the fold).
+  const auto covered_by = [](const std::vector<FileEntry>& tier, std::uint64_t first,
+                             std::uint64_t last) {
+    for (const FileEntry& e : tier) {
+      if (e.first <= first && last <= e.last) return true;
+    }
+    return false;
+  };
+  std::vector<FileEntry> tier1_kept;
+  for (FileEntry& e : tier1) {
+    if (covered_by(tier2, e.first, e.last)) {
+      ++recovery_rejected_;
+      std::remove(e.path.c_str());
+    } else {
+      tier1_kept.push_back(std::move(e));
+    }
+  }
+  for (WindowCandidate& c : windows) {
+    if (covered_by(tier2, c.index, c.index) || covered_by(tier1_kept, c.index, c.index)) {
+      ++recovery_rejected_;
+      std::remove(c.path.c_str());
+      continue;
+    }
+    if (max_summarized.has_value() && c.index <= *max_summarized) {
+      pending_.push_back(FileEntry{c.index, c.index, c.path, c.bytes});
+    } else {
+      tier0_.push_back(Tier0Entry{c.summary, c.path});
+    }
+    bytes_ += c.bytes;
+  }
+  for (FileEntry& e : tier1_kept) {
+    bytes_ += e.bytes;
+    tier1_.push_back(std::move(e));
+  }
+  for (FileEntry& e : tier2) {
+    bytes_ += e.bytes;
+    tier2_.push_back(std::move(e));
+  }
+
+  // Restore the tier invariants (tier0 <= keep_full, fewer than K entries
+  // waiting at each fold point); a recovered backlog folds right here.
+  AgeResult scrap;
+  age_down(scrap);
+}
+
+std::vector<std::string> RetentionManager::tier0_paths() const {
+  std::vector<std::string> paths;
+  paths.reserve(tier0_.size());
+  for (const Tier0Entry& e : tier0_) paths.push_back(e.path);
+  return paths;
+}
+
+std::vector<std::string> RetentionManager::report_paths() const {
+  std::vector<std::string> paths;
+  paths.reserve(tier2_.size() + tier1_.size() + pending_.size() + tier0_.size());
+  for (const FileEntry& e : tier2_) paths.push_back(e.path);
+  for (const FileEntry& e : tier1_) paths.push_back(e.path);
+  for (const FileEntry& e : pending_) paths.push_back(e.path);
+  for (const Tier0Entry& e : tier0_) paths.push_back(e.path);
+  return paths;
+}
+
+std::uint64_t RetentionManager::next_window_index() const {
+  std::uint64_t next = 0;
+  const auto bump = [&next](std::uint64_t last) { next = std::max(next, last + 1); };
+  for (const FileEntry& e : tier2_) bump(e.last);
+  for (const FileEntry& e : tier1_) bump(e.last);
+  for (const FileEntry& e : pending_) bump(e.last);
+  for (const Tier0Entry& e : tier0_) bump(e.summary.index);
+  return next;
 }
 
 }  // namespace entrace::snapshot

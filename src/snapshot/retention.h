@@ -1,23 +1,44 @@
-// Window checkpoint retention: tiered aging for endless operation.
+// Window checkpoint retention: tiered downsampling for endless operation.
 //
 // A daemon that checkpoints every rotated window would fill the disk at a
 // rate proportional to traffic; keeping only the last K windows would lose
-// all history.  The middle ground — the tiering scheme time-series engines
+// all history.  The middle ground is the tiering scheme time-series engines
 // use (full-resolution recent pages, downsampled older ones) — applied to
-// window snapshots:
+// window snapshots, with the twist that our "downsample" is the
+// deterministic shard fold itself (snapshot/window.h), so aged data keeps
+// its *sketches* (IntervalSeries bins, CDF samples, anomaly and capture-
+// quality detail, connection state keyed by open_seq) instead of collapsing
+// to headline counts:
 //
 //   tier 0: the most recent `keep_full` windows stay as complete .esnap
-//           files (full per-connection / per-event resolution, usable for
-//           exact reconstruction via snapshot/window.h);
-//   tier 1: older windows are downsampled to a one-line JSON summary
-//           (headline tallies only) appended to `summary.jsonl`, and the
-//           .esnap file is deleted.
+//           files (full per-window resolution, one file per window);
+//   tier 1: windows aged out of tier 0 are folded K at a time
+//           (K = `sketch_every`, via merge_window_shards) into one *sketch*
+//           .esnap covering K windows — an ordinary snapshot file, readable
+//           by the same hardened reader;
+//   tier 2: when K tier-1 sketches accumulate they fold into one coarser
+//           sketch covering K*K windows; when K tier-2 sketches accumulate
+//           they compact into a single sketch, so the tier never exceeds K
+//           files no matter how long the run;
+//   headline: every window aged out of tier 0 also appends one JSON line to
+//           `summary.jsonl` — the final, cheapest tier, append-only and
+//           crash-tolerant (a torn final line is ignorable).
 //
-// Aging is driven by add_window() at each checkpoint, so disk usage is
-// bounded by keep_full full windows plus one summary line per window ever
-// rotated — flat-RSS, flat-disk steady state (the soak test's invariant).
-// The summary file is append-only and crash-tolerant: a torn final line is
-// ignorable, and every complete line is self-contained JSON.
+// Because sketches reuse the deterministic shard-fold contract, folding
+// report_paths() — tier-2 sketches, then tier-1 sketches, then aged-but-
+// unfolded windows, then tier-0 — reproduces the one-shot batch report
+// byte-identically (tests/retention_test.cc pins it at 1 and 4 threads).
+// Disk is bounded at every tier: keep_full + (K-1) window files, at most
+// K sketch files per sketch tier, plus one summary line per window ever
+// rotated.
+//
+// Crash safety: sketch files are written tmp+rename by the snapshot writer,
+// and a window's .esnap is deleted only after the sketch covering it has
+// been renamed into place.  The tiered constructor scans its directory and
+// recovers: torn or unreadable sketches are rejected (deleted) and the run
+// continues; files whose window range is already covered by a higher tier
+// (a crash landed between the sketch rename and the input deletes) are
+// dropped so no window is ever folded twice.
 #pragma once
 
 #include <cstdint>
@@ -25,9 +46,12 @@
 #include <string>
 #include <vector>
 
+#include "snapshot/window.h"
+
 namespace entrace::snapshot {
 
-// Tier-1 record: what survives after a window ages out of full resolution.
+// Headline record: what survives in summary.jsonl after a window ages out
+// of tier 0.
 struct WindowSummary {
   std::uint64_t index = 0;
   double start_ts = 0.0;
@@ -41,29 +65,91 @@ struct WindowSummary {
 
 std::string to_json_line(const WindowSummary& s);
 
+// Headline tallies of a window delta (index/start/end copied from `win`;
+// snapshot_bytes left for the caller, who knows the encoded size).  Shared
+// by the daemon's checkpoint path and the recovery scan.
+WindowSummary summarize_window(const WindowShard& win);
+
+// Canonical sketch file name: "sketch1-00000000-00000007.esnap" covers
+// windows [first, last] at tier 1.  Sketches are ordinary .esnap files; the
+// name carries the tier and the covered window range, which is how the
+// recovery scan reconstructs tier state.
+std::string sketch_file_name(int tier, std::uint64_t first_window, std::uint64_t last_window);
+
+struct RetentionOptions {
+  std::size_t keep_full = 4;     // tier-0 window count (0 = age immediately)
+  std::size_t sketch_every = 8;  // K: windows per tier-1 fold, sketches per
+                                 // tier-2 fold/compaction; must be >= 2
+};
+
+// What one add_window() call did.  io_errors is the per-call count; the
+// manager also keeps a cumulative io_errors() for the metrics exposition.
+struct AgeResult {
+  std::size_t aged = 0;       // windows that left tier 0 this call
+  std::size_t folds = 0;      // sketch fold operations performed
+  std::size_t io_errors = 0;  // failed appends/removes/sketch folds
+  bool ok() const { return io_errors == 0; }
+};
+
 class RetentionManager {
  public:
-  // `dir` is the checkpoint directory (summaries land in dir/summary.jsonl);
-  // `keep_full` is the tier-0 window count (0 = summarize immediately).
+  // Summary-only tiering (the pre-sketch scheme): aged windows are reduced
+  // to their summary.jsonl line and the .esnap is deleted.  Starts from a
+  // fresh state (no directory scan).  `dir` is the checkpoint directory;
+  // `keep_full` the tier-0 window count (0 = summarize immediately — with
+  // no sketch tier this keeps *no* readable history, so a daemon using
+  // keep_full 0 must enable sketching).
   RetentionManager(std::string dir, std::size_t keep_full);
 
+  // Full tiered downsampling.  `config` parameterizes the sketch folds
+  // (its flow/scanner settings must match the analyzer that produced the
+  // windows, or folded connection tables would diverge); `meta` stamps the
+  // sketch .esnap files.  Scans `dir` and recovers prior state: readable
+  // window/sketch files re-enter their tiers, torn files are rejected, and
+  // range duplicates from a crash mid-fold are dropped.  Throws
+  // std::invalid_argument when opts.sketch_every < 2.
+  RetentionManager(std::string dir, const RetentionOptions& opts, const AnalyzerConfig& config,
+                   const SnapshotMeta& meta);
+
   // Register a freshly checkpointed window, then age anything beyond
-  // keep_full: append its summary line and delete its .esnap.  Returns the
-  // number of windows aged to tier 1 by this call.
-  std::size_t add_window(const WindowSummary& summary, const std::string& esnap_path);
+  // keep_full through the tiers.  I/O failures (a full disk, an unwritable
+  // summary file) are surfaced in the result and in io_errors() instead of
+  // being swallowed; the manager keeps running degraded.
+  AgeResult add_window(const WindowSummary& summary, const std::string& esnap_path);
 
   std::size_t tier0_count() const { return tier0_.size(); }
 
-  // Paths of the retained full-resolution checkpoints, oldest first — the
-  // window order render_windowed_report expects.
-  std::vector<std::string> tier0_paths() const {
-    std::vector<std::string> paths;
-    paths.reserve(tier0_.size());
-    for (const Tier0Entry& e : tier0_) paths.push_back(e.path);
-    return paths;
-  }
+  // Paths of the retained tier-0 checkpoints, oldest first.
+  std::vector<std::string> tier0_paths() const;
 
-  std::uint64_t tier1_count() const { return summarized_; }
+  // All retained .esnap files in window-chronological order: tier-2
+  // sketches, tier-1 sketches, aged-but-unfolded windows, then tier-0.
+  // Feeding this list to render_windowed_report folds the *entire* retained
+  // history — the daemon's /report — not just the newest keep_full windows.
+  std::vector<std::string> report_paths() const;
+
+  // Windows aged to the headline tier (== summary.jsonl lines this manager
+  // has written or recovered).
+  std::uint64_t summarized_count() const { return summarized_; }
+  // Aged windows whose .esnap still awaits a tier-1 fold.
+  std::size_t pending_count() const { return pending_.size(); }
+  std::size_t tier1_sketch_count() const { return tier1_.size(); }
+  std::size_t tier2_sketch_count() const { return tier2_.size(); }
+  std::uint64_t sketch_folds() const { return folds_; }
+  // Tracked bytes across every tier (window files, sketches, summary
+  // lines) — the `retention.bytes` gauge.
+  std::uint64_t bytes_retained() const { return bytes_; }
+  // Cumulative I/O failures (summary appends, file removes, sketch folds).
+  std::uint64_t io_errors() const { return io_errors_; }
+  // Files the recovery scan rejected: torn/unreadable, or range duplicates
+  // left by a crash mid-fold.
+  std::uint64_t recovery_rejected() const { return recovery_rejected_; }
+
+  // 1 + the highest window index known to any tier (0 on a fresh
+  // directory).  A restarted daemon offsets its new window indices by this
+  // so recovered history and new windows share one monotonic sequence.
+  std::uint64_t next_window_index() const;
+
   const std::string& summary_path() const { return summary_path_; }
 
  private:
@@ -71,12 +157,43 @@ class RetentionManager {
     WindowSummary summary;
     std::string path;
   };
+  // An aged window or a sketch: the half-inclusive window range [first,
+  // last] it covers, its path, and its on-disk size.
+  struct FileEntry {
+    std::uint64_t first = 0;
+    std::uint64_t last = 0;
+    std::string path;
+    std::uint64_t bytes = 0;
+  };
+
+  void age_down(AgeResult& r);
+  bool append_summary(const WindowSummary& s);
+  // Fold the first `count` entries of `src` into one sketch file of
+  // `out_tier`, append it to `dst`, delete the inputs.  Returns false (with
+  // io_errors counted) when an input is unreadable (the bad entry is
+  // dropped so it cannot wedge the tier) or the output cannot be written
+  // (inputs kept; retried on the next aging pass).
+  bool fold_into(std::deque<FileEntry>& src, std::size_t count, int out_tier,
+                 std::deque<FileEntry>& dst, AgeResult& r);
+  void note_io_error(AgeResult& r);
+  void recover_scan();
 
   std::string dir_;
   std::string summary_path_;
   std::size_t keep_full_;
+  std::size_t sketch_every_ = 0;  // < 2 = sketch tiers disabled
+  AnalyzerConfig config_;
+  SnapshotMeta meta_;
+
   std::deque<Tier0Entry> tier0_;
+  std::deque<FileEntry> pending_;  // aged, awaiting a tier-1 fold
+  std::deque<FileEntry> tier1_;
+  std::deque<FileEntry> tier2_;
   std::uint64_t summarized_ = 0;
+  std::uint64_t folds_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t io_errors_ = 0;
+  std::uint64_t recovery_rejected_ = 0;
 };
 
 }  // namespace entrace::snapshot

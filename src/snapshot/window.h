@@ -54,10 +54,13 @@ std::vector<TraceShard> merge_window_shards(std::vector<WindowShard>&& windows,
 
 // Read the given window checkpoints (in window order — oldest first), fold
 // them via merge_window_shards, and render the full paper report over the
-// result.  This is what a report "over the retained history" means for a
-// long-running daemon: the answer covers exactly the tier-0 windows, no
-// more.  Throws SnapshotError / std::runtime_error when a checkpoint is
-// unreadable (e.g. it aged out between listing and reading).
+// result.  Sketch files (snapshot/retention.h) are ordinary window
+// snapshots, so handing RetentionManager::report_paths() here folds the
+// daemon's *entire* retained history — tier-2 and tier-1 sketches plus the
+// tier-0 windows — and, because the fold is associative, reproduces the
+// one-shot batch report byte-identically when the paths cover the full run.
+// Throws SnapshotError / std::runtime_error when a checkpoint is unreadable
+// (e.g. it aged out between listing and reading).
 std::string render_windowed_report(const std::vector<std::string>& window_paths,
                                    const DatasetSpec& spec, const AnalyzerConfig& config);
 

@@ -1,5 +1,7 @@
 #include "util/cli.h"
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 
 namespace entrace::cli {
@@ -29,6 +31,25 @@ bool parse_scale(const std::string& s, double& out) {
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
   if (end != s.c_str() + s.size() || v <= 0) return false;
+  out = v;
+  return true;
+}
+
+bool parse_uint(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s[0] < '0' || s[0] > '9') return false;  // no signs, no spaces
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_nonneg_double(const std::string& s, double& out) {
+  if (s.empty() || s[0] == '-' || s[0] == '+' || s[0] == ' ') return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || v < 0 || v != v) return false;
   out = v;
   return true;
 }

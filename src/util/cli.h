@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 
@@ -21,6 +22,13 @@ double env_double(const char* name, double fallback);
 bool is_dataset_name(const std::string& s);
 // Strict positive-double parse ("0.01"); false on garbage or <= 0.
 bool parse_scale(const std::string& s, double& out);
+// Strict non-negative integer parse ("42"); false on a sign, garbage,
+// trailing characters, or overflow.  The flag-hardening parser: unlike
+// std::atoi it cannot turn "--retain -1" into SIZE_MAX or "--retain x"
+// into 0.
+bool parse_uint(const std::string& s, std::uint64_t& out);
+// Strict non-negative double parse ("0", "1.5"); false on garbage or < 0.
+bool parse_nonneg_double(const std::string& s, double& out);
 // "lo:hi" half-open index range; false unless lo < hi parse cleanly.
 bool parse_index_range(const std::string& s, std::size_t& lo, std::size_t& hi);
 

@@ -657,6 +657,17 @@ TEST_F(HttpRobustnessTest, OversizedRequestLineAnswers400) {
   EXPECT_NE(roundtrip("GET /ok HTTP/1.0\r\n\r\n").find("200"), std::string::npos);
 }
 
+// The query-string 404 regression: "GET /ok?probe=1" must dispatch to the
+// /ok handler (the target is stripped of ?query/#fragment before matching),
+// while a genuinely unknown path keeps 404ing with or without a query.
+TEST_F(HttpRobustnessTest, QueryStringsAndFragmentsAreStrippedBeforeDispatch) {
+  EXPECT_NE(roundtrip("GET /ok?probe=1 HTTP/1.0\r\n\r\n").find("200"), std::string::npos);
+  EXPECT_NE(roundtrip("GET /ok?a=1&b=2 HTTP/1.0\r\n\r\n").find("fine"), std::string::npos);
+  EXPECT_NE(roundtrip("GET /ok#frag HTTP/1.0\r\n\r\n").find("200"), std::string::npos);
+  EXPECT_NE(roundtrip("GET /ok? HTTP/1.0\r\n\r\n").find("200"), std::string::npos);
+  EXPECT_NE(roundtrip("GET /nope?probe=1 HTTP/1.0\r\n\r\n").find("404"), std::string::npos);
+}
+
 TEST_F(HttpRobustnessTest, EmptyAndHalfRequestsAreShruggedOff) {
   {  // connect-and-close probe (a port scanner, a load balancer health check)
     util::ScopedFd fd = connect();

@@ -20,10 +20,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -294,11 +296,12 @@ TEST_F(DaemonTest, RetentionAgesWindowsBeyondKeepFull) {
     s.end_ts = s.start_ts + 60.0;
     s.packets = 100 + i;
     s.snapshot_bytes = 23;
-    const std::size_t aged = retention.add_window(s, path);
-    EXPECT_EQ(aged, i < 2 ? 0u : 1u);
+    const snap::AgeResult aged = retention.add_window(s, path);
+    EXPECT_TRUE(aged.ok());
+    EXPECT_EQ(aged.aged, i < 2 ? 0u : 1u);
   }
   EXPECT_EQ(retention.tier0_count(), 2u);
-  EXPECT_EQ(retention.tier1_count(), 3u);
+  EXPECT_EQ(retention.summarized_count(), 3u);
 
   // Tier 0 on disk: exactly the two newest .esnap files survive.
   std::vector<std::string> esnaps;
@@ -365,6 +368,90 @@ TEST_F(DaemonTest, HttpServerServesHandlerResponses) {
   EXPECT_NE(ok.find("Content-Length:"), std::string::npos);
   const std::string missing = fetch("/missing");
   EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+
+  // Query strings and fragments are stripped before dispatch: a scraper's
+  // "GET /metrics?format=prometheus" must reach the /metrics handler, not
+  // fall through to 404 because no handler matches the decorated target.
+  for (const std::string decorated :
+       {"/metrics?format=prometheus", "/metrics?a=1&b=2", "/metrics#frag", "/metrics?x=1#frag"}) {
+    SCOPED_TRACE(decorated);
+    const std::string resp = fetch(decorated);
+    EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos);
+    EXPECT_NE(resp.find("echo /metrics\n"), std::string::npos);  // bare path, no query
+  }
+  // A decorated unknown path still 404s — stripping does not rewrite.
+  const std::string decorated_missing = fetch("/missing?probe=1");
+  EXPECT_NE(decorated_missing.find("HTTP/1.0 404"), std::string::npos);
+  server.stop();
+}
+
+// The /healthz starvation regression: with a worker pool (the daemon passes
+// workers = 2), a liveness probe must be answered while a slow handler (the
+// daemon's multi-second /report fold) is still in flight, instead of
+// queueing behind it on the single accept thread.
+TEST_F(DaemonTest, HttpServerAnswersHealthzDuringSlowHandler) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool slow_started = false;
+  bool release_slow = false;
+
+  obs::HttpServer server(
+      0,
+      [&](const std::string& path) {
+        if (path == "/slow") {
+          std::unique_lock<std::mutex> lock(mu);
+          slow_started = true;
+          cv.notify_all();
+          // Parks this worker until the probe below has been answered (or a
+          // 10 s safety valve so a regression fails instead of hanging).
+          cv.wait_for(lock, std::chrono::seconds(10), [&] { return release_slow; });
+          return obs::HttpResponse{200, "text/plain; charset=utf-8", "slow done\n"};
+        }
+        return obs::HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+      },
+      /*workers=*/2);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  const auto fetch = [&](const std::string& path) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+    EXPECT_EQ(::send(fd, req.data(), req.size(), 0), static_cast<ssize_t>(req.size()));
+    std::string out;
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  };
+
+  std::thread slow_client([&] {
+    const std::string resp = fetch("/slow");
+    EXPECT_NE(resp.find("slow done"), std::string::npos);
+  });
+  {
+    // Only probe once the slow handler is demonstrably occupying a worker.
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10), [&] { return slow_started; }));
+  }
+  const std::string health = fetch("/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(health.find("ok\n"), std::string::npos);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release_slow = true;
+  }
+  cv.notify_all();
+  slow_client.join();
   server.stop();
 }
 
@@ -413,6 +500,133 @@ TEST_F(DaemonTest, DaemonBinarySigtermDrainWritesCheckpoint) {
     EXPECT_FALSE(w.shards.empty()) << e.path();
   }
   EXPECT_GE(checkpoints, 1u) << "drain did not flush the open window";
+  fs::remove_all(dir);
+}
+
+// ---- the real daemon binary: /report vs aging race --------------------------
+
+// The fold-unlink race: /report used to snapshot the tier path list, then
+// read the files with no lock held — a rotation on the analysis thread could
+// fold those windows into a sketch and delete them mid-read, turning almost
+// every mid-run /report into a 500.  Aging and rendering now serialize on
+// the render lock (and the path list is re-read under it), so a live daemon
+// must answer 200 (or 404 before the first checkpoint) for every poll while
+// windows rotate and sketches fold underneath.
+TEST_F(DaemonTest, DaemonBinaryReportNeverFailsWhileSketchesFold) {
+  const fs::path dir = fs::temp_directory_path() / "entrace_daemon_report_race";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::uint16_t port = static_cast<std::uint16_t>(18000 + ::getpid() % 2000);
+
+  // window 30 @ speedup 30 rotates ~1/s; retain 1 + sketch-every 2 makes
+  // nearly every rotation age a window and every other rotation fold (and
+  // delete) sketch inputs while we hammer /report.
+  util::Subprocess child = util::Subprocess::spawn(
+      {ENTRACE_DAEMON_BIN, "D3", "0.002", "--out", dir.string(), "--window", "30",
+       "--speedup", "30", "--retain", "1", "--sketch-every", "2",
+       "--http-port", std::to_string(port)});
+
+  const auto fetch = [&](const std::string& path) -> std::string {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return {};
+    }
+    const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+    if (::send(fd, req.data(), req.size(), 0) != static_cast<ssize_t>(req.size())) {
+      ::close(fd);
+      return {};
+    }
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  };
+
+  // Wait for the HTTP server to come up.
+  bool up = false;
+  for (int i = 0; i < 100 && !up; ++i) {
+    up = !fetch("/healthz").empty();
+    if (!up) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ASSERT_TRUE(up) << "daemon never served /healthz on port " << port;
+
+  std::size_t ok_reports = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(8);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (child.poll().has_value()) break;  // replay ended early; stop polling
+    const std::string resp = fetch("/report");
+    if (resp.empty()) continue;  // daemon exiting between poll and connect
+    ASSERT_EQ(resp.find("HTTP/1.0 5"), std::string::npos)
+        << "mid-run /report failed:\n" << resp.substr(0, 200);
+    if (resp.find("HTTP/1.0 200") != std::string::npos) ++ok_reports;
+  }
+  EXPECT_GE(ok_reports, 1u) << "no successful /report during the run";
+
+  // Prove the polls overlapped real aging: a sketch must have been folded.
+  // (With sketch-every 2 a pair of tier-1 sketches compacts straight into a
+  // tier-2 file, dropping the tier-1 count back to 0 — either tier counts.)
+  const std::string status_json = fetch("/status.json");
+  if (!status_json.empty()) {
+    EXPECT_TRUE(status_json.find("\"tier1_sketches\":0,\"tier2_sketches\":0,") ==
+                std::string::npos)
+        << "run too short to fold a sketch — widen the poll window\n" << status_json;
+  }
+
+  ::kill(child.pid(), SIGTERM);
+  const std::optional<util::ExitStatus> status = child.wait_for(120.0);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->success());
+  fs::remove_all(dir);
+}
+
+// ---- the real daemon binary: strict flag parsing ----------------------------
+
+// The std::atoi regression: "--retain -1" used to wrap to SIZE_MAX and
+// "--retain x" silently became 0.  Every numeric flag now goes through the
+// strict util::cli parsers, garbage is a usage error (exit 2) before any
+// replay starts, and the degenerate tier combinations are rejected.
+TEST_F(DaemonTest, DaemonBinaryRejectsGarbageNumericFlags) {
+  const fs::path dir = fs::temp_directory_path() / "entrace_daemon_badflags";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const std::vector<std::vector<std::string>> bad_invocations = {
+      {"--retain", "-1"},          // sign must not wrap to SIZE_MAX
+      {"--retain", "x"},           // garbage must not read as 0
+      {"--retain", "4x"},          // trailing garbage rejected too
+      {"--threads", "-2"},
+      {"--window", "abc"},
+      {"--sketch-every", "1"},     // 0 (off) or >= 2; a 1-wide fold is a no-op
+      {"--retain", "0", "--sketch-every", "0"},  // would retain no history at all
+  };
+  for (const std::vector<std::string>& extra : bad_invocations) {
+    std::vector<std::string> argv = {ENTRACE_DAEMON_BIN, "D3", "0.002", "--out", dir.string(),
+                                     "--max-windows", "1"};
+    std::string label;
+    for (const std::string& a : extra) {
+      argv.push_back(a);
+      label += a + " ";
+    }
+    SCOPED_TRACE(label);
+    util::Subprocess child = util::Subprocess::spawn(argv);
+    const std::optional<util::ExitStatus> status = child.wait_for(30.0);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_TRUE(status->exited);
+    EXPECT_EQ(status->exit_code, 2);  // usage error, not a silent run
+  }
+  // No invocation above may have gotten far enough to checkpoint anything.
+  EXPECT_TRUE(fs::is_empty(dir));
   fs::remove_all(dir);
 }
 
@@ -483,9 +697,9 @@ TEST_F(DaemonTest, SoakEvictReclaimRetentionStaysBounded) {
   std::string line;
   std::uint64_t lines = 0;
   while (std::getline(summary, line)) ++lines;
-  EXPECT_EQ(lines, retention.tier1_count());
+  EXPECT_EQ(lines, retention.summarized_count());
   // windows_rotated() includes the final partial window finish() harvested.
-  EXPECT_EQ(retention.tier0_count() + retention.tier1_count(), analyzer.windows_rotated());
+  EXPECT_EQ(retention.tier0_count() + retention.summarized_count(), analyzer.windows_rotated());
 
   // RSS flat after warm-up: the whole point of evict + reclaim + tiering.
   if (!kUnderSanitizer && warmed_rss != 0) {

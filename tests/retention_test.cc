@@ -1,0 +1,378 @@
+// Tiered sketch retention suite (CTest labels "daemon" + "retention", also
+// run under AddressSanitizer via `ctest --preset retention-asan`).
+//
+// Pins the contract of snapshot/retention.h's tiered downsampling: windows
+// age tier-0 -> pending -> tier-1 sketch -> tier-2 sketch with bounded file
+// counts at every tier; folding report_paths() across all tiers reproduces
+// the one-shot batch report byte-identically (at 1 and 4 threads, aligned
+// tier boundaries); a crash-restart recovery scan rejects torn files, drops
+// range duplicates left mid-fold, and resumes window numbering; I/O
+// failures surface in AgeResult / io_errors() instead of vanishing; and a
+// >= 128-window soak with --retain 4 --sketch-every 8 geometry keeps disk
+// bounded while /report still covers the entire run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/incremental.h"
+#include "core/report.h"
+#include "pcap/packet_source.h"
+#include "snapshot/format.h"
+#include "snapshot/retention.h"
+#include "snapshot/window.h"
+#include "synth/generator.h"
+
+namespace entrace {
+namespace {
+
+namespace fs = std::filesystem;
+namespace snap = entrace::snapshot;
+
+class RetentionTest : public ::testing::Test {
+ protected:
+  static const EnterpriseModel& model() {
+    static const EnterpriseModel m;
+    return m;
+  }
+  static DatasetSpec small_spec() {
+    DatasetSpec spec = dataset_d3(0.004);
+    spec.monitored_subnets = {4, 15, 20};
+    return spec;
+  }
+  static const TraceSet& materialized() {
+    static const TraceSet traces = generate_dataset(small_spec(), model());
+    return traces;
+  }
+  static AnalyzerConfig config(std::size_t threads) {
+    AnalyzerConfig c = default_config_for_model(model().site());
+    c.threads = threads;
+    c.batch_size = 256;
+    return c;
+  }
+  static snap::SnapshotMeta snap_meta() {
+    return snap::SnapshotMeta{small_spec().name, 0.004,
+                              static_cast<std::uint32_t>(materialized().traces.size())};
+  }
+  // The equivalence reference: one-shot batch run over the same packets.
+  static const std::string& batch_report() {
+    static const std::string r = [] {
+      const DatasetAnalysis analysis = analyze_dataset(materialized(), config(1));
+      const DatasetSpec s = small_spec();
+      const report::ReportInput input{&s, &analysis};
+      return report::full_report(std::vector<report::ReportInput>{input});
+    }();
+    return r;
+  }
+  static double merged_span() {
+    const MergedPacketStream stream = merged_stream(materialized());
+    double lo = 1e300, hi = -1e300;
+    for (std::size_t i = 0; i < stream.source_count(); ++i) {
+      const TraceMeta& m = stream.source(i).meta();
+      lo = std::min(lo, m.start_ts);
+      hi = std::max(hi, m.start_ts + m.duration);
+    }
+    return hi - lo;
+  }
+
+  // Exact-mode windowed replay (evict/reclaim off so the fold reconstructs
+  // the batch run byte-identically) cut into ~`windows` windows.
+  static std::vector<WindowShard> make_windows(std::size_t threads, std::size_t windows) {
+    MergedPacketStream stream = merged_stream(materialized());
+    std::vector<TraceMeta> metas;
+    metas.reserve(stream.source_count());
+    for (std::size_t i = 0; i < stream.source_count(); ++i) {
+      metas.push_back(stream.source(i).meta());
+    }
+    IncrementalOptions opts;
+    opts.window_seconds = merged_span() / (static_cast<double>(windows) - 0.3);
+    IncrementalAnalyzer analyzer(std::move(metas), config(threads), opts);
+
+    std::vector<PacketView> views(256);
+    std::vector<WindowShard> out;
+    for (;;) {
+      const std::size_t got = stream.next_batch(views.data(), views.size());
+      if (got == 0) break;
+      analyzer.feed(views.data(), got);
+      while (analyzer.window_complete()) out.push_back(analyzer.rotate());
+    }
+    out.push_back(analyzer.finish(&stream));
+    return out;
+  }
+
+  // Checkpoint each window into `dir` and register it, daemon-style.
+  static snap::AgeResult feed_all(snap::RetentionManager& retention, const fs::path& dir,
+                                  const std::vector<WindowShard>& windows) {
+    snap::AgeResult total;
+    for (const WindowShard& w : windows) {
+      const std::string path = (dir / snap::window_file_name(w.index)).string();
+      snap::WindowSummary s = snap::summarize_window(w);
+      s.snapshot_bytes = snap::write_window_snapshot(path, snap_meta(), w);
+      const snap::AgeResult r = retention.add_window(s, path);
+      total.aged += r.aged;
+      total.folds += r.folds;
+      total.io_errors += r.io_errors;
+    }
+    return total;
+  }
+
+  static fs::path fresh_dir(const std::string& name) {
+    const fs::path dir = fs::temp_directory_path() / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+  }
+
+  static std::size_t esnap_count(const fs::path& dir) {
+    std::size_t n = 0;
+    for (const auto& e : fs::directory_iterator(dir)) {
+      if (e.path().extension() == ".esnap") ++n;
+    }
+    return n;
+  }
+
+  static std::uint64_t summary_lines(const snap::RetentionManager& retention) {
+    std::ifstream in(retention.summary_path());
+    std::string line;
+    std::uint64_t n = 0;
+    while (std::getline(in, line)) ++n;
+    return n;
+  }
+};
+
+// ---- tier transitions -------------------------------------------------------
+
+// With keep_full 2 and K = 2, a dozen windows must cascade all the way:
+// tier 0 holds exactly the 2 newest, aged windows fold pairwise into tier-1
+// sketches, pairs of sketches fold into tier-2, and tier-2 self-compacts so
+// no tier ever exceeds K files.
+TEST_F(RetentionTest, WindowsAgeThroughSketchTiers) {
+  const fs::path dir = fresh_dir("entrace_retention_tiers");
+  const std::vector<WindowShard> windows = make_windows(1, 12);
+  ASSERT_GE(windows.size(), 10u);
+
+  snap::RetentionOptions opts;
+  opts.keep_full = 2;
+  opts.sketch_every = 2;
+  snap::RetentionManager retention(dir.string(), opts, config(1), snap_meta());
+  const snap::AgeResult total = feed_all(retention, dir, windows);
+
+  EXPECT_EQ(total.io_errors, 0u);
+  EXPECT_EQ(total.aged, windows.size() - 2);
+  EXPECT_GT(total.folds, 0u);
+  EXPECT_EQ(retention.tier0_count(), 2u);
+  EXPECT_LT(retention.pending_count(), 2u);
+  EXPECT_LT(retention.tier1_sketch_count(), 2u);
+  EXPECT_GE(retention.tier2_sketch_count(), 1u);
+  EXPECT_LT(retention.tier2_sketch_count(), 2u);  // K=2 keeps compacting to one
+  EXPECT_EQ(retention.summarized_count(), windows.size() - 2);
+  EXPECT_EQ(summary_lines(retention), windows.size() - 2);
+
+  // Disk state mirrors the tracked tiers exactly, and every retained byte
+  // is accounted for in bytes_retained().
+  EXPECT_EQ(esnap_count(dir), retention.tier0_count() + retention.pending_count() +
+                                  retention.tier1_sketch_count() +
+                                  retention.tier2_sketch_count());
+  std::uint64_t disk = 0;
+  for (const auto& e : fs::directory_iterator(dir)) disk += fs::file_size(e.path());
+  EXPECT_EQ(retention.bytes_retained(), disk);
+  fs::remove_all(dir);
+}
+
+TEST_F(RetentionTest, TieredConstructorRejectsDegenerateSketchEvery) {
+  const fs::path dir = fresh_dir("entrace_retention_badopts");
+  for (const std::size_t bad : {std::size_t{0}, std::size_t{1}}) {
+    snap::RetentionOptions opts;
+    opts.sketch_every = bad;
+    EXPECT_THROW(snap::RetentionManager(dir.string(), opts, config(1), snap_meta()),
+                 std::invalid_argument);
+  }
+  fs::remove_all(dir);
+}
+
+// ---- fold-across-tiers equality ---------------------------------------------
+
+// The regression oracle: rendering over report_paths() — tier-2 sketch,
+// tier-1 sketches, pending windows, tier-0 — reproduces the one-shot batch
+// report byte-identically, because sketches reuse the deterministic shard
+// fold.  Pinned at 1 and 4 threads.
+TEST_F(RetentionTest, FoldAcrossTiersMatchesBatchReport) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const fs::path dir = fresh_dir("entrace_retention_fold_" + std::to_string(threads));
+    const std::vector<WindowShard> windows = make_windows(threads, 12);
+
+    snap::RetentionOptions opts;
+    opts.keep_full = 2;
+    opts.sketch_every = 2;
+    snap::RetentionManager retention(dir.string(), opts, config(threads), snap_meta());
+    ASSERT_TRUE(feed_all(retention, dir, windows).ok());
+    ASSERT_GE(retention.tier2_sketch_count(), 1u);
+
+    const std::string report =
+        snap::render_windowed_report(retention.report_paths(), small_spec(), config(threads));
+    EXPECT_EQ(report, batch_report());
+    fs::remove_all(dir);
+  }
+}
+
+// --retain 0 keeps no full checkpoints at all: every window ages straight
+// into the sketch pipeline, and the full history still folds back.
+TEST_F(RetentionTest, RetainZeroKeepsHistoryInSketchesOnly) {
+  const fs::path dir = fresh_dir("entrace_retention_zero");
+  const std::vector<WindowShard> windows = make_windows(1, 12);
+
+  snap::RetentionOptions opts;
+  opts.keep_full = 0;
+  opts.sketch_every = 2;
+  snap::RetentionManager retention(dir.string(), opts, config(1), snap_meta());
+  ASSERT_TRUE(feed_all(retention, dir, windows).ok());
+
+  EXPECT_EQ(retention.tier0_count(), 0u);
+  EXPECT_EQ(retention.summarized_count(), windows.size());
+  ASSERT_FALSE(retention.report_paths().empty());
+  const std::string report =
+      snap::render_windowed_report(retention.report_paths(), small_spec(), config(1));
+  EXPECT_EQ(report, batch_report());
+  fs::remove_all(dir);
+}
+
+// ---- crash-restart recovery -------------------------------------------------
+
+// A restart scans the directory and rebuilds the tiers: torn files are
+// rejected and deleted, a window duplicated below an existing sketch (the
+// signature a crash leaves between a sketch rename and its input deletes)
+// is dropped instead of double-folded, numbering resumes past recovered
+// history, and the recovered report still equals the batch run.
+TEST_F(RetentionTest, CrashRestartRecoversTiersAndRejectsTornFiles) {
+  const fs::path dir = fresh_dir("entrace_retention_recover");
+  const std::vector<WindowShard> windows = make_windows(1, 12);
+
+  snap::RetentionOptions opts;
+  opts.keep_full = 2;
+  opts.sketch_every = 2;
+
+  std::size_t tier0 = 0, pending = 0, tier1 = 0, tier2 = 0;
+  std::uint64_t summarized = 0;
+  {
+    snap::RetentionManager first(dir.string(), opts, config(1), snap_meta());
+    ASSERT_TRUE(feed_all(first, dir, windows).ok());
+    tier0 = first.tier0_count();
+    pending = first.pending_count();
+    tier1 = first.tier1_sketch_count();
+    tier2 = first.tier2_sketch_count();
+    summarized = first.summarized_count();
+    EXPECT_EQ(first.next_window_index(), windows.size());
+  }  // "crash": the manager goes away, the directory stays
+
+  // Torn sketch and torn window (truncated mid-write, no tmp+rename).
+  std::ofstream((dir / snap::sketch_file_name(1, 90, 91)).string()) << "ENTRSNAPgarbage";
+  std::ofstream((dir / snap::window_file_name(99)).string()) << "torn";
+  // Duplicate: window 0 reappears even though a sketch already covers it.
+  {
+    const std::string dup = (dir / snap::window_file_name(0)).string();
+    snap::write_window_snapshot(dup, snap_meta(), windows[0]);
+  }
+
+  snap::RetentionManager second(dir.string(), opts, config(1), snap_meta());
+  EXPECT_EQ(second.recovery_rejected(), 3u);
+  EXPECT_EQ(second.tier0_count(), tier0);
+  EXPECT_EQ(second.pending_count(), pending);
+  EXPECT_EQ(second.tier1_sketch_count(), tier1);
+  EXPECT_EQ(second.tier2_sketch_count(), tier2);
+  EXPECT_EQ(second.summarized_count(), summarized);
+  EXPECT_EQ(second.next_window_index(), windows.size());
+  EXPECT_FALSE(fs::exists(dir / snap::sketch_file_name(1, 90, 91)));
+  EXPECT_FALSE(fs::exists(dir / snap::window_file_name(99)));
+  EXPECT_FALSE(fs::exists(dir / snap::window_file_name(0)));
+
+  const std::string report =
+      snap::render_windowed_report(second.report_paths(), small_spec(), config(1));
+  EXPECT_EQ(report, batch_report());
+  fs::remove_all(dir);
+}
+
+// ---- I/O failure surfacing --------------------------------------------------
+
+// Retention runs as root in CI, so chmod tricks do not produce EACCES; the
+// failures are provoked structurally instead: a *directory* named
+// summary.jsonl makes the append fail, and a non-empty directory in place
+// of the window file makes std::remove fail.  Both must surface in the
+// AgeResult and the cumulative counter instead of disappearing.
+TEST_F(RetentionTest, IoFailuresSurfaceInsteadOfVanishing) {
+  const fs::path dir = fresh_dir("entrace_retention_ioerr");
+  fs::create_directories(dir / "summary.jsonl");  // append target is a dir
+
+  snap::RetentionManager retention(dir.string(), 0);  // age immediately
+  const fs::path blocked = dir / snap::window_file_name(0);
+  fs::create_directories(blocked);
+  std::ofstream((blocked / "occupant").string()) << "x";  // remove() fails too
+
+  snap::WindowSummary s;
+  s.index = 0;
+  s.packets = 7;
+  const snap::AgeResult r = retention.add_window(s, blocked.string());
+  EXPECT_EQ(r.aged, 1u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.io_errors, 2u);  // failed summary append + failed remove
+  EXPECT_EQ(retention.io_errors(), 2u);
+
+  // Degraded, not dead: the next aging still counts and still reports.
+  snap::WindowSummary s2;
+  s2.index = 1;
+  const snap::AgeResult r2 = retention.add_window(s2, (dir / "none.esnap").string());
+  EXPECT_EQ(retention.io_errors(), r.io_errors + r2.io_errors);
+  fs::remove_all(dir);
+}
+
+// ---- bounded-disk soak ------------------------------------------------------
+
+// The continuous-operation geometry from the daemon's defaults: >= 128
+// windows through keep_full 4 / sketch_every 8 must leave at most
+// keep_full + (K-1) + K + K files plus the summary — and the fold across
+// what remains still reproduces the entire run byte-identically.
+TEST_F(RetentionTest, Soak128WindowsBoundedDiskFullHistoryReport) {
+  const fs::path dir = fresh_dir("entrace_retention_soak");
+  const std::vector<WindowShard> windows = make_windows(2, 128);
+  ASSERT_GE(windows.size(), 128u);
+
+  snap::RetentionOptions opts;
+  opts.keep_full = 4;
+  opts.sketch_every = 8;
+  snap::RetentionManager retention(dir.string(), opts, config(2), snap_meta());
+  std::size_t peak_esnaps = 0;
+  for (const WindowShard& w : windows) {
+    const std::string path = (dir / snap::window_file_name(w.index)).string();
+    snap::WindowSummary s = snap::summarize_window(w);
+    s.snapshot_bytes = snap::write_window_snapshot(path, snap_meta(), w);
+    ASSERT_TRUE(retention.add_window(s, path).ok());
+    peak_esnaps = std::max(peak_esnaps, esnap_count(dir));
+  }
+
+  // Bounded at every tier, at every point of the run.
+  const std::size_t cap = opts.keep_full + (opts.sketch_every - 1) + opts.sketch_every +
+                          opts.sketch_every;
+  EXPECT_LE(peak_esnaps, cap + 1);  // +1: the just-written window pre-aging
+  EXPECT_LE(esnap_count(dir), cap);
+  EXPECT_EQ(retention.tier0_count(), 4u);
+  EXPECT_LE(retention.tier1_sketch_count(), 8u);
+  EXPECT_LE(retention.tier2_sketch_count(), 8u);
+  EXPECT_GE(retention.sketch_folds(), windows.size() / 8);
+  EXPECT_EQ(retention.summarized_count(), windows.size() - 4);
+  EXPECT_EQ(summary_lines(retention), windows.size() - 4);
+
+  // /report's contract: the whole 128-window history, not just tier 0.
+  const std::string report =
+      snap::render_windowed_report(retention.report_paths(), small_spec(), config(2));
+  EXPECT_EQ(report, batch_report());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace entrace

@@ -16,7 +16,8 @@
 //   /metrics        Prometheus text (daemon.* operational metrics)
 //   /metrics.json   the same, as JSON
 //   /window/latest  summary of the most recently checkpointed window
-//   /report         full paper report folded over the retained tier-0 windows
+//   /report         full paper report folded across every retained tier
+//                   (tier-2 + tier-1 sketches, aged windows, tier-0)
 //   /status.json    event-loop status (windows, packets, live flows, ...)
 //   /healthz        liveness
 //
@@ -28,10 +29,11 @@
 // must reconstruct byte-identically to a batch run.
 //
 //   $ entrace_daemon [D0|..|D4] [scale] --out DIR [--window SEC] [--speedup X]
-//                    [--http-port P] [--retain K] [--max-windows N]
+//                    [--http-port P] [--retain K] [--sketch-every K] [--max-windows N]
 //                    [--threads N] [--repeat R] [--batch N] [--fake-clock]
 //                    [--exact] [--metrics-out file]
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -64,10 +66,17 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [D0|D1|D2|D3|D4] [scale] --out DIR [--window SEC] [--speedup X]\n"
-      "          [--http-port P] [--retain K] [--max-windows N] [--threads N]\n"
-      "          [--repeat R] [--batch N] [--fake-clock] [--exact] [--metrics-out file]\n"
+      "          [--http-port P] [--retain K] [--sketch-every K] [--max-windows N]\n"
+      "          [--threads N] [--repeat R] [--batch N] [--fake-clock] [--exact]\n"
+      "          [--metrics-out file]\n"
       "  replays the dataset as a paced live stream, rotating and checkpointing\n"
-      "  one .esnap window every SEC seconds of capture time; SIGTERM drains.\n",
+      "  one .esnap window every SEC seconds of capture time; SIGTERM drains.\n"
+      "  --retain K       tier-0: newest K full window checkpoints (0 = none;\n"
+      "                   requires --sketch-every >= 2 so history lives in sketches)\n"
+      "  --sketch-every K tier-1/2: fold aged windows K at a time into sketch\n"
+      "                   .esnaps, K sketches into a coarser tier-2 sketch\n"
+      "                   (default 8; 0 disables sketching — aged windows keep\n"
+      "                   only their summary.jsonl line)\n",
       argv0);
   return 2;
 }
@@ -161,7 +170,7 @@ class RepeatingMergedSource final : public PacketSource {
   TraceMeta meta_;
 };
 
-// Shared between the event loop (writer) and the HTTP thread (reader).
+// Shared between the event loop (writer) and the HTTP threads (readers).
 struct DaemonStatus {
   std::mutex mu;
   std::uint64_t packets = 0;
@@ -171,35 +180,60 @@ struct DaemonStatus {
   std::uint64_t drained = 0;
   std::uint64_t evicted = 0;
   std::size_t tier0 = 0;
-  std::uint64_t tier1 = 0;
+  std::uint64_t summarized = 0;       // windows aged to the headline tier
+  std::size_t pending_sketch = 0;     // aged windows awaiting a tier-1 fold
+  std::size_t tier1_sketches = 0;
+  std::size_t tier2_sketches = 0;
+  std::uint64_t retention_bytes = 0;  // tracked disk across every tier
+  std::uint64_t retention_io_errors = 0;
   bool draining = false;
   std::string latest_window_json;  // empty until the first checkpoint
-  std::vector<std::string> tier0_paths;  // retained checkpoints, oldest first
+  std::vector<std::string> report_paths;  // all retained tiers, oldest first
 };
 
-obs::HttpResponse handle_http(DaemonStatus& st, const DatasetSpec& spec,
+// /report renders can take seconds; cache the last render keyed by the
+// tier path list so repeated scrapes between checkpoints fold once, and
+// concurrent /report requests single-flight behind render_mu.
+struct ReportCache {
+  std::mutex mu;
+  std::vector<std::string> paths;
+  std::string body;
+  bool valid = false;
+};
+
+obs::HttpResponse handle_http(DaemonStatus& st, ReportCache& cache, const DatasetSpec& spec,
                               const AnalyzerConfig& config, const std::string& path) {
   if (path == "/healthz") return {200, "text/plain; charset=utf-8", "ok\n"};
 
   if (path == "/report") {
-    // Fold the retained tier-0 checkpoints back into the full paper report.
+    // Fold every retained tier — tier-2 sketches, tier-1 sketches, aged
+    // windows, tier-0 checkpoints — back into the full paper report, so the
+    // answer covers the entire run, not just the newest keep_full windows.
     // The fold reads files and can take a while, so it runs outside the
-    // status lock; a checkpoint racing us can age a window out from under
-    // the read, which answers 500 rather than a torn report.
+    // status lock (and on an HTTP worker thread, so /healthz stays live).
+    // Lock order is cache.mu -> st.mu everywhere: the checkpoint path holds
+    // cache.mu while aging (folds delete their input files), and the path
+    // list is re-read under the same lock here, so a render can never race
+    // a fold that unlinks the files it is reading.
+    std::lock_guard<std::mutex> render_lock(cache.mu);
     std::vector<std::string> paths;
     {
       std::lock_guard<std::mutex> lock(st.mu);
-      paths = st.tier0_paths;
+      paths = st.report_paths;
     }
     if (paths.empty()) {
       return {404, "text/plain; charset=utf-8", "no window checkpointed yet\n"};
     }
     try {
-      return {200, "text/plain; charset=utf-8",
-              snapshot::render_windowed_report(paths, spec, config)};
+      if (!cache.valid || cache.paths != paths) {
+        cache.body = snapshot::render_windowed_report(paths, spec, config);
+        cache.paths = paths;
+        cache.valid = true;
+      }
+      return {200, "text/plain; charset=utf-8", cache.body};
     } catch (const std::exception& e) {
       return {500, "text/plain; charset=utf-8",
-              std::string("report unavailable (checkpoint aged out?): ") + e.what() + "\n"};
+              std::string("report unavailable: ") + e.what() + "\n"};
     }
   }
 
@@ -221,9 +255,21 @@ obs::HttpResponse handle_http(DaemonStatus& st, const DatasetSpec& spec,
         ->set(st.stream_ts);
     reg.gauge("daemon.tier0_windows", MetricClass::kTiming, "full-resolution checkpoints kept")
         ->set(static_cast<double>(st.tier0));
-    reg.counter("daemon.tier1_windows", MetricClass::kTiming,
-                "checkpoints aged to summary lines")
-        ->add(st.tier1);
+    reg.counter("daemon.summarized_windows", MetricClass::kTiming,
+                "windows aged to the headline summary tier")
+        ->add(st.summarized);
+    reg.gauge("daemon.tier1_sketches", MetricClass::kTiming,
+              "tier-1 sketch files (K aged windows folded each)")
+        ->set(static_cast<double>(st.tier1_sketches));
+    reg.gauge("daemon.tier2_sketches", MetricClass::kTiming,
+              "tier-2 sketch files (K tier-1 sketches folded each)")
+        ->set(static_cast<double>(st.tier2_sketches));
+    reg.gauge("retention.bytes", MetricClass::kTiming,
+              "bytes retained across all tiers (checkpoints, sketches, summaries)")
+        ->set(static_cast<double>(st.retention_bytes));
+    reg.counter("retention.io_errors", MetricClass::kTiming,
+                "retention I/O failures (summary appends, removes, sketch folds)")
+        ->add(st.retention_io_errors);
     if (path == "/metrics") {
       return {200, "text/plain; version=0.0.4", obs::render_prometheus(reg)};
     }
@@ -241,25 +287,16 @@ obs::HttpResponse handle_http(DaemonStatus& st, const DatasetSpec& spec,
     out << "{\"packets\":" << st.packets << ",\"windows_rotated\":" << st.windows
         << ",\"stream_ts\":" << st.stream_ts << ",\"live_flows\":" << st.live_flows
         << ",\"flows_drained\":" << st.drained << ",\"flows_evicted\":" << st.evicted
-        << ",\"tier0_windows\":" << st.tier0 << ",\"tier1_windows\":" << st.tier1
+        << ",\"tier0_windows\":" << st.tier0 << ",\"summarized_windows\":" << st.summarized
+        << ",\"pending_sketch_windows\":" << st.pending_sketch
+        << ",\"tier1_sketches\":" << st.tier1_sketches
+        << ",\"tier2_sketches\":" << st.tier2_sketches
+        << ",\"retention_bytes\":" << st.retention_bytes
+        << ",\"retention_io_errors\":" << st.retention_io_errors
         << ",\"draining\":" << (st.draining ? "true" : "false") << "}\n";
     return {200, "application/json", out.str()};
   }
   return {404, "text/plain; charset=utf-8", "unknown path\n"};
-}
-
-snapshot::WindowSummary summarize(const WindowShard& win) {
-  snapshot::WindowSummary s;
-  s.index = win.index;
-  s.start_ts = win.start_ts;
-  s.end_ts = win.end_ts;
-  for (const TraceShard& shard : win.shards) {
-    s.packets += shard.total_packets;
-    s.wire_bytes += shard.total_wire_bytes;
-    if (shard.table != nullptr) s.connections += shard.table->connections().size();
-    s.app_events += shard.events.total();
-  }
-  return s;
 }
 
 }  // namespace
@@ -269,36 +306,56 @@ int main(int argc, char** argv) {
   std::string out_dir, metrics_out;
   double window_seconds = 60.0;
   double speedup = 0.0;  // 0 = unpaced (as fast as the generators produce)
-  int http_port = -1;
-  std::size_t retain = 4;
-  std::uint64_t max_windows = 0;  // 0 = until the stream ends
-  std::size_t threads = 0;
-  int repeat = 1;
-  std::size_t batch = 256;
+  std::uint64_t http_port = 0;
+  bool serve_http = false;
+  std::uint64_t retain = 4;
+  std::uint64_t sketch_every = 8;  // 0 disables the sketch tiers
+  std::uint64_t max_windows = 0;   // 0 = until the stream ends
+  std::uint64_t threads = 0;
+  std::uint64_t repeat = 1;
+  std::uint64_t batch = 256;
   bool fake_clock = false, exact = false;
+  bool parse_error = false;
 
   for (int i = 1; i < argc; ++i) {
     const auto has_value = [&](const char* flag) {
       return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
     };
+    // Strict flag-value parsing: std::atoi here would wrap "--retain -1"
+    // to SIZE_MAX and read "--retain x" as 0 — both silently.
+    const auto uint_value = [&](std::uint64_t& out) {
+      if (!cli::parse_uint(argv[++i], out)) {
+        std::fprintf(stderr, "%s: '%s' is not a non-negative integer\n", argv[i - 1], argv[i]);
+        parse_error = true;
+      }
+    };
+    const auto double_value = [&](double& out) {
+      if (!cli::parse_nonneg_double(argv[++i], out)) {
+        std::fprintf(stderr, "%s: '%s' is not a non-negative number\n", argv[i - 1], argv[i]);
+        parse_error = true;
+      }
+    };
     if (has_value("--out")) {
       out_dir = argv[++i];
     } else if (has_value("--window")) {
-      window_seconds = std::atof(argv[++i]);
+      double_value(window_seconds);
     } else if (has_value("--speedup")) {
-      speedup = std::atof(argv[++i]);
+      double_value(speedup);
     } else if (has_value("--http-port")) {
-      http_port = std::atoi(argv[++i]);
+      serve_http = true;
+      uint_value(http_port);
     } else if (has_value("--retain")) {
-      retain = static_cast<std::size_t>(std::atoi(argv[++i]));
+      uint_value(retain);
+    } else if (has_value("--sketch-every")) {
+      uint_value(sketch_every);
     } else if (has_value("--max-windows")) {
-      max_windows = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      uint_value(max_windows);
     } else if (has_value("--threads")) {
-      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+      uint_value(threads);
     } else if (has_value("--repeat")) {
-      repeat = std::atoi(argv[++i]);
+      uint_value(repeat);
     } else if (has_value("--batch")) {
-      batch = static_cast<std::size_t>(std::atoi(argv[++i]));
+      uint_value(batch);
     } else if (has_value("--metrics-out")) {
       metrics_out = argv[++i];
     } else if (std::strcmp(argv[i], "--fake-clock") == 0) {
@@ -309,6 +366,7 @@ int main(int argc, char** argv) {
       positionals.push_back(argv[i]);
     }
   }
+  if (parse_error) return usage(argv[0]);
   cli::DatasetArgs dataset{"D3", 0.008};
   std::string error;
   const int consumed = cli::parse_dataset_args(positionals, dataset, &error);
@@ -322,6 +380,20 @@ int main(int argc, char** argv) {
   }
   if (window_seconds <= 0.0 || repeat < 1 || batch == 0) {
     std::fprintf(stderr, "--window must be > 0, --repeat >= 1, --batch >= 1\n");
+    return usage(argv[0]);
+  }
+  if (serve_http && http_port > 65535) {
+    std::fprintf(stderr, "--http-port must be <= 65535\n");
+    return usage(argv[0]);
+  }
+  if (sketch_every == 1) {
+    std::fprintf(stderr, "--sketch-every must be 0 (off) or >= 2 (fold width)\n");
+    return usage(argv[0]);
+  }
+  if (retain == 0 && sketch_every < 2) {
+    std::fprintf(stderr,
+                 "--retain 0 keeps no full checkpoints; it requires --sketch-every >= 2\n"
+                 "so the run's history still lives in sketch tiers\n");
     return usage(argv[0]);
   }
   ::mkdir(out_dir.c_str(), 0777);  // EEXIST is fine; writes below report real errors
@@ -355,7 +427,7 @@ int main(int argc, char** argv) {
     merged_for_finish = merged.get();
     stream = std::move(merged);
   } else {
-    stream = std::make_unique<RepeatingMergedSource>(open_all, repeat);
+    stream = std::make_unique<RepeatingMergedSource>(open_all, static_cast<int>(repeat));
   }
 
   util::SystemClock system_clock;
@@ -364,40 +436,94 @@ int main(int argc, char** argv) {
   PacedReplaySource paced(*stream, clock, speedup);
 
   AnalyzerConfig config = default_config_for_model(model.site());
-  config.threads = threads;
-  config.batch_size = batch;
+  config.threads = static_cast<std::size_t>(threads);
+  config.batch_size = static_cast<std::size_t>(batch);
   IncrementalOptions options;
   options.window_seconds = window_seconds;
   options.evict = !exact;
   options.reclaim = !exact;
   IncrementalAnalyzer analyzer(metas, config, options);
 
-  snapshot::RetentionManager retention(out_dir, retain);
   const snapshot::SnapshotMeta snap_meta{spec.name, dataset.scale,
                                          static_cast<std::uint32_t>(sources.size())};
+  // sketch_every >= 2 selects the tiered manager (tier-1/2 sketch folds plus
+  // a recovery scan of whatever an earlier run left in --out); 0 keeps the
+  // legacy summary-only aging.  The recovery scan also tells us where window
+  // numbering must resume so a restart cannot overwrite retained history.
+  snapshot::RetentionOptions retention_opts;
+  retention_opts.keep_full = static_cast<std::size_t>(retain);
+  retention_opts.sketch_every = static_cast<std::size_t>(sketch_every);
+  std::unique_ptr<snapshot::RetentionManager> retention_owned;
+  if (sketch_every >= 2) {
+    retention_owned = std::make_unique<snapshot::RetentionManager>(out_dir, retention_opts,
+                                                                   config, snap_meta);
+  } else {
+    retention_owned =
+        std::make_unique<snapshot::RetentionManager>(out_dir, static_cast<std::size_t>(retain));
+  }
+  snapshot::RetentionManager& retention = *retention_owned;
+  const std::uint64_t window_base = retention.next_window_index();
+  if (window_base != 0) {
+    std::fprintf(stderr, "entrace_daemon: recovered %zu retained files, resuming at window %llu\n",
+                 retention.tier0_count() + retention.pending_count() +
+                     retention.tier1_sketch_count() + retention.tier2_sketch_count(),
+                 static_cast<unsigned long long>(window_base));
+  }
 
   DaemonStatus status;
+  ReportCache report_cache;
+  const auto publish_retention = [&]() {
+    // Caller holds status.mu.
+    status.tier0 = retention.tier0_count();
+    status.summarized = retention.summarized_count();
+    status.pending_sketch = retention.pending_count();
+    status.tier1_sketches = retention.tier1_sketch_count();
+    status.tier2_sketches = retention.tier2_sketch_count();
+    status.retention_bytes = retention.bytes_retained();
+    status.retention_io_errors = retention.io_errors();
+    status.report_paths = retention.report_paths();
+  };
+  {
+    std::lock_guard<std::mutex> lock(status.mu);
+    publish_retention();
+  }
   std::unique_ptr<obs::HttpServer> http;
-  if (http_port >= 0) {
+  if (serve_http) {
+    // Two workers so /healthz (and /metrics scrapes) stay live while a
+    // multi-second /report fold is in flight on the other worker.
     http = std::make_unique<obs::HttpServer>(
-        static_cast<std::uint16_t>(http_port), [&status, &spec, &config](const std::string& path) {
-          return handle_http(status, spec, config, path);
-        });
+        static_cast<std::uint16_t>(http_port),
+        [&status, &report_cache, &spec, &config](const std::string& path) {
+          return handle_http(status, report_cache, spec, config, path);
+        },
+        /*workers=*/2);
     http->start();
     std::fprintf(stderr, "entrace_daemon: http on 127.0.0.1:%u\n", http->port());
   }
 
-  const auto checkpoint = [&](const WindowShard& win) {
+  const auto checkpoint = [&](WindowShard win) {
+    win.index += window_base;  // resume numbering past recovered history
     const std::string path = out_dir + "/" + snapshot::window_file_name(win.index);
-    snapshot::WindowSummary summary = summarize(win);
+    snapshot::WindowSummary summary = snapshot::summarize_window(win);
     summary.snapshot_bytes = snapshot::write_window_snapshot(path, snap_meta, win);
-    retention.add_window(summary, path);
+    snapshot::AgeResult aged;
+    {
+      // Aging folds and deletes sketch inputs; hold the report-render lock so
+      // an in-flight /report never has files unlinked out from under it.  The
+      // cost is symmetric — a slow render delays this rotation — which is why
+      // /healthz and /metrics are served by the other pool worker.
+      std::lock_guard<std::mutex> render_lock(report_cache.mu);
+      aged = retention.add_window(summary, path);
+    }
+    if (!aged.ok()) {
+      std::fprintf(stderr, "entrace_daemon: retention hit %llu I/O error(s) aging window %llu\n",
+                   static_cast<unsigned long long>(aged.io_errors),
+                   static_cast<unsigned long long>(win.index));
+    }
     std::lock_guard<std::mutex> lock(status.mu);
     status.windows = analyzer.windows_rotated();
-    status.tier0 = retention.tier0_count();
-    status.tier1 = retention.tier1_count();
-    status.tier0_paths = retention.tier0_paths();
     status.latest_window_json = snapshot::to_json_line(summary);
+    publish_retention();
   };
 
   std::vector<PacketView> views(batch);
@@ -443,12 +569,17 @@ int main(int argc, char** argv) {
     status.evicted = analyzer.evicted_total();
   }
   std::fprintf(stderr,
-               "entrace_daemon: %s after %llu packets, %llu windows (%zu full, %llu aged), "
+               "entrace_daemon: %s after %llu packets, %llu windows "
+               "(%zu full, %llu aged, %zu+%zu sketches, %llu bytes retained, %llu io errors), "
                "%llu flows drained\n",
                g_stop != 0 ? "drained on signal" : (source_drained ? "stream complete" : "window limit"),
                static_cast<unsigned long long>(packets),
                static_cast<unsigned long long>(analyzer.windows_rotated()),
-               retention.tier0_count(), static_cast<unsigned long long>(retention.tier1_count()),
+               retention.tier0_count(),
+               static_cast<unsigned long long>(retention.summarized_count()),
+               retention.tier1_sketch_count(), retention.tier2_sketch_count(),
+               static_cast<unsigned long long>(retention.bytes_retained()),
+               static_cast<unsigned long long>(retention.io_errors()),
                static_cast<unsigned long long>(analyzer.drained_total()));
 
   if (!metrics_out.empty()) {
@@ -462,6 +593,16 @@ int main(int argc, char** argv) {
         ->add(analyzer.drained_total());
     reg.counter("daemon.flows_evicted", MetricClass::kSemantic, "flows closed by idle eviction")
         ->add(analyzer.evicted_total());
+    reg.gauge("daemon.tier1_sketches", MetricClass::kTiming,
+              "tier-1 sketch files at exit")
+        ->set(static_cast<double>(retention.tier1_sketch_count()));
+    reg.gauge("daemon.tier2_sketches", MetricClass::kTiming,
+              "tier-2 sketch files at exit")
+        ->set(static_cast<double>(retention.tier2_sketch_count()));
+    reg.gauge("retention.bytes", MetricClass::kTiming, "bytes retained across all tiers at exit")
+        ->set(static_cast<double>(retention.bytes_retained()));
+    reg.counter("retention.io_errors", MetricClass::kTiming, "retention I/O failures")
+        ->add(retention.io_errors());
     try {
       obs::write_metrics_file(reg, metrics_out);
     } catch (const std::exception& e) {
